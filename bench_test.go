@@ -1,0 +1,204 @@
+package repro
+
+// Benchmarks regenerating every table and figure of the paper (one per
+// artifact, wrapping the internal/experiments drivers at reduced scale)
+// plus micro-benchmarks of the pipeline stages. Run:
+//
+//	go test -bench=. -benchmem
+//
+// For full-scale experiment output use cmd/cvbench.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/experiments"
+	"repro/internal/samplers"
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+// benchCfg keeps artifact benchmarks to a few hundred ms each.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		OpenAQRows: 60000,
+		BikesRows:  40000,
+		Scale:      2,
+		Seed:       1,
+		Reps:       1,
+		Out:        io.Discard,
+	}
+}
+
+func benchArtifact(b *testing.B, id string) {
+	e, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not found", id)
+	}
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkFig1(b *testing.B)       { benchArtifact(b, "fig1") }
+func BenchmarkSec61(b *testing.B)      { benchArtifact(b, "sec61") }
+func BenchmarkTable4(b *testing.B)     { benchArtifact(b, "table4") }
+func BenchmarkFig2(b *testing.B)       { benchArtifact(b, "fig2") }
+func BenchmarkFig3(b *testing.B)       { benchArtifact(b, "fig3") }
+func BenchmarkFig4(b *testing.B)       { benchArtifact(b, "fig4") }
+func BenchmarkTable5(b *testing.B)     { benchArtifact(b, "table5") }
+func BenchmarkFig5(b *testing.B)       { benchArtifact(b, "fig5") }
+func BenchmarkTable6(b *testing.B)     { benchArtifact(b, "table6") }
+func BenchmarkFig6(b *testing.B)       { benchArtifact(b, "fig6") }
+func BenchmarkAblationLp(b *testing.B) { benchArtifact(b, "ablp") }
+func BenchmarkAblationCap(b *testing.B) {
+	benchArtifact(b, "ablcap")
+}
+
+// Micro-benchmarks of the pipeline stages at a fixed scale.
+
+func benchOpenAQ(b *testing.B, rows int) *table.Table {
+	b.Helper()
+	tbl, err := datagen.OpenAQ(datagen.OpenAQConfig{Rows: rows, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tbl
+}
+
+func benchSpecs() []QuerySpec {
+	return []QuerySpec{{
+		GroupBy: []string{"country", "parameter", "unit"},
+		Aggs:    []AggColumn{{Column: "value"}},
+	}}
+}
+
+// BenchmarkStatsPass measures pass 1 (per-stratum Welford statistics).
+func BenchmarkStatsPass(b *testing.B) {
+	tbl := benchOpenAQ(b, 200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewPlan(tbl, benchSpecs()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tbl.NumRows()*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkAllocate measures the closed-form L2 allocation given stats.
+func BenchmarkAllocate(b *testing.B) {
+	tbl := benchOpenAQ(b, 200000)
+	plan, err := core.NewPlan(tbl, benchSpecs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Allocate(2000, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocateInf measures the CVOPT-INF binary search.
+func BenchmarkAllocateInf(b *testing.B) {
+	tbl := benchOpenAQ(b, 200000)
+	plan, err := core.NewPlan(tbl, benchSpecs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Allocate(2000, Options{Norm: LInf}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSamplePass measures pass 2 (stratified reservoir draw).
+func BenchmarkSamplePass(b *testing.B) {
+	tbl := benchOpenAQ(b, 200000)
+	plan, err := core.NewPlan(tbl, benchSpecs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := plan.Sample(2000, Options{}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndCVOPT measures the full offline phase (stats +
+// allocate + draw) through the sampler interface.
+func BenchmarkEndToEndCVOPT(b *testing.B) {
+	tbl := benchOpenAQ(b, 200000)
+	rng := rand.New(rand.NewSource(1))
+	s := &samplers.CVOPT{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Build(tbl, benchSpecs(), 2000, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryExact measures exact group-by evaluation (the paper's
+// "Full Data" row of Table 6).
+func BenchmarkQueryExact(b *testing.B) {
+	tbl := benchOpenAQ(b, 200000)
+	q, err := sqlparse.Parse("SELECT country, parameter, unit, AVG(value) FROM OpenAQ GROUP BY country, parameter, unit")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(tbl, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tbl.NumRows()*b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkQuerySampled measures approximate evaluation over a 1%
+// weighted sample (the sample-query rows of Table 6).
+func BenchmarkQuerySampled(b *testing.B) {
+	tbl := benchOpenAQ(b, 200000)
+	rng := rand.New(rand.NewSource(1))
+	rs, err := (&samplers.CVOPT{}).Build(tbl, benchSpecs(), 2000, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := sqlparse.Parse("SELECT country, parameter, unit, AVG(value) FROM OpenAQ GROUP BY country, parameter, unit")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.RunWeighted(tbl, q, rs.Rows, rs.Weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSQLParse measures the parser on a representative query.
+func BenchmarkSQLParse(b *testing.B) {
+	const sql = "SELECT country, parameter, unit, SUM(value) AS agg1, COUNT(*) AS agg2 FROM OpenAQ WHERE hour BETWEEN 0 AND 17 AND country IN ('US', 'VN') GROUP BY country, parameter, unit WITH CUBE"
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparse.Parse(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command cvbench regenerates the paper's tables and figures on the
+// synthetic datasets. Run a single experiment by id or all of them:
+//
+//	cvbench -exp fig1
+//	cvbench -exp all -openaq-rows 1000000 -reps 5
+//
+// Experiment ids: fig1 sec61 table4 fig2 fig3 fig4 table5 fig5 table6
+// fig6 ablp ablcap (see DESIGN.md for the per-experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id or 'all' or 'list'")
+		aqRows = flag.Int("openaq-rows", 400000, "synthetic OpenAQ row count")
+		bkRows = flag.Int("bikes-rows", 150000, "synthetic Bikes row count")
+		scale  = flag.Int("scale", 5, "duplication factor for the Table 6 large dataset")
+		seed   = flag.Int64("seed", 1, "base RNG seed")
+		reps   = flag.Int("reps", 3, "repetitions per cell (paper uses 5)")
+	)
+	flag.Parse()
+
+	if *exp == "list" {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		OpenAQRows: *aqRows,
+		BikesRows:  *bkRows,
+		Scale:      *scale,
+		Seed:       *seed,
+		Reps:       *reps,
+		Out:        os.Stdout,
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		if err := e.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "cvbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.Registry() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cvbench: unknown experiment %q (use -exp list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

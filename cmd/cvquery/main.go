@@ -1,0 +1,142 @@
+// Command cvquery answers a SQL group-by query over a CSV table: exactly,
+// approximately through a freshly built CVOPT sample (-rate), or
+// approximately through a previously materialized weighted sample from
+// cvsample (-sample). Approximate answers carry ± standard errors, and
+// the per-group relative errors against the exact answer are reported.
+//
+//	cvquery -in data.csv -sql "SELECT region, AVG(amount) FROM input GROUP BY region"
+//	cvquery -in data.csv -rate 0.01 -sql "SELECT region, AVG(amount) FROM input GROUP BY region"
+//	cvsample -in data.csv -out s.csv -groupby region -agg amount -rate 0.01
+//	cvquery -in s.csv -sample -sql "SELECT region, AVG(amount) FROM input GROUP BY region"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/samplers"
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input CSV path")
+		sql      = flag.String("sql", "", "SELECT statement (FROM input)")
+		rate     = flag.Float64("rate", 0, "if > 0, also answer from a CVOPT sample of this rate and compare")
+		isSample = flag.Bool("sample", false, "treat the input as a cvsample output (weighted rows via its _weight column)")
+		seed     = flag.Int64("seed", 1, "RNG seed for sampling")
+	)
+	flag.Parse()
+	if *in == "" || *sql == "" {
+		fmt.Fprintln(os.Stderr, "cvquery: -in and -sql are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	fatalIf(err)
+	schema, err := table.InferSchema(f)
+	fatalIf(err)
+	fatalIf(f.Close())
+	tbl, err := table.LoadCSV("input", schema, *in)
+	fatalIf(err)
+
+	q, err := sqlparse.Parse(*sql)
+	fatalIf(err)
+
+	printResult := func(title string, res *exec.Result) {
+		fmt.Printf("-- %s\n", title)
+		for _, row := range res.Rows {
+			key := strings.Join(row.Key, ", ")
+			if key == "" {
+				key = "(all)"
+			}
+			cells := make([]string, len(row.Aggs))
+			for i, v := range row.Aggs {
+				cells[i] = fmt.Sprintf("%s=%.6g", res.AggLabels[i], v)
+				if row.SE != nil && !math.IsNaN(row.SE[i]) {
+					cells[i] += fmt.Sprintf("±%.3g", row.SE[i])
+				}
+			}
+			fmt.Printf("  %-30s %s\n", key, strings.Join(cells, "  "))
+		}
+	}
+
+	if *isSample {
+		// the CSV is a materialized weighted sample: every row counts
+		// with its _weight
+		wcol := tbl.Column("_weight")
+		if wcol == nil {
+			fatalIf(fmt.Errorf("-sample input has no _weight column (produce it with cvsample)"))
+		}
+		rows := make([]int32, tbl.NumRows())
+		for i := range rows {
+			rows[i] = int32(i)
+		}
+		approx, err := exec.RunWeighted(tbl, q, rows, wcol.Float)
+		fatalIf(err)
+		printResult(fmt.Sprintf("approximate (materialized sample, %d rows)", tbl.NumRows()), approx)
+		return
+	}
+
+	exact, err := exec.Run(tbl, q)
+	fatalIf(err)
+	printResult("exact ("+fmt.Sprint(tbl.NumRows())+" rows)", exact)
+
+	if *rate > 0 {
+		if len(q.GroupBy) == 0 {
+			fatalIf(fmt.Errorf("approximate mode needs a GROUP BY"))
+		}
+		spec := core.QuerySpec{GroupBy: q.GroupBy}
+		seen := map[string]bool{}
+		for _, item := range q.Select {
+			for _, col := range sqlparse.Columns(item.Expr) {
+				c := tbl.Column(col)
+				if c != nil && c.Spec.Kind != table.String && !seen[col] && sqlparse.HasAggregate(item.Expr) {
+					seen[col] = true
+					spec.Aggs = append(spec.Aggs, core.AggColumn{Column: col})
+				}
+			}
+		}
+		if len(spec.Aggs) == 0 {
+			// COUNT-only queries: stratify on frequency alone by using any
+			// numeric column, or fall back to uniform within strata.
+			for _, c := range tbl.Columns {
+				if c.Spec.Kind != table.String {
+					spec.Aggs = append(spec.Aggs, core.AggColumn{Column: c.Spec.Name})
+					break
+				}
+			}
+		}
+		if len(spec.Aggs) == 0 {
+			fatalIf(fmt.Errorf("no numeric column available for allocation statistics"))
+		}
+		m := int(float64(tbl.NumRows()) * *rate)
+		if m < 1 {
+			m = 1
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		rs, err := (&samplers.CVOPT{}).Build(tbl, []core.QuerySpec{spec}, m, rng)
+		fatalIf(err)
+		approx, err := exec.RunWeighted(tbl, q, rs.Rows, rs.Weights)
+		fatalIf(err)
+		printResult(fmt.Sprintf("approximate (CVOPT, %d rows = %.3g%%)", rs.Len(), *rate*100), approx)
+		sum := metrics.Summarize(metrics.GroupErrors(exact, approx))
+		fmt.Printf("-- error: %s\n", sum)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cvquery: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,140 @@
+// Command cvsample materializes a CVOPT stratified sample from a CSV
+// file. The output CSV carries the sampled rows plus a _weight column
+// (n_c/s_c scale-up factors) that cvquery — or any engine — can use for
+// unbiased approximate aggregation.
+//
+//	cvsample -in data.csv -out sample.csv -groupby region,product -agg amount -rate 0.01
+//	cvsample -in data.csv -out sample.csv -groupby region -agg amount -m 5000 -norm linf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/samplers"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input CSV path (header required)")
+		out     = flag.String("out", "", "output CSV path for the weighted sample")
+		groupBy = flag.String("groupby", "", "comma-separated group-by columns (the stratification)")
+		aggs    = flag.String("agg", "", "comma-separated aggregation columns")
+		rate    = flag.Float64("rate", 0, "sample rate, e.g. 0.01 for 1%")
+		m       = flag.Int("m", 0, "absolute row budget (overrides -rate)")
+		norm    = flag.String("norm", "l2", "objective norm: l2, linf, or lp:<p>")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		method  = flag.String("method", "cvopt", "sampler: cvopt, uniform, senate, cs, rl, sampleseek")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" || *groupBy == "" || *aggs == "" {
+		fmt.Fprintln(os.Stderr, "cvsample: -in, -out, -groupby and -agg are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	fatalIf(err)
+	schema, err := table.InferSchema(f)
+	fatalIf(err)
+	fatalIf(f.Close())
+	tbl, err := table.LoadCSV("input", schema, *in)
+	fatalIf(err)
+
+	budget := *m
+	if budget == 0 {
+		if *rate <= 0 || *rate > 1 {
+			fatalIf(fmt.Errorf("need -m or -rate in (0,1], got rate %v", *rate))
+		}
+		budget = int(float64(tbl.NumRows()) * *rate)
+		if budget < 1 {
+			budget = 1
+		}
+	}
+
+	spec := core.QuerySpec{GroupBy: splitList(*groupBy)}
+	for _, a := range splitList(*aggs) {
+		spec.Aggs = append(spec.Aggs, core.AggColumn{Column: a})
+	}
+
+	var sampler samplers.Sampler
+	switch strings.ToLower(*method) {
+	case "cvopt":
+		opts := core.Options{}
+		switch {
+		case *norm == "l2":
+		case *norm == "linf":
+			opts.Norm = core.LInf
+		case strings.HasPrefix(*norm, "lp:"):
+			p, err := strconv.ParseFloat(strings.TrimPrefix(*norm, "lp:"), 64)
+			fatalIf(err)
+			opts.Norm = core.Lp
+			opts.P = p
+		default:
+			fatalIf(fmt.Errorf("unknown norm %q", *norm))
+		}
+		sampler = &samplers.CVOPT{Opts: opts}
+	case "uniform":
+		sampler = samplers.Uniform{}
+	case "senate":
+		sampler = samplers.Senate{}
+	case "cs":
+		sampler = samplers.Congress{}
+	case "rl":
+		sampler = samplers.RL{}
+	case "sampleseek":
+		sampler = samplers.SampleSeek{}
+	default:
+		fatalIf(fmt.Errorf("unknown method %q", *method))
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	rs, err := sampler.Build(tbl, []core.QuerySpec{spec}, budget, rng)
+	fatalIf(err)
+
+	// materialize: original schema + _weight
+	outSchema := append(append(table.Schema{}, schema...), table.ColumnSpec{Name: "_weight", Kind: table.Float})
+	outTbl := table.New("sample", outSchema)
+	for i, r := range rs.Rows {
+		vals := make([]any, 0, len(schema)+1)
+		for _, c := range tbl.Columns {
+			switch c.Spec.Kind {
+			case table.String:
+				vals = append(vals, c.StringAt(int(r)))
+			case table.Float:
+				vals = append(vals, c.Float[r])
+			case table.Int:
+				vals = append(vals, c.Int[r])
+			}
+		}
+		vals = append(vals, rs.Weights[i])
+		fatalIf(outTbl.AppendRow(vals...))
+	}
+	fatalIf(outTbl.SaveCSV(*out))
+	fmt.Printf("cvsample: %s: wrote %d of %d rows (budget %d) to %s\n",
+		sampler.Name(), outTbl.NumRows(), tbl.NumRows(), budget, *out)
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cvsample: %v\n", err)
+		os.Exit(1)
+	}
+}

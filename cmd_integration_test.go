@@ -1,0 +1,239 @@
+package repro
+
+// End-to-end tests of the command-line tools: build each binary with the
+// host toolchain, run it against a generated CSV, and check the outputs.
+
+import (
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// buildTool compiles a cmd/<name> binary into a shared temp dir once per
+// test run.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// writeSalesCSV generates a small skewed CSV dataset.
+func writeSalesCSV(t *testing.T, path string) {
+	t.Helper()
+	tbl := table.New("sales", table.Schema{
+		{Name: "region", Kind: table.String},
+		{Name: "amount", Kind: table.Float},
+		{Name: "qty", Kind: table.Int},
+	})
+	rng := rand.New(rand.NewSource(11))
+	add := func(region string, n int, mean, sd float64) {
+		for i := 0; i < n; i++ {
+			if err := tbl.AppendRow(region, mean+sd*rng.NormFloat64(), int64(1+rng.Intn(5))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add("NA", 3000, 100, 10)
+	add("EU", 800, 80, 40)
+	add("APAC", 60, 300, 150)
+	if err := tbl.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdCvsampleEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "cvsample")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "sales.csv")
+	out := filepath.Join(dir, "sample.csv")
+	writeSalesCSV(t, in)
+
+	cmd := exec.Command(bin, "-in", in, "-out", out, "-groupby", "region", "-agg", "amount", "-rate", "0.05")
+	stdout, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("cvsample: %v\n%s", err, stdout)
+	}
+	if !strings.Contains(string(stdout), "CVOPT") {
+		t.Fatalf("missing method in output: %s", stdout)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if !strings.Contains(lines[0], "_weight") {
+		t.Fatalf("sample CSV missing _weight column: %s", lines[0])
+	}
+	// 5% of 3860 = 193 rows (+header)
+	if len(lines) < 150 || len(lines) > 250 {
+		t.Fatalf("sample row count %d implausible for 5%% of 3860", len(lines)-1)
+	}
+}
+
+func TestCmdCvsampleMethodsAndErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "cvsample")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "sales.csv")
+	writeSalesCSV(t, in)
+
+	for _, method := range []string{"uniform", "senate", "cs", "rl", "sampleseek"} {
+		out := filepath.Join(dir, method+".csv")
+		cmd := exec.Command(bin, "-in", in, "-out", out, "-groupby", "region", "-agg", "amount", "-m", "100", "-method", method)
+		if o, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("method %s: %v\n%s", method, err, o)
+		}
+		if _, err := os.Stat(out); err != nil {
+			t.Fatalf("method %s wrote nothing", method)
+		}
+	}
+	// linf and lp norms
+	for _, norm := range []string{"linf", "lp:4"} {
+		out := filepath.Join(dir, "norm.csv")
+		cmd := exec.Command(bin, "-in", in, "-out", out, "-groupby", "region", "-agg", "amount", "-m", "100", "-norm", norm)
+		if o, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("norm %s: %v\n%s", norm, err, o)
+		}
+	}
+	// error cases: missing flags, bad method, bad norm, bad rate
+	bad := [][]string{
+		{},
+		{"-in", in, "-out", filepath.Join(dir, "x.csv"), "-groupby", "region", "-agg", "amount", "-method", "nope", "-m", "10"},
+		{"-in", in, "-out", filepath.Join(dir, "x.csv"), "-groupby", "region", "-agg", "amount", "-norm", "l7", "-m", "10"},
+		{"-in", in, "-out", filepath.Join(dir, "x.csv"), "-groupby", "region", "-agg", "amount", "-rate", "7"},
+		{"-in", filepath.Join(dir, "missing.csv"), "-out", filepath.Join(dir, "x.csv"), "-groupby", "region", "-agg", "amount", "-m", "10"},
+	}
+	for i, args := range bad {
+		cmd := exec.Command(bin, args...)
+		if err := cmd.Run(); err == nil {
+			t.Fatalf("bad invocation %d should fail", i)
+		}
+	}
+}
+
+func TestCmdCvqueryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "cvquery")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "sales.csv")
+	writeSalesCSV(t, in)
+
+	// exact only
+	cmd := exec.Command(bin, "-in", in, "-sql", "SELECT region, AVG(amount) FROM input GROUP BY region")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("cvquery: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"exact", "NA", "EU", "APAC"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	// with approximation
+	cmd = exec.Command(bin, "-in", in, "-rate", "0.1", "-sql", "SELECT region, AVG(amount), COUNT(*) FROM input GROUP BY region")
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("cvquery approx: %v\n%s", err, out)
+	}
+	text = string(out)
+	if !strings.Contains(text, "approximate (CVOPT") || !strings.Contains(text, "error:") {
+		t.Fatalf("approx output incomplete:\n%s", text)
+	}
+
+	// parse failure propagates
+	cmd = exec.Command(bin, "-in", in, "-sql", "not sql")
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("bad SQL should fail")
+	}
+}
+
+// cvsample output feeds cvquery's -sample mode: the materialized
+// weighted sample answers queries directly, with ± error bars.
+func TestCmdSampleThenQueryPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	sampleBin := buildTool(t, "cvsample")
+	queryBin := buildTool(t, "cvquery")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "sales.csv")
+	sampleCSV := filepath.Join(dir, "sample.csv")
+	writeSalesCSV(t, in)
+
+	cmd := exec.Command(sampleBin, "-in", in, "-out", sampleCSV, "-groupby", "region", "-agg", "amount", "-rate", "0.1")
+	if o, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("cvsample: %v\n%s", err, o)
+	}
+	cmd = exec.Command(queryBin, "-in", sampleCSV, "-sample", "-sql",
+		"SELECT region, AVG(amount), COUNT(*) FROM input GROUP BY region ORDER BY region")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("cvquery -sample: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "materialized sample") {
+		t.Fatalf("missing title:\n%s", text)
+	}
+	for _, region := range []string{"NA", "EU", "APAC"} {
+		if !strings.Contains(text, region) {
+			t.Fatalf("region %s missing:\n%s", region, text)
+		}
+	}
+	if !strings.Contains(text, "±") {
+		t.Fatalf("error bars missing:\n%s", text)
+	}
+	// -sample on a CSV without _weight fails
+	cmd = exec.Command(queryBin, "-in", in, "-sample", "-sql", "SELECT region, AVG(amount) FROM input GROUP BY region")
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("-sample without _weight should fail")
+	}
+}
+
+func TestCmdCvbenchListAndSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "cvbench")
+	out, err := exec.Command(bin, "-exp", "list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cvbench list: %v\n%s", err, out)
+	}
+	for _, id := range []string{"fig1", "table4", "table6", "ablcap"} {
+		if !strings.Contains(string(out), id) {
+			t.Fatalf("list missing %s:\n%s", id, out)
+		}
+	}
+	// tiny single run
+	out, err = exec.Command(bin, "-exp", "ablcap", "-openaq-rows", "20000", "-bikes-rows", "15000", "-reps", "1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cvbench ablcap: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Ablation") {
+		t.Fatalf("experiment output missing:\n%s", out)
+	}
+	// unknown experiment
+	if err := exec.Command(bin, "-exp", "nope").Run(); err == nil {
+		t.Fatalf("unknown experiment should fail")
+	}
+}

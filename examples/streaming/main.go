@@ -1,0 +1,89 @@
+// One-pass streaming CVOPT (the paper's future-work item (3)): when the
+// data can only be scanned once — a live feed, a tape-speed log — the
+// StreamSampler maintains per-stratum statistics and candidate
+// reservoirs simultaneously, then applies the CVOPT allocation by
+// subsampling. This example streams the synthetic OpenAQ rows once and
+// compares the one-pass sample's accuracy against the classic two-pass
+// sample.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/sqlparse"
+)
+
+func main() {
+	tbl, err := datagen.OpenAQ(datagen.OpenAQConfig{Rows: 200000, Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := []repro.QuerySpec{{
+		GroupBy: []string{"country", "parameter"},
+		Aggs:    []repro.AggColumn{{Column: "value"}},
+	}}
+	const m = 2000 // 1% budget
+
+	// One pass: statistics + reservoirs together. The reservoir capacity
+	// is the memory knob; with capacity = M the result matches two-pass
+	// CVOPT exactly, smaller capacities clip heavy strata.
+	rng := rand.New(rand.NewSource(1))
+	stream, err := core.NewStreamSampler(queries, 64, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.StreamTable(stream, tbl); err != nil {
+		log.Fatal(err)
+	}
+	ss, err := stream.Finalize(m, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sRows, sWeights := core.RowWeights(ss)
+	fmt.Printf("one-pass:  %d strata discovered on the fly, %d rows sampled (cap 64/stratum)\n",
+		stream.NumStrata(), len(sRows))
+
+	// Two passes for reference.
+	twoPass, err := repro.Build(tbl, queries, m, repro.Options{}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("two-pass:  %d rows sampled\n\n", twoPass.Len())
+
+	sql := "SELECT country, parameter, AVG(value) FROM OpenAQ GROUP BY country, parameter"
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := exec.Run(tbl, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range []struct {
+		name    string
+		rows    []int32
+		weights []float64
+	}{
+		{"one-pass (stream)", sRows, sWeights},
+		{"two-pass (classic)", twoPass.Rows, twoPass.Weights},
+	} {
+		approx, err := exec.RunWeighted(tbl, q, c.rows, c.weights)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := metrics.Summarize(metrics.GroupErrors(exact, approx))
+		fmt.Printf("%-20s mean err %6.2f%%   median %6.2f%%   max %6.2f%%\n",
+			c.name, sum.Mean*100, sum.Median*100, sum.Max*100)
+	}
+	fmt.Println("\nThe single scan pays only a reservoir-capacity clipping penalty;")
+	fmt.Println("with capacity >= the largest allocation the two variants coincide.")
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSqrtAllocationClosedForm(t *testing.T) {
+	alphas := []float64{4, 1, 9}
+	got, err := SqrtAllocation(alphas, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sqrt = 2,1,3, total 6 -> shares 20,10,30
+	want := []float64{20, 10, 30}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("alloc[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSqrtAllocationDegenerate(t *testing.T) {
+	got, err := SqrtAllocation([]float64{0, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 || got[1] != 5 {
+		t.Fatalf("all-zero alphas should split evenly, got %v", got)
+	}
+	if _, err := SqrtAllocation([]float64{-1}, 10); err == nil {
+		t.Fatalf("want error on negative alpha")
+	}
+	if _, err := SqrtAllocation([]float64{math.Inf(1)}, 10); err == nil {
+		t.Fatalf("want error on infinite alpha")
+	}
+	if _, err := SqrtAllocation([]float64{math.NaN()}, 10); err == nil {
+		t.Fatalf("want error on NaN alpha")
+	}
+	if _, err := SqrtAllocation([]float64{1}, -5); err == nil {
+		t.Fatalf("want error on negative budget")
+	}
+	empty, err := SqrtAllocation(nil, 10)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty alphas should give empty allocation")
+	}
+}
+
+// Lemma 1 optimality: the closed form minimizes Σ α_i/s_i among all
+// positive allocations summing to M. Verify by random perturbation.
+func TestSqrtAllocationIsOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	objective := func(alphas, s []float64) float64 {
+		var o float64
+		for i := range alphas {
+			o += alphas[i] / s[i]
+		}
+		return o
+	}
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(8)
+		alphas := make([]float64, k)
+		for i := range alphas {
+			alphas[i] = rng.Float64()*100 + 0.1
+		}
+		const m = 1000.0
+		opt, err := SqrtAllocation(alphas, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := objective(alphas, opt)
+		for p := 0; p < 40; p++ {
+			// random feasible perturbation: move mass between two strata
+			perturbed := append([]float64(nil), opt...)
+			i, j := rng.Intn(k), rng.Intn(k)
+			if i == j {
+				continue
+			}
+			d := rng.Float64() * perturbed[i] * 0.5
+			perturbed[i] -= d
+			perturbed[j] += d
+			if objective(alphas, perturbed) < base-1e-9 {
+				t.Fatalf("perturbation beat the closed form: %v < %v", objective(alphas, perturbed), base)
+			}
+		}
+	}
+}
+
+// Property: allocation is scale-invariant in alphas and sums to M.
+func TestQuickSqrtAllocationInvariants(t *testing.T) {
+	f := func(raw []float64, scale8 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		alphas := make([]float64, len(raw))
+		for i, x := range raw {
+			alphas[i] = math.Mod(math.Abs(x), 1e6) + 1e-3
+		}
+		const m = 500.0
+		a, err := SqrtAllocation(alphas, m)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range a {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-m) > 1e-6*m {
+			return false
+		}
+		// scaling all alphas by a constant leaves the allocation unchanged
+		c := float64(scale8%9) + 2
+		scaled := make([]float64, len(alphas))
+		for i := range alphas {
+			scaled[i] = alphas[i] * c
+		}
+		b, err := SqrtAllocation(scaled, m)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-6*(a[i]+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundAllocationBasic(t *testing.T) {
+	real := []float64{2.6, 3.9, 3.5}
+	caps := []int64{100, 100, 100}
+	got, err := RoundAllocation(real, caps, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SumInts(got) != 10 {
+		t.Fatalf("sum = %d want 10 (%v)", SumInts(got), got)
+	}
+	// largest remainders get the leftover units: 2.6->3? floor 2,3,3 = 8,
+	// remainders .6,.9,.5 -> +1 to idx1, +1 to idx0
+	want := []int{3, 4, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestRoundAllocationCapsAndRedistribution(t *testing.T) {
+	// Stratum 0 wants 90 but only has 5 rows; surplus must flow to others.
+	real := []float64{90, 5, 5}
+	caps := []int64{5, 1000, 1000}
+	got, err := RoundAllocation(real, caps, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 {
+		t.Fatalf("capped stratum got %d want 5", got[0])
+	}
+	if SumInts(got) != 100 {
+		t.Fatalf("sum = %d want 100 (%v)", SumInts(got), got)
+	}
+	// the 85 surplus splits evenly between equal-share strata 1 and 2
+	if math.Abs(float64(got[1]-got[2])) > 1 {
+		t.Fatalf("surplus not split evenly: %v", got)
+	}
+}
+
+func TestRoundAllocationBudgetExceedsPopulation(t *testing.T) {
+	got, err := RoundAllocation([]float64{1, 1}, []int64{3, 4}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 4 {
+		t.Fatalf("budget >= population should take everything: %v", got)
+	}
+}
+
+func TestRoundAllocationMinPerStratum(t *testing.T) {
+	// Stratum 2 has tiny share but must still get one row.
+	real := []float64{50, 49.999, 0.001}
+	caps := []int64{1000, 1000, 10}
+	got, err := RoundAllocation(real, caps, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] < 1 {
+		t.Fatalf("min-per-stratum violated: %v", got)
+	}
+	if SumInts(got) != 100 {
+		t.Fatalf("sum = %d (%v)", SumInts(got), got)
+	}
+	// disabled floor: zero share can stay zero
+	got2, err := RoundAllocation(real, caps, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2[2] != 0 {
+		t.Fatalf("with floor disabled, zero-share stratum should stay 0: %v", got2)
+	}
+}
+
+func TestRoundAllocationMinPerStratumInfeasible(t *testing.T) {
+	// Budget 2 cannot give 1 to each of 3 strata; floor must not trigger.
+	got, err := RoundAllocation([]float64{1, 1, 1}, []int64{10, 10, 10}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SumInts(got) != 2 {
+		t.Fatalf("sum = %d want 2", SumInts(got))
+	}
+}
+
+func TestRoundAllocationErrors(t *testing.T) {
+	if _, err := RoundAllocation([]float64{1}, []int64{1, 2}, 5, 0); err == nil {
+		t.Fatalf("want length mismatch error")
+	}
+	if _, err := RoundAllocation([]float64{1}, []int64{-1}, 5, 0); err == nil {
+		t.Fatalf("want negative cap error")
+	}
+	got, err := RoundAllocation(nil, nil, 5, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input should give empty output")
+	}
+	got, err = RoundAllocation([]float64{1}, []int64{5}, 0, 0)
+	if err != nil || got[0] != 0 {
+		t.Fatalf("zero budget should allocate nothing")
+	}
+}
+
+// Property: rounding respects caps, budget and floor for arbitrary inputs.
+func TestQuickRoundAllocation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(n8 uint8, m16 uint16) bool {
+		n := int(n8)%20 + 1
+		m := int(m16) % 5000
+		real := make([]float64, n)
+		caps := make([]int64, n)
+		var totalCap int64
+		for i := range real {
+			real[i] = rng.Float64() * 100
+			caps[i] = int64(rng.Intn(500))
+			totalCap += caps[i]
+		}
+		got, err := RoundAllocation(real, caps, m, 1)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for i, v := range got {
+			if v < 0 || int64(v) > caps[i] {
+				return false
+			}
+			sum += v
+		}
+		if int64(m) >= totalCap {
+			return int64(sum) == totalCap
+		}
+		return sum <= m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCube(t *testing.T) {
+	got := Cube([]string{"a", "b"})
+	if len(got) != 3 {
+		t.Fatalf("cube of 2 attrs should have 3 non-empty subsets, got %d", len(got))
+	}
+	// order: {a}, {b}, {a,b}
+	if got[0][0] != "a" || got[1][0] != "b" || len(got[2]) != 2 {
+		t.Fatalf("cube sets wrong: %v", got)
+	}
+	if Cube(nil) != nil {
+		t.Fatalf("cube of nothing should be nil")
+	}
+	if len(Cube([]string{"x", "y", "z"})) != 7 {
+		t.Fatalf("cube of 3 attrs should have 7 subsets")
+	}
+}
+
+func TestCubeQueries(t *testing.T) {
+	aggs := []AggColumn{{Column: "v"}}
+	qs := CubeQueries([]string{"a", "b"}, aggs)
+	if len(qs) != 3 {
+		t.Fatalf("want 3 query specs, got %d", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Aggs) != 1 || q.Aggs[0].Column != "v" {
+			t.Fatalf("aggs not propagated: %+v", q)
+		}
+	}
+}
+
+func TestQuerySpecValidate(t *testing.T) {
+	ok := QuerySpec{GroupBy: []string{"g"}, Aggs: []AggColumn{{Column: "v"}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []QuerySpec{
+		{Aggs: []AggColumn{{Column: "v"}}},                                     // no group-by
+		{GroupBy: []string{"g"}},                                               // no aggs
+		{GroupBy: []string{"g", "g"}, Aggs: []AggColumn{{Column: "v"}}},        // dup attr
+		{GroupBy: []string{"g"}, Aggs: []AggColumn{{}}},                        // empty column
+		{GroupBy: []string{"g"}, Aggs: []AggColumn{{Column: "v", Weight: -1}}}, // negative weight
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestAggColumnWeightFor(t *testing.T) {
+	a := AggColumn{Column: "v"}
+	if a.weightFor("g") != 1 {
+		t.Fatalf("default weight should be 1")
+	}
+	a.Weight = 3
+	if a.weightFor("g") != 3 {
+		t.Fatalf("base weight not used")
+	}
+	a.GroupWeights = map[string]float64{"g": 0.5}
+	if a.weightFor("g") != 0.5 || a.weightFor("h") != 3 {
+		t.Fatalf("group override wrong")
+	}
+}
+
+func TestNormString(t *testing.T) {
+	if L2.String() != "l2" || LInf.String() != "linf" || Lp.String() != "lp" {
+		t.Fatalf("norm names wrong")
+	}
+	if Norm(9).String() == "" {
+		t.Fatalf("unknown norm should render")
+	}
+}
+
+func TestOptionsMinPerStratum(t *testing.T) {
+	if (Options{}).minPerStratum() != 1 {
+		t.Fatalf("default floor should be 1")
+	}
+	if (Options{MinPerStratum: -1}).minPerStratum() != 0 {
+		t.Fatalf("negative disables floor")
+	}
+	if (Options{MinPerStratum: 3}).minPerStratum() != 3 {
+		t.Fatalf("explicit floor ignored")
+	}
+}

@@ -1,0 +1,163 @@
+// Package core implements CVOPT, the paper's contribution: a stratified
+// sampling framework that, given a memory budget of M rows and a set of
+// group-by queries, allocates sample sizes to strata so that a norm of
+// the coefficients of variation (CVs) of all per-group estimates is
+// provably minimized.
+//
+// The package covers every regime of the paper:
+//
+//   - SASG (Theorem 1):  single aggregate, single group-by,
+//   - MASG (Theorem 2):  multiple aggregates, single group-by,
+//   - SAMG (Lemma 2):    single aggregate, multiple group-bys,
+//   - MAMG (Lemma 3 and its k-query generalization): the general case,
+//
+// under the ℓ2 norm, plus the ℓ∞ algorithm of Section 5 (CVOPT-INF) and
+// an ℓp extension (the paper's future-work item (2)). Weights may be
+// given per (group, aggregate), including weights deduced from a query
+// workload (Section 4.3, package function WorkloadWeights).
+//
+// The flow mirrors the paper's two offline passes: NewPlan performs the
+// statistics pass (per-stratum n, µ, σ for every aggregation column);
+// Plan.Allocate solves the optimization; Plan.Sample draws the
+// per-stratum reservoir samples.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Norm selects the objective aggregating the per-estimate CVs.
+type Norm uint8
+
+// Supported norms.
+const (
+	L2   Norm = iota // minimize sqrt(Σ w·CV²)  — the paper's default
+	LInf             // minimize max CV         — CVOPT-INF (Section 5)
+	Lp               // minimize (Σ w·CV^p)^1/p — extension, requires Options.P
+)
+
+func (n Norm) String() string {
+	switch n {
+	case L2:
+		return "l2"
+	case LInf:
+		return "linf"
+	case Lp:
+		return "lp"
+	}
+	return fmt.Sprintf("Norm(%d)", uint8(n))
+}
+
+// AggColumn names one aggregation column of a query together with its
+// weight(s). Weight is the base weight w for every group of the query;
+// GroupWeights optionally overrides the weight for specific groups, keyed
+// by the GroupKey.String() of the query's group-by attribute values (the
+// mechanism behind both user priorities and workload-derived weights).
+type AggColumn struct {
+	Column       string
+	Weight       float64            // default 1 when zero
+	GroupWeights map[string]float64 // optional per-group override (absolute, not multiplier)
+}
+
+func (a AggColumn) weightFor(groupKey string) float64 {
+	if a.GroupWeights != nil {
+		if w, ok := a.GroupWeights[groupKey]; ok {
+			return w
+		}
+	}
+	if a.Weight == 0 {
+		return 1
+	}
+	return a.Weight
+}
+
+// QuerySpec describes one group-by query the sample must serve: the
+// group-by attribute set A_i and the aggregation columns L_i.
+type QuerySpec struct {
+	GroupBy []string
+	Aggs    []AggColumn
+}
+
+// Validate reports obviously malformed specs.
+func (q QuerySpec) Validate() error {
+	if len(q.GroupBy) == 0 {
+		return errors.New("core: query has no group-by attributes")
+	}
+	if len(q.Aggs) == 0 {
+		return errors.New("core: query has no aggregation columns")
+	}
+	seen := map[string]bool{}
+	for _, a := range q.GroupBy {
+		if seen[a] {
+			return fmt.Errorf("core: duplicate group-by attribute %q", a)
+		}
+		seen[a] = true
+	}
+	for _, a := range q.Aggs {
+		if a.Column == "" {
+			return errors.New("core: aggregation column with empty name")
+		}
+		if a.Weight < 0 {
+			return fmt.Errorf("core: negative weight for column %q", a.Column)
+		}
+	}
+	return nil
+}
+
+// Options tunes allocation.
+type Options struct {
+	Norm Norm
+	// P is the exponent for Norm == Lp (must be >= 1). P is ignored for
+	// L2 and LInf.
+	P float64
+	// MinPerStratum, when the budget permits (M >= number of strata),
+	// guarantees each stratum at least this many rows so no group is
+	// missing from the sample. Default 1; set negative to disable.
+	MinPerStratum int
+}
+
+func (o Options) minPerStratum() int {
+	if o.MinPerStratum < 0 {
+		return 0
+	}
+	if o.MinPerStratum == 0 {
+		return 1
+	}
+	return o.MinPerStratum
+}
+
+// Cube expands a set of attributes into the grouping sets of a CUBE
+// group-by (every non-empty subset; the full-table no-group-by query has
+// a single global answer and needs no stratified allocation of its own —
+// any stratified sample answers it). Attribute order inside each subset
+// follows the input order. Used to build QuerySpecs for WITH CUBE
+// workloads (Section 4.1 "Cube-By Queries").
+func Cube(attrs []string) [][]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	var out [][]string
+	n := len(attrs)
+	for mask := 1; mask < 1<<n; mask++ {
+		var set []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				set = append(set, attrs[i])
+			}
+		}
+		out = append(out, set)
+	}
+	return out
+}
+
+// CubeQueries builds one QuerySpec per grouping set of a CUBE over attrs,
+// all sharing the same aggregation columns.
+func CubeQueries(attrs []string, aggs []AggColumn) []QuerySpec {
+	sets := Cube(attrs)
+	out := make([]QuerySpec, 0, len(sets))
+	for _, s := range sets {
+		out = append(out, QuerySpec{GroupBy: s, Aggs: aggs})
+	}
+	return out
+}

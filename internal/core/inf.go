@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+)
+
+// allocateInf implements CVOPT-INF (Section 5): minimize the ℓ∞ norm of
+// the per-group CVs,
+//
+//	max_i (σ_i/µ_i)·sqrt((n_i − s_i)/(n_i·s_i)),
+//
+// subject to Σ s_i ≤ M. By Lemma 4 the optimum equalizes all CVs, which
+// reduces to x_i/(n_i − x_i) ∝ d_i with d_i = (σ_i/µ_i)²/n_i; the
+// algorithm binary-searches the largest integer q ∈ [0, n] such that
+//
+//	Σ_i  (q·d_i/D)/(1 + q·d_i/D) · n_i  ≤  M,
+//
+// then assigns s_i = x_i/Σx_j · M (rounded within caps). Total time is
+// O(r log n), matching the paper.
+//
+// The paper defines CVOPT-INF for a single group-by clause; with several
+// aggregation columns the per-group CV is the worst CV across that
+// group's aggregates, a conservative and natural extension. Multiple
+// group-by queries are rejected.
+func (p *Plan) allocateInf(m int, opts Options) ([]int, error) {
+	if len(p.Queries) != 1 {
+		return nil, fmt.Errorf("core: CVOPT-INF supports a single group-by query (got %d); the paper defines the ℓ∞ algorithm for SASG", len(p.Queries))
+	}
+	q := p.Queries[0]
+	nc := p.StratumSizes()
+	r := p.NumStrata()
+
+	// d_i = (σ_i/µ_i)²/n_i per stratum; several aggregates take the max.
+	// A stratification for a single query is exactly its grouping, so the
+	// projection is the identity and stratum stats are group stats.
+	d := make([]float64, r)
+	var totalN int64
+	for c := 0; c < r; c++ {
+		totalN += nc[c]
+		for _, ac := range q.Aggs {
+			pos := p.aggColPos[ac.Column]
+			col := p.Collector.Group(c).Cols[pos]
+			if col.Mean == 0 {
+				if col.Variance() == 0 {
+					continue // constant zero group: no sampling need
+				}
+				return nil, fmt.Errorf("core: group %q has zero mean on column %q; CV undefined",
+					p.Index.Key(c).String(), ac.Column)
+			}
+			cv := col.StdDev() / col.Mean
+			if cv < 0 {
+				cv = -cv
+			}
+			di := cv * cv / float64(nc[c])
+			if di > d[c] {
+				d[c] = di
+			}
+		}
+	}
+
+	var dTotal float64
+	for _, di := range d {
+		dTotal += di
+	}
+	if dTotal == 0 {
+		// Every group is constant; any coverage works. Spread evenly.
+		real := make([]float64, r)
+		even := float64(m) / float64(r)
+		for i := range real {
+			real[i] = even
+		}
+		return RoundAllocation(real, nc, m, opts.minPerStratum())
+	}
+
+	// x_i(q) as in the paper; S(q) = Σ x_i(q) is increasing in q.
+	xs := func(qv float64) ([]float64, float64) {
+		x := make([]float64, r)
+		var sum float64
+		for i := 0; i < r; i++ {
+			t := qv * d[i] / dTotal
+			x[i] = t / (1 + t) * float64(nc[i])
+			sum += x[i]
+		}
+		return x, sum
+	}
+
+	// Binary search the largest integer q in [0, totalN] with S(q) <= M.
+	lo, hi := int64(0), totalN
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		if _, s := xs(float64(mid)); s <= float64(m) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	qv := lo
+	if qv == 0 {
+		qv = 1
+	}
+	x, sum := xs(float64(qv))
+	if sum <= 0 {
+		return nil, fmt.Errorf("core: CVOPT-INF degenerate allocation (q=%d)", qv)
+	}
+	// Scale to the budget and round within caps (the paper's
+	// s_i = ceil(x_i/Σx_j · M), with cap/repair as in RoundAllocation).
+	for i := range x {
+		x[i] = x[i] / sum * float64(m)
+	}
+	return RoundAllocation(x, nc, m, opts.minPerStratum())
+}

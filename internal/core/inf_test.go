@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestAllocateInfEqualizesCVs(t *testing.T) {
+	tbl := makeTable(t, defaultSpecs())
+	p, err := NewPlan(tbl, []QuerySpec{{GroupBy: []string{"g"}, Aggs: []AggColumn{{Column: "v"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 400
+	alloc, err := p.Allocate(m, Options{Norm: LInf, MinPerStratum: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SumInts(alloc) > m+p.NumStrata() { // ceil rounding slack
+		t.Fatalf("allocation exceeds budget too much: %d", SumInts(alloc))
+	}
+	// Lemma 4: at the optimum all per-group CVs are (approximately) equal.
+	nc := p.StratumSizes()
+	var cvs []float64
+	for c := 0; c < p.NumStrata(); c++ {
+		g := p.Collector.Group(c).Cols[0]
+		n, s := float64(nc[c]), float64(alloc[c])
+		if s <= 0 || s >= n {
+			continue
+		}
+		cv := g.StdDev() / g.Mean * math.Sqrt((n-s)/(n*s))
+		cvs = append(cvs, cv)
+	}
+	if len(cvs) < 3 {
+		t.Fatalf("too few interior strata to check equalization")
+	}
+	minCV, maxCV := cvs[0], cvs[0]
+	for _, cv := range cvs {
+		minCV = math.Min(minCV, cv)
+		maxCV = math.Max(maxCV, cv)
+	}
+	if (maxCV-minCV)/maxCV > 0.15 {
+		t.Fatalf("CVs not equalized: min=%v max=%v (%v)", minCV, maxCV, cvs)
+	}
+}
+
+// The ℓ∞ optimum must have a max CV no larger than the ℓ2 optimum's.
+func TestInfBeatsL2OnMaxCV(t *testing.T) {
+	tbl := makeTable(t, defaultSpecs())
+	p, err := NewPlan(tbl, []QuerySpec{{GroupBy: []string{"g"}, Aggs: []AggColumn{{Column: "v"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 300
+	inf, err := p.Allocate(m, Options{Norm: LInf, MinPerStratum: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := p.Allocate(m, Options{Norm: L2, MinPerStratum: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ObjectiveLInf(inf) > p.ObjectiveLInf(l2)*1.05 {
+		t.Fatalf("INF max CV %v should not exceed L2's %v", p.ObjectiveLInf(inf), p.ObjectiveLInf(l2))
+	}
+	// conversely L2 should win on the l2 objective
+	if p.ObjectiveL2(l2) > p.ObjectiveL2(inf)*1.05 {
+		t.Fatalf("L2 objective of l2 alloc %v should not exceed INF's %v", p.ObjectiveL2(l2), p.ObjectiveL2(inf))
+	}
+}
+
+func TestInfRejectsMultipleQueries(t *testing.T) {
+	tbl := makeTable(t, defaultSpecs())
+	p, err := NewPlan(tbl, []QuerySpec{
+		{GroupBy: []string{"g"}, Aggs: []AggColumn{{Column: "v"}}},
+		{GroupBy: []string{"h"}, Aggs: []AggColumn{{Column: "v"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate(100, Options{Norm: LInf}); err == nil {
+		t.Fatalf("INF with multiple group-bys should be rejected")
+	}
+}
+
+func TestInfMultipleAggregatesUsesWorstCV(t *testing.T) {
+	tbl := makeTable(t, defaultSpecs())
+	p, err := NewPlan(tbl, []QuerySpec{{GroupBy: []string{"g"}, Aggs: []AggColumn{{Column: "v"}, {Column: "u"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := p.Allocate(200, Options{Norm: LInf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SumInts(alloc) == 0 {
+		t.Fatalf("empty allocation")
+	}
+}
+
+func TestInfAllConstantGroups(t *testing.T) {
+	tbl := table.New("t", table.Schema{{Name: "g", Kind: table.String}, {Name: "v", Kind: table.Float}})
+	for i := 0; i < 50; i++ {
+		key := "a"
+		val := 3.0
+		if i%2 == 0 {
+			key, val = "b", 9.0
+		}
+		if err := tbl.AppendRow(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := NewPlan(tbl, []QuerySpec{{GroupBy: []string{"g"}, Aggs: []AggColumn{{Column: "v"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := p.Allocate(10, Options{Norm: LInf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SumInts(alloc) == 0 || alloc[0] == 0 || alloc[1] == 0 {
+		t.Fatalf("constant groups should still be covered: %v", alloc)
+	}
+}
+
+func TestInfSmallBudget(t *testing.T) {
+	tbl := makeTable(t, defaultSpecs())
+	p, err := NewPlan(tbl, []QuerySpec{{GroupBy: []string{"g"}, Aggs: []AggColumn{{Column: "v"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := p.Allocate(4, Options{Norm: LInf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SumInts(alloc) > 4 {
+		t.Fatalf("tiny budget exceeded: %v", alloc)
+	}
+}

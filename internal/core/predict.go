@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+)
+
+// EstimateCV is the predicted coefficient of variation of one per-group
+// estimator under a candidate allocation — the quantity the CVOPT
+// objective aggregates. Via Chebyshev (Section 1), the relative error of
+// the estimate exceeds ε with probability at most (CV/ε)²; PredictedCVs
+// therefore doubles as an a-priori error report for a sample before it
+// is drawn.
+type EstimateCV struct {
+	Query  int     // index into the plan's queries
+	Group  string  // rendered group key (GroupKey.String())
+	Column string  // aggregation column
+	CV     float64 // predicted CV; +Inf when a needed stratum is unsampled
+	Weight float64 // the weight this estimate carries in the objective
+}
+
+// PredictedCVs computes, for every (query, group, aggregate) estimate,
+// the CV implied by the given integer allocation using
+// VAR[y_a] = 1/n_a² Σ_{c∈C(a)} [n_c²σ_c²/s_c − n_cσ_c²] (Section 4.1).
+func (p *Plan) PredictedCVs(alloc []int) []EstimateCV {
+	nc := p.StratumSizes()
+	var out []EstimateCV
+	for qi, q := range p.Queries {
+		f2c := p.proj[qi]
+		keys := p.coarseKeys[qi]
+		coarse := p.coarse[qi]
+		for a := range keys {
+			na := float64(coarse[a].N())
+			if na == 0 {
+				continue
+			}
+			for _, ac := range q.Aggs {
+				pos := p.aggColPos[ac.Column]
+				mu := coarse[a].Cols[pos].Mean
+				var varY float64
+				undefined := false
+				for c := 0; c < len(f2c); c++ {
+					if f2c[c] != a {
+						continue
+					}
+					sigma2 := p.Collector.Group(c).Cols[pos].Variance()
+					if sigma2 == 0 {
+						continue
+					}
+					s := float64(alloc[c])
+					if s <= 0 {
+						undefined = true
+						break
+					}
+					n := float64(nc[c])
+					varY += (n*n*sigma2/s - n*sigma2) / (na * na)
+				}
+				cv := math.Inf(1)
+				switch {
+				case undefined:
+				case mu == 0 && varY == 0:
+					cv = 0
+				case mu != 0:
+					cv = math.Sqrt(math.Max(varY, 0)) / math.Abs(mu)
+				}
+				out = append(out, EstimateCV{
+					Query:  qi,
+					Group:  keys[a].String(),
+					Column: ac.Column,
+					CV:     cv,
+					Weight: ac.weightFor(keys[a].String()),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+func TestPredictedCVsMatchClosedForm(t *testing.T) {
+	tbl := makeTable(t, ampleSpecs())
+	p, err := NewPlan(tbl, []QuerySpec{{GroupBy: []string{"g"}, Aggs: []AggColumn{{Column: "v"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := p.Allocate(400, Options{MinPerStratum: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := p.PredictedCVs(alloc)
+	if len(preds) != p.NumStrata() {
+		t.Fatalf("one prediction per group expected, got %d", len(preds))
+	}
+	nc := p.StratumSizes()
+	for _, e := range preds {
+		id, ok := p.Index.ID(table.GroupKey{e.Group})
+		if !ok {
+			t.Fatalf("unknown group %q", e.Group)
+		}
+		g := p.Collector.Group(id).Cols[0]
+		n, s := float64(nc[id]), float64(alloc[id])
+		want := g.StdDev() / g.Mean * math.Sqrt((n-s)/(n*s))
+		if math.Abs(e.CV-want) > 1e-9*(want+1) {
+			t.Fatalf("group %s predicted CV %v want %v", e.Group, e.CV, want)
+		}
+		if e.Column != "v" || e.Query != 0 || e.Weight != 1 {
+			t.Fatalf("metadata wrong: %+v", e)
+		}
+	}
+}
+
+func TestPredictedCVsUnsampledStratumInfinite(t *testing.T) {
+	tbl := makeTable(t, defaultSpecs())
+	p, err := NewPlan(tbl, []QuerySpec{{GroupBy: []string{"g"}, Aggs: []AggColumn{{Column: "v"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := make([]int, p.NumStrata())
+	for i := range alloc {
+		alloc[i] = 10
+	}
+	alloc[0] = 0
+	preds := p.PredictedCVs(alloc)
+	foundInf := false
+	for _, e := range preds {
+		if math.IsInf(e.CV, 1) {
+			foundInf = true
+		}
+	}
+	if !foundInf {
+		t.Fatalf("unsampled stratum should yield an infinite predicted CV")
+	}
+}
+
+// The predicted CV should forecast realized relative errors: across many
+// repetitions the observed per-group error spread tracks the predicted
+// CV (the estimator's CV is the SD of the estimate over draws divided by
+// its mean, and predicted CVs should rank groups by difficulty).
+func TestPredictedCVsForecastRealizedErrors(t *testing.T) {
+	tbl := makeTable(t, ampleSpecs())
+	p, err := NewPlan(tbl, []QuerySpec{{GroupBy: []string{"g"}, Aggs: []AggColumn{{Column: "v"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 400
+	alloc, err := p.Allocate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := map[string]float64{}
+	for _, e := range p.PredictedCVs(alloc) {
+		preds[e.Group] = e.CV
+	}
+
+	q, err := sqlparse.Parse("SELECT g, AVG(v) FROM t GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := exec.Run(tbl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactIdx := exact.Index()
+
+	// realized per-group RMS relative error over repetitions
+	const reps = 40
+	rng := rand.New(rand.NewSource(17))
+	sq := map[string]float64{}
+	for rep := 0; rep < reps; rep++ {
+		ss, _, err := p.Sample(m, Options{}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, weights := RowWeights(ss)
+		approx, err := exec.RunWeighted(tbl, q, rows, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range approx.Rows {
+			want := exactIdx[exec.KeyOf(row.Set, row.Key)][0]
+			rel := (row.Aggs[0] - want) / want
+			sq[row.Key[0]] += rel * rel
+		}
+	}
+	for g, total := range sq {
+		rms := math.Sqrt(total / reps)
+		pred := preds[g]
+		// RMS relative error should match predicted CV within a factor ~2
+		// (finite reps, non-normal data)
+		if rms > pred*2.5+0.01 || rms < pred/2.5-0.01 {
+			t.Fatalf("group %s realized RMS err %v vs predicted CV %v", g, rms, pred)
+		}
+	}
+}
+
+func TestPredictedCVsMultiQuery(t *testing.T) {
+	tbl := makeTable(t, defaultSpecs())
+	p, err := NewPlan(tbl, []QuerySpec{
+		{GroupBy: []string{"g"}, Aggs: []AggColumn{{Column: "v"}}},
+		{GroupBy: []string{"h"}, Aggs: []AggColumn{{Column: "v"}, {Column: "u"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := p.Allocate(500, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := p.PredictedCVs(alloc)
+	// query 0: 4 groups x 1 agg; query 1: 2 groups x 2 aggs = 8 total
+	if len(preds) != 8 {
+		t.Fatalf("predictions = %d want 8", len(preds))
+	}
+	byQuery := map[int]int{}
+	for _, e := range preds {
+		byQuery[e.Query]++
+		if e.CV < 0 {
+			t.Fatalf("negative CV: %+v", e)
+		}
+	}
+	if byQuery[0] != 4 || byQuery[1] != 4 {
+		t.Fatalf("per-query prediction counts: %v", byQuery)
+	}
+}

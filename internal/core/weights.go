@@ -1,0 +1,28 @@
+package core
+
+import (
+	"repro/internal/sample"
+)
+
+// RowWeights flattens a stratified sample into parallel (row id, weight)
+// slices, where a row sampled from stratum c carries the Horvitz-
+// Thompson weight n_c/s_c. Any aggregate evaluated over the weighted
+// rows is an unbiased estimate of the full-table aggregate: weighted
+// COUNT estimates group cardinality, weighted SUM the group sum, and the
+// weighted mean reproduces the paper's y_a = Σ n_c·y_c / Σ n_c combined
+// estimator while also supporting query-time predicates and group-by
+// attribute sets that differ from the stratification.
+func RowWeights(ss *sample.StratifiedSample) (rows []int32, weights []float64) {
+	total := ss.TotalSampled()
+	rows = make([]int32, 0, total)
+	weights = make([]float64, 0, total)
+	for i := range ss.Strata {
+		st := &ss.Strata[i]
+		w := st.ScaleUp()
+		for _, r := range st.Rows {
+			rows = append(rows, r)
+			weights = append(weights, w)
+		}
+	}
+	return rows, weights
+}

@@ -1,0 +1,281 @@
+package datagen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestOpenAQDeterministic(t *testing.T) {
+	cfg := OpenAQConfig{Rows: 5000, Seed: 7}
+	a, err := OpenAQ(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenAQ(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != b.NumRows() {
+		t.Fatalf("row counts differ")
+	}
+	for r := 0; r < 100; r++ {
+		ra, rb := a.Row(r), b.Row(r)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("row %d differs: %v vs %v", r, ra, rb)
+			}
+		}
+	}
+	c, err := OpenAQ(OpenAQConfig{Rows: 5000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for r := 0; r < 100 && same; r++ {
+		ra, rc := a.Row(r), c.Row(r)
+		for i := range ra {
+			if ra[i] != rc[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical prefixes")
+	}
+}
+
+func TestOpenAQShape(t *testing.T) {
+	tbl, err := OpenAQ(OpenAQConfig{Rows: 50000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 50000 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if tbl.Name != "OpenAQ" {
+		t.Fatalf("name = %q", tbl.Name)
+	}
+	country := tbl.Column("country")
+	if country.Dict.Len() != 38 {
+		t.Fatalf("countries = %d want 38", country.Dict.Len())
+	}
+	if _, ok := country.Dict.Lookup("VN"); !ok {
+		t.Fatalf("VN must exist for query AQ6")
+	}
+	param := tbl.Column("parameter")
+	if param.Dict.Len() != 7 {
+		t.Fatalf("parameters = %d want 7", param.Dict.Len())
+	}
+	// all values positive, years in range
+	vals := tbl.Column("value")
+	years := tbl.Column("year")
+	for r := 0; r < tbl.NumRows(); r++ {
+		if vals.Float[r] <= 0 {
+			t.Fatalf("non-positive measurement at %d", r)
+		}
+		if y := years.Int[r]; y < 2015 || y > 2018 {
+			t.Fatalf("year out of range: %d", y)
+		}
+	}
+}
+
+func TestOpenAQSkewAndHeterogeneity(t *testing.T) {
+	tbl, err := OpenAQ(OpenAQConfig{Rows: 100000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, err := table.BuildGroupIndex(tbl, []string{"country"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := gi.StratumSizes()
+	var s []float64
+	for _, n := range sizes {
+		s = append(s, float64(n))
+	}
+	sort.Float64s(s)
+	// skew: biggest country at least 20x the smallest
+	if s[len(s)-1]/s[0] < 20 {
+		t.Fatalf("country skew too flat: min=%v max=%v", s[0], s[len(s)-1])
+	}
+	// small groups exist (uniform sampling will miss them at low rates)
+	if s[0] > float64(tbl.NumRows())/500 {
+		t.Fatalf("no small groups: min=%v", s[0])
+	}
+	// CV heterogeneity across (country,parameter) strata
+	gi2, err := table.BuildGroupIndex(tbl, []string{"country", "parameter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsBy := gi2.RowsByStratum()
+	vals := tbl.Column("value")
+	var cvs []float64
+	for _, rows := range rowsBy {
+		if len(rows) < 30 {
+			continue
+		}
+		var sum, sum2 float64
+		for _, r := range rows {
+			v := vals.Float[r]
+			sum += v
+			sum2 += v * v
+		}
+		n := float64(len(rows))
+		mean := sum / n
+		va := sum2/n - mean*mean
+		if mean > 0 && va > 0 {
+			cvs = append(cvs, math.Sqrt(va)/mean)
+		}
+	}
+	sort.Float64s(cvs)
+	if len(cvs) < 50 {
+		t.Fatalf("too few strata with data: %d", len(cvs))
+	}
+	if cvs[len(cvs)-1]/cvs[0] < 3 {
+		t.Fatalf("CV heterogeneity too flat: %v .. %v", cvs[0], cvs[len(cvs)-1])
+	}
+}
+
+func TestOpenAQErrors(t *testing.T) {
+	if _, err := OpenAQ(OpenAQConfig{Rows: 5, Countries: 38, Seed: 1}); err == nil {
+		t.Fatalf("want too-few-rows error")
+	}
+	// countries clamped to available codes
+	tbl, err := OpenAQ(OpenAQConfig{Rows: 2000, Countries: 10000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Column("country").Dict.Len() > len(countryCodes) {
+		t.Fatalf("country count not clamped")
+	}
+}
+
+func TestBikesShape(t *testing.T) {
+	tbl, err := Bikes(BikesConfig{Rows: 80000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 80000 || tbl.Name != "Bikes" {
+		t.Fatalf("shape wrong")
+	}
+	stations := map[int64]bool{}
+	stationCol := tbl.Column("from_station_id")
+	years := tbl.Column("year")
+	ages := tbl.Column("age")
+	durs := tbl.Column("trip_duration")
+	zeroAges := 0
+	for r := 0; r < tbl.NumRows(); r++ {
+		stations[stationCol.Int[r]] = true
+		if y := years.Int[r]; y < 2016 || y > 2018 {
+			t.Fatalf("year out of range: %d", y)
+		}
+		if durs.Float[r] <= 0 {
+			t.Fatalf("non-positive duration")
+		}
+		if ages.Float[r] == 0 {
+			zeroAges++
+		} else if ages.Float[r] < 16 || ages.Float[r] > 80 {
+			t.Fatalf("age out of range: %v", ages.Float[r])
+		}
+	}
+	// most stations appear; zero-age records exist (for WHERE age > 0)
+	if len(stations) < 500 {
+		t.Fatalf("only %d stations appear", len(stations))
+	}
+	if zeroAges == 0 || zeroAges > tbl.NumRows()/5 {
+		t.Fatalf("zero-age fraction implausible: %d", zeroAges)
+	}
+}
+
+func TestBikesDeterministic(t *testing.T) {
+	a, err := Bikes(BikesConfig{Rows: 3000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bikes(BikesConfig{Rows: 3000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 50; r++ {
+		ra, rb := a.Row(r), b.Row(r)
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("row %d differs", r)
+			}
+		}
+	}
+}
+
+func TestBikesErrors(t *testing.T) {
+	if _, err := Bikes(BikesConfig{Rows: 10, Stations: 619, Seed: 1}); err == nil {
+		t.Fatalf("want too-few-rows error")
+	}
+}
+
+func TestScale(t *testing.T) {
+	tbl, err := Bikes(BikesConfig{Rows: 1000, Stations: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Scale(tbl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.NumRows() != 3000 {
+		t.Fatalf("scaled rows = %d", big.NumRows())
+	}
+	// copies are identical
+	for r := 0; r < 100; r++ {
+		a, b := big.Row(r), big.Row(r+1000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("duplicate block differs at row %d", r)
+			}
+		}
+	}
+	if _, err := Scale(tbl, 0); err == nil {
+		t.Fatalf("want scale error")
+	}
+}
+
+func TestZipfHelpers(t *testing.T) {
+	w := zipfWeights(5, 1)
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Fatalf("zipf weights not decreasing: %v", w)
+		}
+	}
+	cum := cumulative(w)
+	if math.Abs(cum[len(cum)-1]-1) > 1e-12 {
+		t.Fatalf("cumulative should end at 1: %v", cum)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative not monotone")
+		}
+	}
+	if searchCum(cum, 0) != 0 {
+		t.Fatalf("searchCum(0) should be first bucket")
+	}
+	if searchCum(cum, 0.999999) != len(cum)-1 {
+		t.Fatalf("searchCum(~1) should be last bucket")
+	}
+	// mid lookups respect boundaries
+	for i, c := range cum[:len(cum)-1] {
+		if got := searchCum(cum, c); got != i+1 {
+			t.Fatalf("searchCum(cum[%d]) = %d want %d", i, got, i+1)
+		}
+	}
+}
+
+func BenchmarkOpenAQGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := OpenAQ(OpenAQConfig{Rows: 100000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

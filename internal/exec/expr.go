@@ -1,0 +1,276 @@
+// Package exec evaluates the SQL subset of internal/sqlparse against the
+// columnar tables of internal/table. It is the stand-in for the paper's
+// Hive query processing: Run computes exact answers over the full table
+// (the ground truth of Section 6), and RunWeighted computes approximate
+// answers over a weighted row sample, where each sampled row carries a
+// Horvitz-Thompson weight (n_c/s_c for stratified samples) so that
+// weighted aggregates are unbiased estimates. GROUP BY ... WITH CUBE
+// expands into all grouping sets.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+// valueKind discriminates runtime values.
+type valueKind uint8
+
+const (
+	numVal valueKind = iota
+	strVal
+	boolVal
+)
+
+// value is a runtime scalar.
+type value struct {
+	kind valueKind
+	num  float64
+	str  string
+	b    bool
+}
+
+func (v value) truthy() bool {
+	switch v.kind {
+	case boolVal:
+		return v.b
+	case numVal:
+		return v.num != 0
+	default:
+		return v.str != ""
+	}
+}
+
+// scalarFn evaluates a compiled scalar expression for one row.
+type scalarFn func(row int) value
+
+// compileScalar turns an expression into a closure over row ids. It
+// rejects aggregate calls (those are handled by the grouping layer).
+func compileScalar(tbl *table.Table, e sqlparse.Expr) (scalarFn, error) {
+	switch n := e.(type) {
+	case *sqlparse.NumberLit:
+		v := value{kind: numVal, num: n.Value}
+		return func(int) value { return v }, nil
+
+	case *sqlparse.StringLit:
+		v := value{kind: strVal, str: n.Value}
+		return func(int) value { return v }, nil
+
+	case *sqlparse.ColumnRef:
+		col := tbl.Column(n.Name)
+		if col == nil {
+			return nil, fmt.Errorf("exec: unknown column %q", n.Name)
+		}
+		switch col.Spec.Kind {
+		case table.String:
+			return func(r int) value { return value{kind: strVal, str: col.Dict.Value(col.Str[r])} }, nil
+		case table.Float:
+			return func(r int) value { return value{kind: numVal, num: col.Float[r]} }, nil
+		default: // Int
+			return func(r int) value { return value{kind: numVal, num: float64(col.Int[r])} }, nil
+		}
+
+	case *sqlparse.UnaryExpr:
+		inner, err := compileScalar(tbl, n.Expr)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "-":
+			return func(r int) value {
+				v := inner(r)
+				return value{kind: numVal, num: -v.num}
+			}, nil
+		case "NOT":
+			return func(r int) value {
+				return value{kind: boolVal, b: !inner(r).truthy()}
+			}, nil
+		}
+		return nil, fmt.Errorf("exec: unknown unary operator %q", n.Op)
+
+	case *sqlparse.BinaryExpr:
+		left, err := compileScalar(tbl, n.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := compileScalar(tbl, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "+", "-", "*", "/":
+			op := n.Op
+			return func(r int) value {
+				a, b := left(r).num, right(r).num
+				var out float64
+				switch op {
+				case "+":
+					out = a + b
+				case "-":
+					out = a - b
+				case "*":
+					out = a * b
+				case "/":
+					if b == 0 {
+						out = math.NaN()
+					} else {
+						out = a / b
+					}
+				}
+				return value{kind: numVal, num: out}
+			}, nil
+		case "=", "!=", "<", "<=", ">", ">=":
+			op := n.Op
+			return func(r int) value {
+				return value{kind: boolVal, b: compare(left(r), right(r), op)}
+			}, nil
+		case "AND":
+			return func(r int) value {
+				return value{kind: boolVal, b: left(r).truthy() && right(r).truthy()}
+			}, nil
+		case "OR":
+			return func(r int) value {
+				return value{kind: boolVal, b: left(r).truthy() || right(r).truthy()}
+			}, nil
+		}
+		return nil, fmt.Errorf("exec: unknown operator %q", n.Op)
+
+	case *sqlparse.BetweenExpr:
+		x, err := compileScalar(tbl, n.Expr)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compileScalar(tbl, n.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileScalar(tbl, n.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return func(r int) value {
+			v := x(r)
+			return value{kind: boolVal, b: compare(v, lo(r), ">=") && compare(v, hi(r), "<=")}
+		}, nil
+
+	case *sqlparse.InExpr:
+		x, err := compileScalar(tbl, n.Expr)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]scalarFn, len(n.Items))
+		for i, it := range n.Items {
+			f, err := compileScalar(tbl, it)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = f
+		}
+		return func(r int) value {
+			v := x(r)
+			for _, f := range items {
+				if compare(v, f(r), "=") {
+					return value{kind: boolVal, b: true}
+				}
+			}
+			return value{kind: boolVal, b: false}
+		}, nil
+
+	case *sqlparse.FuncCall:
+		if sqlparse.AggFuncs[n.Name] {
+			return nil, fmt.Errorf("exec: aggregate %s not allowed in scalar context", n.Name)
+		}
+		switch n.Name {
+		case "IF":
+			if len(n.Args) != 3 {
+				return nil, fmt.Errorf("exec: IF takes 3 arguments, got %d", len(n.Args))
+			}
+			cond, err := compileScalar(tbl, n.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			a, err := compileScalar(tbl, n.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			b, err := compileScalar(tbl, n.Args[2])
+			if err != nil {
+				return nil, err
+			}
+			return func(r int) value {
+				if cond(r).truthy() {
+					return a(r)
+				}
+				return b(r)
+			}, nil
+		case "ABS":
+			if len(n.Args) != 1 {
+				return nil, fmt.Errorf("exec: ABS takes 1 argument")
+			}
+			a, err := compileScalar(tbl, n.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			return func(r int) value {
+				return value{kind: numVal, num: math.Abs(a(r).num)}
+			}, nil
+		}
+		return nil, fmt.Errorf("exec: unknown function %s", n.Name)
+	}
+	return nil, fmt.Errorf("exec: unsupported expression %T", e)
+}
+
+// compare applies a comparison operator across value kinds: strings
+// compare lexicographically with strings, everything else numerically.
+func compare(a, b value, op string) bool {
+	if a.kind == strVal && b.kind == strVal {
+		switch op {
+		case "=":
+			return a.str == b.str
+		case "!=":
+			return a.str != b.str
+		case "<":
+			return a.str < b.str
+		case "<=":
+			return a.str <= b.str
+		case ">":
+			return a.str > b.str
+		case ">=":
+			return a.str >= b.str
+		}
+		return false
+	}
+	x, y := a.asNum(), b.asNum()
+	switch op {
+	case "=":
+		return x == y
+	case "!=":
+		return x != y
+	case "<":
+		return x < y
+	case "<=":
+		return x <= y
+	case ">":
+		return x > y
+	case ">=":
+		return x >= y
+	}
+	return false
+}
+
+func (v value) asNum() float64 {
+	switch v.kind {
+	case numVal:
+		return v.num
+	case boolVal:
+		if v.b {
+			return 1
+		}
+		return 0
+	default:
+		return math.NaN()
+	}
+}

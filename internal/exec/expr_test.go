@@ -1,0 +1,181 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+// compileExpr is a test helper binding a WHERE expression string to the
+// shared test table of run_test.go.
+func compileExpr(t *testing.T, expr string) scalarFn {
+	t.Helper()
+	tbl := testTable(t)
+	q, err := sqlparse.Parse("SELECT g, AVG(v) FROM t WHERE " + expr + " GROUP BY g")
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	f, err := compileScalar(tbl, q.Where)
+	if err != nil {
+		t.Fatalf("compile %q: %v", expr, err)
+	}
+	return f
+}
+
+func TestScalarStringComparisons(t *testing.T) {
+	f := compileExpr(t, "g < 'b'")
+	// row 0 has g = "a"
+	if !f(0).truthy() {
+		t.Fatalf("'a' < 'b' should hold")
+	}
+	f = compileExpr(t, "g >= 'b'")
+	if f(0).truthy() {
+		t.Fatalf("'a' >= 'b' should not hold")
+	}
+	f = compileExpr(t, "g != 'a'")
+	if f(0).truthy() {
+		t.Fatalf("'a' != 'a' should not hold")
+	}
+	f = compileExpr(t, "g <= 'a' AND g = 'a' AND g > '' ")
+	if !f(0).truthy() {
+		t.Fatalf("conjunction of string comparisons failed")
+	}
+}
+
+func TestScalarMixedComparisonIsNaNSafe(t *testing.T) {
+	// comparing a string column to a number compares NaN: always false
+	f := compileExpr(t, "g = 1")
+	if f(0).truthy() {
+		t.Fatalf("string-number comparison should be false")
+	}
+	f = compileExpr(t, "g < 1")
+	if f(0).truthy() {
+		t.Fatalf("string-number comparison should be false")
+	}
+}
+
+func TestScalarAbsAndIf(t *testing.T) {
+	f := compileExpr(t, "ABS(0 - v) = v")
+	// row 0 has v = 1 (positive)
+	if !f(0).truthy() {
+		t.Fatalf("ABS(-v) should equal v for positive v")
+	}
+	f = compileExpr(t, "IF(v > 2, 10, 20) = 20")
+	if !f(0).truthy() { // v=1 -> else branch
+		t.Fatalf("IF else branch wrong")
+	}
+	f = compileExpr(t, "IF(v > 0, 10, 20) = 10")
+	if !f(0).truthy() {
+		t.Fatalf("IF then branch wrong")
+	}
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"v + 1 = 2", true}, // v=1
+		{"v - 1 = 0", true},
+		{"v * 6 = 6", true},
+		{"v / 2 = 0.5", true},
+		{"-v = 0 - 1", true},
+		{"2 + 3 * 4 = 14", true}, // precedence
+		{"(2 + 3) * 4 = 20", true},
+	}
+	for _, c := range cases {
+		f := compileExpr(t, c.expr)
+		if f(0).truthy() != c.want {
+			t.Fatalf("%q = %v, want %v", c.expr, f(0).truthy(), c.want)
+		}
+	}
+}
+
+func TestScalarDivisionByZero(t *testing.T) {
+	f := compileExpr(t, "v / 0 > 100")
+	if f(0).truthy() {
+		t.Fatalf("NaN comparison should be false")
+	}
+}
+
+func TestScalarNotAndOr(t *testing.T) {
+	f := compileExpr(t, "NOT v > 100")
+	if !f(0).truthy() {
+		t.Fatalf("NOT of false should be true")
+	}
+	f = compileExpr(t, "v > 100 OR g = 'a'")
+	if !f(0).truthy() {
+		t.Fatalf("OR short-path failed")
+	}
+	f = compileExpr(t, "NOT (v > 0 AND g = 'a')")
+	if f(0).truthy() {
+		t.Fatalf("NOT of true conjunction should be false")
+	}
+}
+
+func TestScalarInWithColumnItems(t *testing.T) {
+	// IN items may themselves be expressions referencing columns
+	f := compileExpr(t, "v IN (year, 1, 2)")
+	if !f(0).truthy() { // v=1 matches literal 1
+		t.Fatalf("IN with literal failed")
+	}
+	f = compileExpr(t, "g IN ('x', 'a')")
+	if !f(0).truthy() {
+		t.Fatalf("string IN failed")
+	}
+	f = compileExpr(t, "g IN ('x', 'y')")
+	if f(0).truthy() {
+		t.Fatalf("string IN should miss")
+	}
+}
+
+func TestScalarBetweenStrings(t *testing.T) {
+	f := compileExpr(t, "g BETWEEN 'a' AND 'c'")
+	if !f(0).truthy() {
+		t.Fatalf("string BETWEEN failed")
+	}
+}
+
+func TestScalarCompileErrors(t *testing.T) {
+	tbl := testTable(t)
+	bad := []string{
+		"SELECT g, AVG(v) FROM t WHERE zz = 1 GROUP BY g",        // unknown column
+		"SELECT g, AVG(v) FROM t WHERE SUM(v) > 1 GROUP BY g",    // aggregate in scalar
+		"SELECT g, AVG(v) FROM t WHERE ABS(v, v) > 1 GROUP BY g", // ABS arity
+		"SELECT g, AVG(v) FROM t WHERE NOPE(v) > 1 GROUP BY g",   // unknown function
+		"SELECT g, AVG(v) FROM t WHERE IF(v, 1) > 1 GROUP BY g",  // IF arity
+		"SELECT g, AVG(v) FROM t WHERE v IN (zz) GROUP BY g",     // unknown col in IN
+		"SELECT g, AVG(v) FROM t WHERE v BETWEEN zz AND 2 GROUP BY g",
+	}
+	for _, sql := range bad {
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		if _, err := compileScalar(tbl, q.Where); err == nil {
+			t.Fatalf("compile of %q should fail", sql)
+		}
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if (value{kind: boolVal, b: true}).asNum() != 1 {
+		t.Fatalf("true should convert to 1")
+	}
+	if (value{kind: boolVal, b: false}).asNum() != 0 {
+		t.Fatalf("false should convert to 0")
+	}
+	if !math.IsNaN((value{kind: strVal, str: "x"}).asNum()) {
+		t.Fatalf("string asNum should be NaN")
+	}
+	if !(value{kind: strVal, str: "x"}).truthy() {
+		t.Fatalf("non-empty string truthy")
+	}
+	if (value{kind: strVal}).truthy() {
+		t.Fatalf("empty string not truthy")
+	}
+	if !(value{kind: numVal, num: 2}).truthy() || (value{kind: numVal}).truthy() {
+		t.Fatalf("number truthiness wrong")
+	}
+}

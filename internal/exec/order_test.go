@@ -1,0 +1,241 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sqlparse"
+)
+
+func TestHavingFiltersGroups(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, SUM(v) FROM t GROUP BY g HAVING SUM(v) > 5")
+	// sums: a=9, b=60, c=-2 -> a and b survive
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d want 2: %+v", len(res.Rows), res.Rows)
+	}
+	if _, ok := res.Lookup(0, []string{"c"}); ok {
+		t.Fatalf("group c should be filtered by HAVING")
+	}
+}
+
+func TestHavingBooleanCombinations(t *testing.T) {
+	tbl := testTable(t)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT g, SUM(v) FROM t GROUP BY g HAVING SUM(v) > 5 AND COUNT(*) >= 3", 2},
+		{"SELECT g, SUM(v) FROM t GROUP BY g HAVING SUM(v) > 50 OR SUM(v) < 0", 2}, // b and c
+		{"SELECT g, SUM(v) FROM t GROUP BY g HAVING NOT SUM(v) > 5", 1},            // c
+		{"SELECT g, SUM(v) FROM t GROUP BY g HAVING SUM(v) BETWEEN 0 AND 10", 1},   // a
+		{"SELECT g, SUM(v) FROM t GROUP BY g HAVING AVG(v) != 3", 2},               // b, c
+		{"SELECT g, SUM(v) FROM t GROUP BY g HAVING COUNT(*) = 1", 1},              // c
+		{"SELECT g, SUM(v) FROM t GROUP BY g HAVING SUM(v) <= -2", 1},              // c
+	}
+	for _, c := range cases {
+		res := run(t, tbl, c.sql)
+		if len(res.Rows) != c.want {
+			t.Fatalf("%q returned %d rows, want %d", c.sql, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestHavingErrors(t *testing.T) {
+	tbl := testTable(t)
+	bad := []string{
+		"SELECT g, SUM(v) FROM t GROUP BY g HAVING g = 'a'",    // plain column
+		"SELECT g, SUM(v) FROM t GROUP BY g HAVING SUM(v) + 1", // not boolean
+		"SELECT g, SUM(v) FROM t GROUP BY g HAVING v > 1",      // ungrouped scalar
+	}
+	for _, sql := range bad {
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		if _, err := Run(tbl, q); err == nil {
+			t.Fatalf("Run(%q) should fail", sql)
+		}
+	}
+}
+
+func TestOrderByAggregate(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, SUM(v) AS total FROM t GROUP BY g ORDER BY total DESC")
+	want := []string{"b", "a", "c"} // 60, 9, -2
+	for i, w := range want {
+		if res.Rows[i].Key[0] != w {
+			t.Fatalf("row %d = %s want %s (rows %+v)", i, res.Rows[i].Key[0], w, res.Rows)
+		}
+	}
+	// by rendered expression, ascending
+	res = run(t, tbl, "SELECT g, SUM(v) FROM t GROUP BY g ORDER BY SUM(v)")
+	want = []string{"c", "a", "b"}
+	for i, w := range want {
+		if res.Rows[i].Key[0] != w {
+			t.Fatalf("asc row %d = %s want %s", i, res.Rows[i].Key[0], w)
+		}
+	}
+}
+
+func TestOrderByGroupColumn(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, SUM(v) FROM t GROUP BY g ORDER BY g DESC")
+	want := []string{"c", "b", "a"}
+	for i, w := range want {
+		if res.Rows[i].Key[0] != w {
+			t.Fatalf("row %d = %s want %s", i, res.Rows[i].Key[0], w)
+		}
+	}
+	// numeric group column sorts numerically, not lexically
+	res = run(t, tbl, "SELECT year, COUNT(*) FROM t GROUP BY year ORDER BY year")
+	if res.Rows[0].Key[0] != "2019" || res.Rows[1].Key[0] != "2020" {
+		t.Fatalf("numeric order wrong: %+v", res.Rows)
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, h, SUM(v) FROM t GROUP BY g, h ORDER BY h, SUM(v) DESC")
+	// h ascending groups x before y; within h, larger sums first
+	if res.Rows[0].Key[1] != "x" {
+		t.Fatalf("first row should have h=x: %+v", res.Rows[0])
+	}
+	lastX := -1
+	for i, r := range res.Rows {
+		if r.Key[1] == "x" {
+			if lastX >= 0 && i != lastX+1 {
+				t.Fatalf("x rows not contiguous")
+			}
+			lastX = i
+		}
+	}
+	// within the x block, sums descending: b/x=10, a/x=4, c/x=-2
+	if res.Rows[0].Key[0] != "b" || res.Rows[1].Key[0] != "a" || res.Rows[2].Key[0] != "c" {
+		t.Fatalf("within-h ordering wrong: %+v", res.Rows[:3])
+	}
+}
+
+func TestLimit(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, SUM(v) AS total FROM t GROUP BY g ORDER BY total DESC LIMIT 2")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d want 2", len(res.Rows))
+	}
+	if res.Rows[0].Key[0] != "b" || res.Rows[1].Key[0] != "a" {
+		t.Fatalf("top-2 wrong: %+v", res.Rows)
+	}
+	// limit without order: applies to natural order
+	res = run(t, tbl, "SELECT g, SUM(v) FROM t GROUP BY g LIMIT 1")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d want 1", len(res.Rows))
+	}
+}
+
+func TestOrderByWithCube(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, h, SUM(v) FROM t GROUP BY g, h WITH CUBE ORDER BY SUM(v) DESC LIMIT 3")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// grand total (67) is the largest sum in the cube
+	if len(res.Sets[res.Rows[0].Set]) != 0 {
+		t.Fatalf("grand total should sort first: %+v", res.Rows[0])
+	}
+	if res.Rows[0].Aggs[0] != 67 {
+		t.Fatalf("grand total = %v", res.Rows[0].Aggs[0])
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Aggs[0] > res.Rows[i-1].Aggs[0] {
+			t.Fatalf("descending order violated")
+		}
+	}
+}
+
+func TestOrderByNaNSortsLast(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, SUM(v) / COUNT_IF(v > 25) AS ratio FROM t GROUP BY g ORDER BY ratio")
+	// groups a and c divide by zero -> NaN, must sort after b in both directions
+	if math.IsNaN(res.Rows[0].Aggs[0]) {
+		t.Fatalf("NaN sorted first ascending: %+v", res.Rows)
+	}
+	res = run(t, tbl, "SELECT g, SUM(v) / COUNT_IF(v > 25) AS ratio FROM t GROUP BY g ORDER BY ratio DESC")
+	if math.IsNaN(res.Rows[0].Aggs[0]) {
+		t.Fatalf("NaN sorted first descending: %+v", res.Rows)
+	}
+}
+
+func TestOrderByErrors(t *testing.T) {
+	tbl := testTable(t)
+	bad := []string{
+		"SELECT g, SUM(v) FROM t GROUP BY g ORDER BY zz",
+		"SELECT g, SUM(v) FROM t GROUP BY g ORDER BY AVG(v)", // not an output
+		"SELECT g, SUM(v) FROM t GROUP BY g ORDER BY h",      // ungrouped column
+	}
+	for _, sql := range bad {
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		if _, err := Run(tbl, q); err == nil {
+			t.Fatalf("Run(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseOrderLimitErrors(t *testing.T) {
+	bad := []string{
+		"SELECT g, SUM(v) FROM t GROUP BY g ORDER g",
+		"SELECT g, SUM(v) FROM t GROUP BY g ORDER BY",
+		"SELECT g, SUM(v) FROM t GROUP BY g LIMIT",
+		"SELECT g, SUM(v) FROM t GROUP BY g LIMIT x",
+		"SELECT g, SUM(v) FROM t GROUP BY g LIMIT 0",
+		"SELECT g, SUM(v) FROM t GROUP BY g HAVING",
+	}
+	for _, sql := range bad {
+		if _, err := sqlparse.Parse(sql); err == nil {
+			t.Fatalf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestQueryStringWithNewClauses(t *testing.T) {
+	src := "SELECT g, SUM(v) AS total FROM t GROUP BY g HAVING SUM(v) > 1 ORDER BY total DESC, g LIMIT 5"
+	q, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := sqlparse.Parse(q.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", q.String(), err)
+	}
+	if round.String() != q.String() {
+		t.Fatalf("unstable render:\n%s\n%s", q.String(), round.String())
+	}
+	if q.Limit != 5 || len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Fatalf("clauses misparsed: %+v", q)
+	}
+}
+
+// Approximate top-k: ORDER BY + LIMIT over a weighted sample returns the
+// same top groups as the exact engine when the sample is decent.
+func TestApproximateTopK(t *testing.T) {
+	tbl := testTable(t)
+	q, err := sqlparse.Parse("SELECT g, SUM(v) AS total FROM t GROUP BY g ORDER BY total DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int32, tbl.NumRows())
+	weights := make([]float64, tbl.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+		weights[i] = 1
+	}
+	res, err := RunWeighted(tbl, q, rows, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Key[0] != "b" {
+		t.Fatalf("approximate top-1 wrong: %+v", res.Rows)
+	}
+}

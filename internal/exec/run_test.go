@@ -1,0 +1,393 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+func testTable(t testing.TB) *table.Table {
+	tbl := table.New("t", table.Schema{
+		{Name: "g", Kind: table.String},
+		{Name: "h", Kind: table.String},
+		{Name: "year", Kind: table.Int},
+		{Name: "v", Kind: table.Float},
+	})
+	rows := []struct {
+		g, h string
+		year int64
+		v    float64
+	}{
+		{"a", "x", 2019, 1},
+		{"a", "x", 2019, 3},
+		{"a", "y", 2020, 5},
+		{"b", "x", 2019, 10},
+		{"b", "y", 2020, 20},
+		{"b", "y", 2020, 30},
+		{"c", "x", 2019, -2},
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(r.g, r.h, r.year, r.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func run(t *testing.T, tbl *table.Table, sql string) *Result {
+	t.Helper()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	res, err := Run(tbl, q)
+	if err != nil {
+		t.Fatalf("run %q: %v", sql, err)
+	}
+	return res
+}
+
+func wantAggs(t *testing.T, res *Result, set int, key []string, want ...float64) {
+	t.Helper()
+	got, ok := res.Lookup(set, key)
+	if !ok {
+		t.Fatalf("group %v missing from result", key)
+	}
+	for i, w := range want {
+		if math.IsNaN(w) && math.IsNaN(got[i]) {
+			continue
+		}
+		if math.Abs(got[i]-w) > 1e-9*(math.Abs(w)+1) {
+			t.Fatalf("group %v agg %d = %v want %v", key, i, got[i], w)
+		}
+	}
+}
+
+func TestRunAvgGroupBy(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, AVG(v) FROM t GROUP BY g")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d want 3", len(res.Rows))
+	}
+	wantAggs(t, res, 0, []string{"a"}, 3)
+	wantAggs(t, res, 0, []string{"b"}, 20)
+	wantAggs(t, res, 0, []string{"c"}, -2)
+}
+
+func TestRunMultipleAggregates(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, SUM(v), COUNT(*), MIN(v), MAX(v), COUNT_IF(v > 2) FROM t GROUP BY g")
+	wantAggs(t, res, 0, []string{"a"}, 9, 3, 1, 5, 2)
+	wantAggs(t, res, 0, []string{"b"}, 60, 3, 10, 30, 3)
+	if len(res.AggLabels) != 5 {
+		t.Fatalf("agg labels = %v", res.AggLabels)
+	}
+}
+
+func TestRunWhere(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, AVG(v) FROM t WHERE year = 2019 GROUP BY g")
+	wantAggs(t, res, 0, []string{"a"}, 2)
+	wantAggs(t, res, 0, []string{"b"}, 10)
+	if _, ok := res.Lookup(0, []string{"zzz"}); ok {
+		t.Fatalf("phantom group")
+	}
+}
+
+func TestRunWherePredicates(t *testing.T) {
+	tbl := testTable(t)
+	cases := []struct {
+		sql  string
+		want float64 // AVG(v) of group a
+	}{
+		{"SELECT g, AVG(v) FROM t WHERE v BETWEEN 1 AND 3 GROUP BY g", 2},
+		{"SELECT g, AVG(v) FROM t WHERE h IN ('x') GROUP BY g", 2},
+		{"SELECT g, AVG(v) FROM t WHERE NOT h = 'y' GROUP BY g", 2},
+		{"SELECT g, AVG(v) FROM t WHERE h = 'x' AND year = 2019 GROUP BY g", 2},
+		{"SELECT g, AVG(v) FROM t WHERE h = 'y' OR v < 4 GROUP BY g", 3},
+		{"SELECT g, AVG(v) FROM t WHERE v + 1 >= 2 GROUP BY g", 3},
+		{"SELECT g, AVG(v) FROM t WHERE v * 2 != 6 GROUP BY g", 3},
+	}
+	for _, c := range cases {
+		res := run(t, tbl, c.sql)
+		wantAggs(t, res, 0, []string{"a"}, c.want)
+	}
+}
+
+func TestRunMultiAttrGroupBy(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, h, SUM(v) FROM t GROUP BY g, h")
+	wantAggs(t, res, 0, []string{"a", "x"}, 4)
+	wantAggs(t, res, 0, []string{"a", "y"}, 5)
+	wantAggs(t, res, 0, []string{"b", "y"}, 50)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d want 5 (only occurring combos)", len(res.Rows))
+	}
+}
+
+func TestRunGroupByIntColumn(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT year, COUNT(*) FROM t GROUP BY year")
+	wantAggs(t, res, 0, []string{"2019"}, 4)
+	wantAggs(t, res, 0, []string{"2020"}, 3)
+}
+
+func TestRunCube(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, h, SUM(v) FROM t GROUP BY g, h WITH CUBE")
+	if len(res.Sets) != 4 {
+		t.Fatalf("grouping sets = %d want 4", len(res.Sets))
+	}
+	// set order: {g,h}, {g}, {h}, {}
+	full, gOnly, hOnly, grand := -1, -1, -1, -1
+	for i, s := range res.Sets {
+		switch {
+		case len(s) == 2:
+			full = i
+		case len(s) == 1 && s[0] == "g":
+			gOnly = i
+		case len(s) == 1 && s[0] == "h":
+			hOnly = i
+		case len(s) == 0:
+			grand = i
+		}
+	}
+	if full < 0 || gOnly < 0 || hOnly < 0 || grand < 0 {
+		t.Fatalf("missing grouping sets: %v", res.Sets)
+	}
+	wantAggs(t, res, full, []string{"b", "y"}, 50)
+	wantAggs(t, res, gOnly, []string{"a"}, 9)
+	wantAggs(t, res, hOnly, []string{"x"}, 12)
+	wantAggs(t, res, grand, nil, 67)
+}
+
+func TestRunAggArithmetic(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, SUM(v) / COUNT(*) AS mean, SUM(v) - 1, -SUM(v) FROM t GROUP BY g")
+	wantAggs(t, res, 0, []string{"a"}, 3, 8, -9)
+}
+
+func TestRunCountIfWithIf(t *testing.T) {
+	tbl := testTable(t)
+	// SUM(IF(cond,1,0)) is the paper's AQ6 idiom; equals COUNT_IF
+	res := run(t, tbl, "SELECT g, SUM(IF(v > 2, 1, 0)), COUNT_IF(v > 2) FROM t GROUP BY g")
+	for _, key := range [][]string{{"a"}, {"b"}, {"c"}} {
+		got, _ := res.Lookup(0, key)
+		if got[0] != got[1] {
+			t.Fatalf("SUM(IF) %v != COUNT_IF %v for %v", got[0], got[1], key)
+		}
+	}
+}
+
+func TestRunNoGroupBy(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT AVG(v) FROM t")
+	wantAggs(t, res, 0, nil, 67.0/7)
+}
+
+func TestRunEmptyGroupAfterPredicate(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, AVG(v) FROM t WHERE v > 100 GROUP BY g")
+	if len(res.Rows) != 0 {
+		t.Fatalf("no rows should qualify, got %d", len(res.Rows))
+	}
+}
+
+func TestRunDivisionByZeroNaN(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, SUM(v) / COUNT_IF(v > 1000) FROM t GROUP BY g")
+	got, _ := res.Lookup(0, []string{"a"})
+	if !math.IsNaN(got[0]) {
+		t.Fatalf("division by zero should be NaN, got %v", got[0])
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	tbl := testTable(t)
+	bad := []string{
+		"SELECT g FROM t GROUP BY g",                      // no aggregate output
+		"SELECT h, AVG(v) FROM t GROUP BY g",              // ungrouped column
+		"SELECT zz, AVG(v) FROM t GROUP BY zz",            // unknown group col
+		"SELECT g, AVG(zz) FROM t GROUP BY g",             // unknown agg col
+		"SELECT g, AVG(v) FROM t WHERE zz = 1 GROUP BY g", // unknown where col
+		"SELECT g, v FROM t GROUP BY g, v",                // group by float
+		"SELECT g, AVG(SUM(v)) FROM t GROUP BY g",         // nested aggregate
+		"SELECT g, SUM(v, v) FROM t GROUP BY g",           // arity
+		"SELECT g, AVG(*) FROM t GROUP BY g",              // star on non-count
+		"SELECT g, IF(v > 1, 1, 0) FROM t GROUP BY g",     // bare scalar func output
+		"SELECT g, IF(v > 1, 1) FROM t GROUP BY g",        // IF arity (scalar context)
+		"SELECT g, FOO(v) FROM t GROUP BY g",              // unknown function
+		"SELECT g, AVG(v) FROM other GROUP BY g",          // wrong table
+		"SELECT g, v + 1 FROM t GROUP BY g",               // non-aggregate expression output
+	}
+	for _, sql := range bad {
+		q, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q failed: %v", sql, err)
+		}
+		if _, err := Run(tbl, q); err == nil {
+			t.Fatalf("Run(%q) should fail", sql)
+		}
+	}
+}
+
+func TestRunWeightedMatchesExactWithUnitWeights(t *testing.T) {
+	tbl := testTable(t)
+	q, err := sqlparse.Parse("SELECT g, AVG(v), SUM(v), COUNT(*) FROM t GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Run(tbl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int32, tbl.NumRows())
+	weights := make([]float64, tbl.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+		weights[i] = 1
+	}
+	approx, err := RunWeighted(tbl, q, rows, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(approx.Rows) != len(exact.Rows) {
+		t.Fatalf("row counts differ")
+	}
+	idx := exact.Index()
+	for _, row := range approx.Rows {
+		want := idx[KeyOf(row.Set, row.Key)]
+		for i := range want {
+			if math.Abs(row.Aggs[i]-want[i]) > 1e-9 {
+				t.Fatalf("weighted full-table run differs: %v vs %v", row.Aggs, want)
+			}
+		}
+	}
+}
+
+func TestRunWeightedScalesCounts(t *testing.T) {
+	tbl := testTable(t)
+	q, err := sqlparse.Parse("SELECT g, COUNT(*), SUM(v) FROM t GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// half of group a's rows with weight 2 estimates the full group
+	rows := []int32{0, 3, 4} // a(v=1), b(10), b(20)
+	weights := []float64{3, 1.5, 1.5}
+	res, err := RunWeighted(tbl, q, rows, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := res.Lookup(0, []string{"a"})
+	if got[0] != 3 || got[1] != 3 {
+		t.Fatalf("group a estimates = %v want [3 3]", got)
+	}
+	got, _ = res.Lookup(0, []string{"b"})
+	if got[0] != 3 || got[1] != 45 {
+		t.Fatalf("group b estimates = %v want [3 45]", got)
+	}
+}
+
+func TestRunWeightedErrors(t *testing.T) {
+	tbl := testTable(t)
+	q, err := sqlparse.Parse("SELECT g, AVG(v) FROM t GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunWeighted(tbl, q, []int32{1}, []float64{1, 2}); err == nil {
+		t.Fatalf("want rows/weights mismatch error")
+	}
+}
+
+// An unbiasedness check on the full estimator path: stratified sampling
+// + Horvitz-Thompson weights recover per-group means within sampling
+// tolerance when averaged over repetitions.
+func TestRunWeightedUnbiased(t *testing.T) {
+	tbl := table.New("t", table.Schema{
+		{Name: "g", Kind: table.String},
+		{Name: "v", Kind: table.Float},
+	})
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 2000; i++ {
+		g := "g0"
+		mean := 50.0
+		if i%5 == 0 {
+			g, mean = "g1", 500.0
+		}
+		if err := tbl.AppendRow(g, mean+rng.NormFloat64()*mean/5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := sqlparse.Parse("SELECT g, AVG(v) FROM t GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Run(tbl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactIdx := exact.Index()
+	gi, err := table.BuildGroupIndex(tbl, []string{"g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsBy := gi.RowsByStratum()
+	const reps = 60
+	sums := map[string]float64{}
+	for rep := 0; rep < reps; rep++ {
+		var rows []int32
+		var weights []float64
+		for _, strat := range rowsBy {
+			k := len(strat) / 10
+			for _, p := range randPerm(rng, len(strat))[:k] {
+				rows = append(rows, strat[p])
+				weights = append(weights, float64(len(strat))/float64(k))
+			}
+		}
+		res, err := RunWeighted(tbl, q, rows, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			sums[row.Key[0]] += row.Aggs[0]
+		}
+	}
+	for g, sum := range sums {
+		est := sum / reps
+		want := exactIdx[KeyOf(0, []string{g})][0]
+		if math.Abs(est-want)/want > 0.03 {
+			t.Fatalf("group %s mean estimate %v vs exact %v (bias too large)", g, est, want)
+		}
+	}
+}
+
+func randPerm(rng *rand.Rand, n int) []int {
+	p := rng.Perm(n)
+	return p
+}
+
+func BenchmarkRunExactGroupBy(b *testing.B) {
+	tbl := table.New("t", table.Schema{
+		{Name: "g", Kind: table.String},
+		{Name: "v", Kind: table.Float},
+	})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		if err := tbl.AppendRow(string(rune('A'+i%64)), rng.Float64()*100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q, err := sqlparse.Parse("SELECT g, AVG(v), SUM(v), COUNT(*) FROM t GROUP BY g")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(tbl, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

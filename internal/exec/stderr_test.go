@@ -1,0 +1,155 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+func TestExactRunHasNoSE(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, AVG(v) FROM t GROUP BY g")
+	for _, row := range res.Rows {
+		if row.SE != nil {
+			t.Fatalf("exact answers must not report SEs: %+v", row)
+		}
+	}
+}
+
+func TestWeightedRunReportsSE(t *testing.T) {
+	tbl := testTable(t)
+	q, err := sqlparse.Parse("SELECT g, AVG(v), SUM(v), COUNT(*), COUNT_IF(v > 2), SUM(v) / COUNT(*), MIN(v) FROM t GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int32, tbl.NumRows())
+	weights := make([]float64, tbl.NumRows())
+	for i := range rows {
+		rows[i] = int32(i)
+		weights[i] = 1
+	}
+	res, err := RunWeighted(tbl, q, rows, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if len(row.SE) != 6 {
+			t.Fatalf("SE arity = %d", len(row.SE))
+		}
+		// unit weights mean the sample IS the population: the finite-
+		// population correction zeroes every reportable SE
+		for i := 0; i <= 3; i++ {
+			if row.SE[i] != 0 {
+				t.Fatalf("unit-weight SE should be 0, got %v at %d", row.SE[i], i)
+			}
+		}
+		// arithmetic combination and MIN have no SE
+		if !math.IsNaN(row.SE[4]) || !math.IsNaN(row.SE[5]) {
+			t.Fatalf("combined/min outputs should have NaN SE: %v", row.SE)
+		}
+	}
+}
+
+// The reported SE must forecast the actual sampling spread: over many
+// independent samples, the realized standard deviation of the AVG
+// estimate should match the average reported SE within a modest factor.
+func TestSEForecastsSamplingSpread(t *testing.T) {
+	tbl := table.New("t", table.Schema{
+		{Name: "g", Kind: table.String},
+		{Name: "v", Kind: table.Float},
+	})
+	rng := rand.New(rand.NewSource(33))
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := tbl.AppendRow("g", 100+rng.NormFloat64()*25); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := sqlparse.Parse("SELECT g, AVG(v), SUM(v) FROM t GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, reps = 250, 120
+	var estimates, sums []float64
+	var seAvgTotal, seSumTotal float64
+	for rep := 0; rep < reps; rep++ {
+		idx := rng.Perm(n)[:k]
+		rows := make([]int32, k)
+		weights := make([]float64, k)
+		for i, p := range idx {
+			rows[i] = int32(p)
+			weights[i] = float64(n) / float64(k)
+		}
+		res, err := RunWeighted(tbl, q, rows, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		estimates = append(estimates, res.Rows[0].Aggs[0])
+		sums = append(sums, res.Rows[0].Aggs[1])
+		seAvgTotal += res.Rows[0].SE[0]
+		seSumTotal += res.Rows[0].SE[1]
+	}
+	sd := func(xs []float64) float64 {
+		var m float64
+		for _, x := range xs {
+			m += x
+		}
+		m /= float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - m) * (x - m)
+		}
+		return math.Sqrt(ss / float64(len(xs)))
+	}
+	realizedAvgSD := sd(estimates)
+	meanSEAvg := seAvgTotal / reps
+	if realizedAvgSD > meanSEAvg*1.6 || realizedAvgSD < meanSEAvg/1.6 {
+		t.Fatalf("AVG: realized spread %v vs reported SE %v", realizedAvgSD, meanSEAvg)
+	}
+	realizedSumSD := sd(sums)
+	meanSESum := seSumTotal / reps
+	if realizedSumSD > meanSESum*1.6 || realizedSumSD < meanSESum/1.6 {
+		t.Fatalf("SUM: realized spread %v vs reported SE %v", realizedSumSD, meanSESum)
+	}
+}
+
+func TestSEScalesWithSampleSize(t *testing.T) {
+	tbl := table.New("t", table.Schema{
+		{Name: "g", Kind: table.String},
+		{Name: "v", Kind: table.Float},
+	})
+	rng := rand.New(rand.NewSource(44))
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if err := tbl.AppendRow("g", 50+rng.NormFloat64()*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := sqlparse.Parse("SELECT g, AVG(v) FROM t GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seAt := func(k int) float64 {
+		idx := rng.Perm(n)[:k]
+		rows := make([]int32, k)
+		weights := make([]float64, k)
+		for i, p := range idx {
+			rows[i] = int32(p)
+			weights[i] = float64(n) / float64(k)
+		}
+		res, err := RunWeighted(tbl, q, rows, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0].SE[0]
+	}
+	se100, se1600 := seAt(100), seAt(1600)
+	// quadrupling sqrt(k) ratio: SE should shrink ~4x
+	ratio := se100 / se1600
+	if ratio < 2.5 || ratio > 6.5 {
+		t.Fatalf("SE(100)/SE(1600) = %v, want ~4", ratio)
+	}
+}

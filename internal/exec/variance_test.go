@@ -1,0 +1,88 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+// TestRunVarianceAggregates covers the Section 5 extension: per-group
+// VAR and STDDEV evaluated exactly and from weighted samples.
+func TestRunVarianceAggregates(t *testing.T) {
+	tbl := testTable(t)
+	res := run(t, tbl, "SELECT g, VAR(v), STDDEV(v) FROM t GROUP BY g")
+	// group a: values 1,3,5 -> mean 3, population variance 8/3
+	got, ok := res.Lookup(0, []string{"a"})
+	if !ok {
+		t.Fatal("group a missing")
+	}
+	if math.Abs(got[0]-8.0/3) > 1e-12 {
+		t.Fatalf("VAR(a) = %v want %v", got[0], 8.0/3)
+	}
+	if math.Abs(got[1]-math.Sqrt(8.0/3)) > 1e-12 {
+		t.Fatalf("STDDEV(a) = %v", got[1])
+	}
+	// single-row group c: variance 0
+	got, _ = res.Lookup(0, []string{"c"})
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("VAR of singleton should be 0: %v", got)
+	}
+}
+
+func TestVarianceWeightedEstimate(t *testing.T) {
+	// a weighted half-sample still estimates variance approximately
+	tbl := table.New("t", table.Schema{
+		{Name: "g", Kind: table.String},
+		{Name: "v", Kind: table.Float},
+	})
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 4000; i++ {
+		if err := tbl.AppendRow("g", 100+rng.NormFloat64()*20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := sqlparse.Parse("SELECT g, VAR(v) FROM t GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Run(tbl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int32, 0, 2000)
+	weights := make([]float64, 0, 2000)
+	for i := 0; i < tbl.NumRows(); i += 2 {
+		rows = append(rows, int32(i))
+		weights = append(weights, 2)
+	}
+	approx, err := RunWeighted(tbl, q, rows, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exact.Rows[0].Aggs[0]
+	got := approx.Rows[0].Aggs[0]
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("weighted VAR = %v vs exact %v", got, want)
+	}
+}
+
+func TestVarianceNeverNegative(t *testing.T) {
+	// large offsets provoke catastrophic cancellation in the naive
+	// sum-of-squares; the result must be clamped at 0, never negative
+	tbl := table.New("t", table.Schema{
+		{Name: "g", Kind: table.String},
+		{Name: "v", Kind: table.Float},
+	})
+	for i := 0; i < 100; i++ {
+		if err := tbl.AppendRow("g", 1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := run(t, tbl, "SELECT g, VAR(v) FROM t GROUP BY g")
+	if res.Rows[0].Aggs[0] < 0 {
+		t.Fatalf("variance negative: %v", res.Rows[0].Aggs[0])
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+// RunFig5 reproduces Figure 5: maximum error of WITH CUBE queries —
+// SAMG (AQ7, B3) and MAMG (AQ8, B4) — for Uniform/CS/RL/CVOPT. The
+// samplers receive one QuerySpec per grouping set (the multiple-group-by
+// machinery of Section 4), so the allocation jointly optimizes every
+// grouping of the cube.
+func RunFig5(cfg Config) error {
+	cfg.setDefaults()
+	openaq, bikes, err := datasets(cfg)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "Figure 5: CUBE queries, maximum error (paper: CVOPT < CS < RL << Uniform)")
+	type cse struct {
+		label string
+		tbl   *table.Table
+		specs []core.QuerySpec
+		q     *sqlparse.Query
+		rate  float64
+	}
+	cases := []cse{
+		{"AQ7 (SAMG)", openaq, specCubeAQ("value"), queryAQ7, 0.01},
+		{"B3 (SAMG)", bikes, specCubeBikes("trip_duration"), queryB3, 0.05},
+		{"AQ8 (MAMG)", openaq, specCubeAQ("value", "latitude"), queryAQ8, 0.01},
+		{"B4 (MAMG)", bikes, specCubeBikes("trip_duration", "age"), queryB4, 0.05},
+	}
+	tw := newTab(cfg.Out)
+	fmt.Fprintf(tw, "query\t%s\n", methodNames(fourMethods()))
+	for _, c := range cases {
+		cells := make([]string, 0, 4)
+		for _, s := range fourMethods() {
+			sum, err := evalCase(c.tbl, c.specs, c.q, s, budget(c.tbl, c.rate), cfg.Reps, cfg.Seed+900)
+			if err != nil {
+				return fmt.Errorf("fig5 %s %s: %w", c.label, s.Name(), err)
+			}
+			cells = append(cells, pct(sum.Max))
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", c.label, join(cells))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/samplers"
+)
+
+// smallCfg keeps the smoke tests fast; the real scales run via
+// cmd/cvbench and the root benchmarks.
+func smallCfg(buf *bytes.Buffer) Config {
+	return Config{
+		OpenAQRows: 40000,
+		BikesRows:  30000,
+		Scale:      2,
+		Seed:       42,
+		Reps:       1,
+		Out:        buf,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Registry() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	// every paper artifact is present
+	for _, id := range []string{"fig1", "sec61", "table4", "fig2", "fig3", "fig4", "table5", "fig5", "table6", "fig6", "ablp", "ablcap"} {
+		if !ids[id] {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+	}
+	if _, ok := Find("fig1"); !ok {
+		t.Fatalf("Find(fig1) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatalf("Find(nope) should fail")
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(smallCfg(&buf)); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "===") {
+				t.Fatalf("%s produced no header:\n%s", e.ID, out)
+			}
+			if len(strings.Split(out, "\n")) < 4 {
+				t.Fatalf("%s output too short:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+// The qualitative Figure 1 claim at test scale: CVOPT's AQ3 max error is
+// lower than Uniform's, and not worse than CS and RL by more than a
+// small factor.
+func TestFig1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	cfg := Config{OpenAQRows: 120000, Seed: 7, Reps: 2}
+	cfg.setDefaults()
+	openaq, _, err := datasets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := budget(openaq, 0.02)
+	maxErr := map[string]float64{}
+	for _, s := range fourMethods() {
+		sum, err := evalCase(openaq, specAQ3(), queryAQ3, s, m, cfg.Reps, cfg.Seed)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		maxErr[s.Name()] = sum.Max
+	}
+	if maxErr["CVOPT"] >= maxErr["Uniform"] {
+		t.Fatalf("CVOPT (%v) should beat Uniform (%v) on max error", maxErr["CVOPT"], maxErr["Uniform"])
+	}
+	if maxErr["CVOPT"] > 1.3*maxErr["CS"] {
+		t.Fatalf("CVOPT (%v) should not lose badly to CS (%v)", maxErr["CVOPT"], maxErr["CS"])
+	}
+	if maxErr["CVOPT"] > 1.3*maxErr["RL"] {
+		t.Fatalf("CVOPT (%v) should not lose badly to RL (%v)", maxErr["CVOPT"], maxErr["RL"])
+	}
+}
+
+// Figure 2's monotonicity claim: raising w1 must not increase agg1's
+// error (checked at the endpoints, where the signal is strongest).
+func TestFig2Monotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	cfg := Config{BikesRows: 60000, Seed: 11, Reps: 3}
+	cfg.setDefaults()
+	_, bikes, err := datasets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := budget(bikes, 0.05)
+	lo1, lo2, err := runWeightedCase(bikes, specB1Weighted(0.1, 0.9), queryB1, m, cfg.Reps, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi1, hi2, err := runWeightedCase(bikes, specB1Weighted(0.9, 0.1), queryB1, m, cfg.Reps, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi1 >= lo1 {
+		t.Fatalf("raising w1 should reduce agg1 error: %v -> %v", lo1, hi1)
+	}
+	if hi2 <= lo2 {
+		t.Fatalf("lowering w2 should raise agg2 error: %v -> %v", lo2, hi2)
+	}
+}
+
+// Figure 6's claim: CVOPT-INF has lower max error but higher median than
+// CVOPT on a SASG query.
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	cfg := Config{BikesRows: 60000, Seed: 3, Reps: 3}
+	cfg.setDefaults()
+	_, bikes, err := datasets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := budget(bikes, 0.05)
+	l2, err := errorPercentiles(bikes, specB2(), queryB2, &samplers.CVOPT{}, m, cfg.Reps, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linf, err := errorPercentiles(bikes, specB2(), queryB2,
+		&samplers.CVOPT{Opts: core.Options{Norm: core.LInf}}, m, cfg.Reps, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxIdx := len(percentileRanks) - 1
+	if linf[maxIdx] > l2[maxIdx]*1.1 {
+		t.Fatalf("INF max error %v should not exceed L2's %v", linf[maxIdx], l2[maxIdx])
+	}
+}
+
+// AQ1 composition: differences of the two yearly halves are correct on a
+// deterministic example.
+func TestComposeAQ1(t *testing.T) {
+	y18 := &exec.Result{Rows: []exec.Row{
+		{Key: []string{"US"}, Aggs: []float64{5, 100}},
+		{Key: []string{"VN"}, Aggs: []float64{3, 50}},
+		{Key: []string{"only18"}, Aggs: []float64{1, 1}},
+	}}
+	y17 := &exec.Result{Rows: []exec.Row{
+		{Key: []string{"US"}, Aggs: []float64{4, 90}},
+		{Key: []string{"VN"}, Aggs: []float64{6, 80}},
+		{Key: []string{"only17"}, Aggs: []float64{2, 2}},
+	}}
+	got := composeAQ1(y18, y17)
+	if len(got) != 2 {
+		t.Fatalf("join should keep only common countries: %v", got)
+	}
+	if got["US"][0] != 1 || got["US"][1] != 10 {
+		t.Fatalf("US diff = %v", got["US"])
+	}
+	if got["VN"][0] != -3 || got["VN"][1] != -30 {
+		t.Fatalf("VN diff = %v", got["VN"])
+	}
+}
+
+func TestBudgetAndQuantile(t *testing.T) {
+	cfg := Config{OpenAQRows: 20000, Seed: 1}
+	cfg.setDefaults()
+	openaq, _, err := datasets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := budget(openaq, 0.01); got != 200 {
+		t.Fatalf("budget = %d want 200", got)
+	}
+	if got := budget(openaq, 0.0000001); got != 1 {
+		t.Fatalf("budget should clamp to 1, got %d", got)
+	}
+	med := quantileOf(openaq, "hour", 0.5)
+	if med < 8 || med > 15 {
+		t.Fatalf("median hour = %v implausible", med)
+	}
+	// selectivity check: the 25% duration threshold keeps ~25% of rows
+	q25 := quantileOf(openaq, "value", 0.25)
+	vals := openaq.Column("value")
+	kept := 0
+	for r := 0; r < openaq.NumRows(); r++ {
+		if vals.Float[r] <= q25 {
+			kept++
+		}
+	}
+	frac := float64(kept) / float64(openaq.NumRows())
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("quantile selectivity = %v want ~0.25", frac)
+	}
+}
+
+func TestEvalPrebuiltAgainstKnownSample(t *testing.T) {
+	cfg := Config{OpenAQRows: 20000, Seed: 5}
+	cfg.setDefaults()
+	openaq, _, err := datasets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rs, err := (&samplers.CVOPT{}).Build(openaq, specAQ3(), 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := evalPrebuilt(openaq, queryAQ3, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N == 0 {
+		t.Fatalf("no groups evaluated")
+	}
+	if sum.Mean > 0.4 {
+		t.Fatalf("10%% CVOPT sample mean error implausible: %v", sum.Mean)
+	}
+	_ = metrics.Summary{}
+}

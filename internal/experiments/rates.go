@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// RunFig3 reproduces Figure 3: sensitivity of the maximum error to the
+// sample rate, for MASG query AQ2 (rates 0.01%..10%) and SASG query B2
+// (rates 0.1%..10%), methods Uniform/CS/RL/CVOPT.
+func RunFig3(cfg Config) error {
+	cfg.setDefaults()
+	openaq, bikes, err := datasets(cfg)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "Figure 3: maximum error vs sample rate (CVOPT lowest at nearly all rates)")
+
+	tw := newTab(cfg.Out)
+	fmt.Fprintf(tw, "AQ2 rate\t%s\n", methodNames(fourMethods()))
+	for _, rate := range []float64{0.0001, 0.001, 0.01, 0.1} {
+		cells := make([]string, 0, 4)
+		for _, s := range fourMethods() {
+			sum, err := evalCase(openaq, specAQ3(), queryAQ2, s, budget(openaq, rate), cfg.Reps, cfg.Seed+600)
+			if err != nil {
+				return fmt.Errorf("fig3 AQ2 %s: %w", s.Name(), err)
+			}
+			cells = append(cells, pct(sum.Max))
+		}
+		fmt.Fprintf(tw, "%.2f%%\t%s\n", rate*100, join(cells))
+	}
+	fmt.Fprintf(tw, "\nB2 rate\t%s\n", methodNames(fourMethods()))
+	for _, rate := range []float64{0.001, 0.01, 0.05, 0.1} {
+		cells := make([]string, 0, 4)
+		for _, s := range fourMethods() {
+			sum, err := evalCase(bikes, specB2(), queryB2, s, budget(bikes, rate), cfg.Reps, cfg.Seed+650)
+			if err != nil {
+				return fmt.Errorf("fig3 B2 %s: %w", s.Name(), err)
+			}
+			cells = append(cells, pct(sum.Max))
+		}
+		fmt.Fprintf(tw, "%.2f%%\t%s\n", rate*100, join(cells))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/samplers"
+	"repro/internal/sqlparse"
+)
+
+// RunFig4 reproduces Figure 4: one materialized sample per dataset
+// (optimized for AQ3 / B2) answers the selectivity variants AQ3.a-c and
+// B2.a-c; maximum error per method as selectivity grows 25% -> 100%.
+func RunFig4(cfg Config) error {
+	cfg.setDefaults()
+	openaq, bikes, err := datasets(cfg)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "Figure 4: predicate selectivity with one materialized sample (error shrinks as selectivity grows; CVOPT lowest)")
+
+	// B2 selectivity thresholds from trip_duration quantiles.
+	q25 := quantileOf(bikes, "trip_duration", 0.25)
+	q50 := quantileOf(bikes, "trip_duration", 0.50)
+	q75 := quantileOf(bikes, "trip_duration", 0.75)
+
+	aqVariants := []struct {
+		label string
+		q     *sqlparse.Query
+	}{
+		{"25%", queryAQ3a}, {"50%", queryAQ3b}, {"75%", queryAQ3c}, {"100%", queryAQ3},
+	}
+	bVariants := []struct {
+		label string
+		q     *sqlparse.Query
+	}{
+		{"25%", b2Variant(q25)}, {"50%", b2Variant(q50)}, {"75%", b2Variant(q75)}, {"100%", queryB2},
+	}
+
+	tw := newTab(cfg.Out)
+	fmt.Fprintf(tw, "AQ3.* selectivity\t%s\n", methodNames(fourMethods()))
+	for vi, v := range aqVariants {
+		cells := make([]string, 0, 4)
+		for _, s := range fourMethods() {
+			var worst float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + 700 + int64(rep)))
+				rs, err := s.Build(openaq, specAQ3(), budget(openaq, 0.01), rng)
+				if err != nil {
+					return fmt.Errorf("fig4 %s: %w", s.Name(), err)
+				}
+				sum, err := evalPrebuilt(openaq, v.q, rs)
+				if err != nil {
+					return err
+				}
+				worst += sum.Max
+			}
+			cells = append(cells, pct(worst/float64(cfg.Reps)))
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", v.label, join(cells))
+		_ = vi
+	}
+	fmt.Fprintf(tw, "\nB2.* selectivity\t%s\n", methodNames(fourMethods()))
+	for _, v := range bVariants {
+		cells := make([]string, 0, 4)
+		for _, s := range fourMethods() {
+			var worst float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + 750 + int64(rep)))
+				rs, err := s.Build(bikes, specB2(), budget(bikes, 0.05), rng)
+				if err != nil {
+					return fmt.Errorf("fig4 %s: %w", s.Name(), err)
+				}
+				sum, err := evalPrebuilt(bikes, v.q, rs)
+				if err != nil {
+					return err
+				}
+				worst += sum.Max
+			}
+			cells = append(cells, pct(worst/float64(cfg.Reps)))
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", v.label, join(cells))
+	}
+	return tw.Flush()
+}
+
+// RunTable5 reproduces Table 5: the sample materialized for AQ3 answers
+// six queries, including AQ5 (different predicate) and AQ6 (different
+// predicate AND different group-by attributes); average error per method.
+func RunTable5(cfg Config) error {
+	cfg.setDefaults()
+	openaq, _, err := datasets(cfg)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "Table 5: sample reuse, average error (paper: CVOPT 1.5/4.4/2.4/1.9/2.3/0.8; Uniform 98/21/21/18/100/100)")
+	queries := []struct {
+		label string
+		q     *sqlparse.Query
+	}{
+		{"AQ3", queryAQ3}, {"AQ3.a", queryAQ3a}, {"AQ3.b", queryAQ3b},
+		{"AQ3.c", queryAQ3c}, {"AQ5", queryAQ5}, {"AQ6", queryAQ6},
+	}
+	methods := fourMethods()
+	m := budget(openaq, 0.01)
+
+	// Build each method's materialized sample once per rep (optimized for
+	// AQ3 only) and reuse it across all six queries.
+	type rep struct{ samples []*samplers.RowSample }
+	reps := make([]rep, cfg.Reps)
+	for r := range reps {
+		rng := rand.New(rand.NewSource(cfg.Seed + 800 + int64(r)))
+		for _, s := range methods {
+			rs, err := s.Build(openaq, specAQ3(), m, rng)
+			if err != nil {
+				return fmt.Errorf("table5 %s: %w", s.Name(), err)
+			}
+			reps[r].samples = append(reps[r].samples, rs)
+		}
+	}
+
+	tw := newTab(cfg.Out)
+	fmt.Fprintf(tw, "query\t%s\n", methodNames(methods))
+	for _, qc := range queries {
+		cells := make([]string, 0, len(methods))
+		for mi := range methods {
+			var mean float64
+			for r := range reps {
+				sum, err := evalPrebuilt(openaq, qc.q, reps[r].samples[mi])
+				if err != nil {
+					return err
+				}
+				mean += sum.Mean
+			}
+			cells = append(cells, pct(mean/float64(cfg.Reps)))
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", qc.label, join(cells))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,153 @@
+// Package metrics computes the error measures of the paper's evaluation:
+// per-group relative error |x̄ − x|/x of an approximate answer against
+// the exact answer, and their max / average / percentile summaries over
+// all groups of a query (Section 6 preliminaries).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/exec"
+)
+
+// RelativeError returns |approx − exact| / |exact|. When the exact value
+// is zero the error is 0 if the estimate is also zero, else 1 (treated
+// as 100%, the convention for missing/degenerate answers).
+func RelativeError(exact, approx float64) float64 {
+	if math.IsNaN(approx) || math.IsInf(approx, 0) {
+		return 1
+	}
+	if exact == 0 {
+		if approx == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(approx-exact) / math.Abs(exact)
+}
+
+// GroupErrors compares an approximate query result against the exact
+// one and returns one relative error per (grouping set, group,
+// aggregate). Groups present in the exact answer but missing from the
+// approximate one count as error 1 (the estimate is 0/undefined) — this
+// is what penalizes uniform samples that miss small groups entirely.
+// Spurious approximate groups (possible only with weight noise) are
+// ignored, matching the paper's per-true-group accounting.
+func GroupErrors(exact, approx *exec.Result) []float64 {
+	approxIdx := approx.Index()
+	var errs []float64
+	for _, row := range exact.Rows {
+		est, ok := approxIdx[exec.KeyOf(row.Set, row.Key)]
+		for i, want := range row.Aggs {
+			if !ok {
+				errs = append(errs, 1)
+				continue
+			}
+			errs = append(errs, RelativeError(want, est[i]))
+		}
+	}
+	return errs
+}
+
+// GroupErrorsPerAgg is GroupErrors split by aggregate position: result
+// [j] holds the per-group errors of the j-th aggregate output. Used by
+// the weighted-aggregates experiment (Figure 2), which reports each
+// aggregate's error separately.
+func GroupErrorsPerAgg(exact, approx *exec.Result) [][]float64 {
+	approxIdx := approx.Index()
+	var out [][]float64
+	for _, row := range exact.Rows {
+		if out == nil {
+			out = make([][]float64, len(row.Aggs))
+		}
+		est, ok := approxIdx[exec.KeyOf(row.Set, row.Key)]
+		for i, want := range row.Aggs {
+			if !ok {
+				out[i] = append(out[i], 1)
+				continue
+			}
+			out[i] = append(out[i], RelativeError(want, est[i]))
+		}
+	}
+	return out
+}
+
+// Summary condenses a set of per-group errors.
+type Summary struct {
+	N      int
+	Max    float64
+	Mean   float64
+	Median float64
+}
+
+// Summarize computes N, max, mean and median of errs. An empty input
+// yields a zero Summary.
+func Summarize(errs []float64) Summary {
+	if len(errs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(errs)}
+	var sum float64
+	for _, e := range errs {
+		sum += e
+		if e > s.Max {
+			s.Max = e
+		}
+	}
+	s.Mean = sum / float64(len(errs))
+	s.Median = Percentile(errs, 0.5)
+	return s
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of errs using linear
+// interpolation between order statistics. It does not modify errs.
+func Percentile(errs []float64, p float64) float64 {
+	if len(errs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	sorted := append([]float64(nil), errs...)
+	sort.Float64s(sorted)
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders a summary as percentages.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d max=%.2f%% mean=%.2f%% median=%.2f%%",
+		s.N, s.Max*100, s.Mean*100, s.Median*100)
+}
+
+// Average element-wise averages several summaries (used to average the
+// five experiment repetitions).
+func Average(summaries []Summary) Summary {
+	if len(summaries) == 0 {
+		return Summary{}
+	}
+	var out Summary
+	for _, s := range summaries {
+		out.N += s.N
+		out.Max += s.Max
+		out.Mean += s.Mean
+		out.Median += s.Median
+	}
+	k := float64(len(summaries))
+	out.N /= len(summaries)
+	out.Max /= k
+	out.Mean /= k
+	out.Median /= k
+	return out
+}

@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exec"
+)
+
+func TestRelativeError(t *testing.T) {
+	cases := []struct {
+		exact, approx, want float64
+	}{
+		{100, 110, 0.1},
+		{100, 90, 0.1},
+		{-100, -90, 0.1},
+		{100, 100, 0},
+		{0, 0, 0},
+		{0, 5, 1},
+		{100, math.NaN(), 1},
+		{100, math.Inf(1), 1},
+	}
+	for _, c := range cases {
+		if got := RelativeError(c.exact, c.approx); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("RelativeError(%v,%v) = %v want %v", c.exact, c.approx, got, c.want)
+		}
+	}
+}
+
+func TestGroupErrors(t *testing.T) {
+	exact := &exec.Result{Rows: []exec.Row{
+		{Set: 0, Key: []string{"a"}, Aggs: []float64{10, 100}},
+		{Set: 0, Key: []string{"b"}, Aggs: []float64{20, 200}},
+		{Set: 0, Key: []string{"c"}, Aggs: []float64{5, 50}},
+	}}
+	approx := &exec.Result{Rows: []exec.Row{
+		{Set: 0, Key: []string{"a"}, Aggs: []float64{11, 100}},
+		{Set: 0, Key: []string{"b"}, Aggs: []float64{20, 150}},
+		// c missing entirely
+		{Set: 0, Key: []string{"phantom"}, Aggs: []float64{1, 1}},
+	}}
+	errs := GroupErrors(exact, approx)
+	want := []float64{0.1, 0, 0, 0.25, 1, 1}
+	if len(errs) != len(want) {
+		t.Fatalf("errs = %v", errs)
+	}
+	for i := range want {
+		if math.Abs(errs[i]-want[i]) > 1e-12 {
+			t.Fatalf("err[%d] = %v want %v", i, errs[i], want[i])
+		}
+	}
+}
+
+func TestGroupErrorsAcrossSets(t *testing.T) {
+	exact := &exec.Result{Rows: []exec.Row{
+		{Set: 0, Key: []string{"a"}, Aggs: []float64{10}},
+		{Set: 1, Key: []string{"a"}, Aggs: []float64{99}},
+	}}
+	approx := &exec.Result{Rows: []exec.Row{
+		{Set: 0, Key: []string{"a"}, Aggs: []float64{10}},
+		// set 1's "a" missing — must not be confused with set 0's
+	}}
+	errs := GroupErrors(exact, approx)
+	if errs[0] != 0 || errs[1] != 1 {
+		t.Fatalf("set separation broken: %v", errs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.1, 0.3, 0.2})
+	if s.N != 3 || math.Abs(s.Max-0.3) > 1e-12 || math.Abs(s.Mean-0.2) > 1e-12 || math.Abs(s.Median-0.2) > 1e-12 {
+		t.Fatalf("summary = %+v", s)
+	}
+	zero := Summarize(nil)
+	if zero.N != 0 || zero.Max != 0 {
+		t.Fatalf("empty summary = %+v", zero)
+	}
+	if !strings.Contains(s.String(), "max=30.00%") {
+		t.Fatalf("render = %s", s.String())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	errs := []float64{0.4, 0.1, 0.2, 0.3}
+	if got := Percentile(errs, 0); got != 0.1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(errs, 1); got != 0.4 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(errs, 0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("p50 = %v", got)
+	}
+	// clamping
+	if Percentile(errs, -3) != 0.1 || Percentile(errs, 7) != 0.4 {
+		t.Fatalf("clamping broken")
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatalf("empty percentile should be 0")
+	}
+	// must not mutate input
+	if errs[0] != 0.4 {
+		t.Fatalf("input mutated: %v", errs)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	avg := Average([]Summary{
+		{N: 10, Max: 0.2, Mean: 0.1, Median: 0.05},
+		{N: 10, Max: 0.4, Mean: 0.3, Median: 0.15},
+	})
+	if avg.N != 10 || math.Abs(avg.Max-0.3) > 1e-12 || math.Abs(avg.Mean-0.2) > 1e-12 {
+		t.Fatalf("average = %+v", avg)
+	}
+	if (Average(nil) != Summary{}) {
+		t.Fatalf("empty average should be zero")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		errs := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			errs[i] = math.Abs(math.Mod(x, 100))
+		}
+		a := math.Abs(math.Mod(p1, 1))
+		b := math.Abs(math.Mod(p2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(errs, a) <= Percentile(errs, b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package sample provides the row-sampling primitives shared by CVOPT
+// and the baseline samplers: uniform reservoir sampling within a stratum
+// (Vitter's Algorithm R), weighted (measure-biased) sampling with
+// replacement for Sample+Seek, and the StratifiedSample container that
+// records, per stratum, the population size and drawn sample so that
+// estimators can apply the correct scale-up factors.
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Reservoir draws k items uniformly without replacement from a stream of
+// unknown length using Algorithm R. The zero value is not usable; create
+// with NewReservoir.
+type Reservoir struct {
+	k    int
+	seen int64
+	rows []int32
+	rng  *rand.Rand
+}
+
+// NewReservoir creates a reservoir of capacity k fed by rng.
+func NewReservoir(k int, rng *rand.Rand) *Reservoir {
+	if k < 0 {
+		k = 0
+	}
+	return &Reservoir{k: k, rows: make([]int32, 0, k), rng: rng}
+}
+
+// Offer presents one item (a row id) to the reservoir.
+func (r *Reservoir) Offer(row int32) {
+	r.seen++
+	if len(r.rows) < r.k {
+		r.rows = append(r.rows, row)
+		return
+	}
+	if r.k == 0 {
+		return
+	}
+	j := r.rng.Int63n(r.seen)
+	if j < int64(r.k) {
+		r.rows[j] = row
+	}
+}
+
+// Rows returns the sampled row ids (order is arbitrary).
+func (r *Reservoir) Rows() []int32 { return r.rows }
+
+// Seen returns how many items were offered.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// UniformWithoutReplacement draws k distinct indices from [0, n) using a
+// partial Fisher-Yates shuffle; O(k) extra space via a sparse map when
+// k << n would be possible, but the dense variant is fine at our scales.
+// If k >= n it returns all indices.
+func UniformWithoutReplacement(n, k int, rng *rand.Rand) []int32 {
+	if k >= n {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	if k <= 0 {
+		return nil
+	}
+	// sparse Fisher-Yates: swap positions tracked in a map
+	swap := make(map[int32]int32, k*2)
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		j := int32(i) + int32(rng.Int63n(int64(n-i)))
+		vj, ok := swap[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := swap[int32(i)]
+		if !ok {
+			vi = int32(i)
+		}
+		out[i] = vj
+		swap[j] = vi
+	}
+	return out
+}
+
+// StratumSample is the drawn sample of one stratum together with the
+// population count needed to scale estimates back up.
+type StratumSample struct {
+	PopulationN int64   // n_c: rows of the full table in this stratum
+	Rows        []int32 // sampled row ids (into the full table)
+}
+
+// SamplingFraction returns s_c/n_c.
+func (s *StratumSample) SamplingFraction() float64 {
+	if s.PopulationN == 0 {
+		return 0
+	}
+	return float64(len(s.Rows)) / float64(s.PopulationN)
+}
+
+// ScaleUp returns n_c/s_c, the factor that converts a per-sample count or
+// sum into an estimate of the stratum total. It is 0 when the stratum has
+// no sampled rows (the estimator must treat such strata as missing).
+func (s *StratumSample) ScaleUp() float64 {
+	if len(s.Rows) == 0 {
+		return 0
+	}
+	return float64(s.PopulationN) / float64(len(s.Rows))
+}
+
+// StratifiedSample is a sample of a table partitioned into strata. It is
+// the artifact every sampler in this repository produces and every
+// estimator consumes. Strata indices match the GroupIndex that defined
+// the stratification.
+type StratifiedSample struct {
+	Attrs  []string // stratification attributes (finest stratification C)
+	Strata []StratumSample
+}
+
+// TotalSampled returns the total number of sampled rows.
+func (s *StratifiedSample) TotalSampled() int {
+	n := 0
+	for i := range s.Strata {
+		n += len(s.Strata[i].Rows)
+	}
+	return n
+}
+
+// TotalPopulation returns the total number of rows of the sampled table.
+func (s *StratifiedSample) TotalPopulation() int64 {
+	var n int64
+	for i := range s.Strata {
+		n += s.Strata[i].PopulationN
+	}
+	return n
+}
+
+// AllRows returns all sampled row ids, sorted ascending, useful for
+// materializing the sample as a physical sub-table.
+func (s *StratifiedSample) AllRows() []int32 {
+	out := make([]int32, 0, s.TotalSampled())
+	for i := range s.Strata {
+		out = append(out, s.Strata[i].Rows...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DrawStratified draws sizes[i] rows uniformly without replacement from
+// each stratum, given the per-stratum row lists (from
+// GroupIndex.RowsByStratum). Requested sizes larger than the stratum are
+// clamped to the stratum size.
+func DrawStratified(rowsByStratum [][]int32, sizes []int, attrs []string, rng *rand.Rand) (*StratifiedSample, error) {
+	if len(rowsByStratum) != len(sizes) {
+		return nil, fmt.Errorf("sample: %d strata but %d sizes", len(rowsByStratum), len(sizes))
+	}
+	out := &StratifiedSample{Attrs: append([]string(nil), attrs...), Strata: make([]StratumSample, len(sizes))}
+	for i, rows := range rowsByStratum {
+		k := sizes[i]
+		if k > len(rows) {
+			k = len(rows)
+		}
+		idx := UniformWithoutReplacement(len(rows), k, rng)
+		picked := make([]int32, len(idx))
+		for j, p := range idx {
+			picked[j] = rows[p]
+		}
+		out.Strata[i] = StratumSample{PopulationN: int64(len(rows)), Rows: picked}
+	}
+	return out, nil
+}
+
+// WeightedWithReplacement draws k indices from [0, len(weights)) with
+// probability proportional to weights[i], with replacement, using the
+// alias-free cumulative method (binary search per draw). Negative weights
+// are treated as zero. It returns an error when the total weight is zero
+// and k > 0.
+func WeightedWithReplacement(weights []float64, k int, rng *rand.Rand) ([]int32, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w > 0 {
+			total += w
+		}
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("sample: weighted draw from zero total weight")
+	}
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		u := rng.Float64() * total
+		j := sort.SearchFloat64s(cum, u)
+		if j >= len(cum) {
+			j = len(cum) - 1
+		}
+		// skip zero-weight entries SearchFloat64s may land on
+		for j < len(cum)-1 && (j == 0 && cum[j] == 0 || j > 0 && cum[j] == cum[j-1]) {
+			j++
+		}
+		out[i] = int32(j)
+	}
+	return out, nil
+}

@@ -1,0 +1,277 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReservoirBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewReservoir(5, rng)
+	for i := int32(0); i < 3; i++ {
+		r.Offer(i)
+	}
+	if len(r.Rows()) != 3 || r.Seen() != 3 {
+		t.Fatalf("reservoir under capacity should keep everything: %v", r.Rows())
+	}
+	for i := int32(3); i < 100; i++ {
+		r.Offer(i)
+	}
+	if len(r.Rows()) != 5 {
+		t.Fatalf("reservoir size = %d want 5", len(r.Rows()))
+	}
+	if r.Seen() != 100 {
+		t.Fatalf("seen = %d want 100", r.Seen())
+	}
+	seen := map[int32]bool{}
+	for _, x := range r.Rows() {
+		if x < 0 || x >= 100 {
+			t.Fatalf("sampled out-of-range row %d", x)
+		}
+		if seen[x] {
+			t.Fatalf("duplicate row %d in without-replacement sample", x)
+		}
+		seen[x] = true
+	}
+}
+
+func TestReservoirZeroCapacity(t *testing.T) {
+	r := NewReservoir(0, rand.New(rand.NewSource(1)))
+	for i := int32(0); i < 10; i++ {
+		r.Offer(i)
+	}
+	if len(r.Rows()) != 0 {
+		t.Fatalf("zero-capacity reservoir kept rows")
+	}
+	r2 := NewReservoir(-3, rand.New(rand.NewSource(1)))
+	r2.Offer(1)
+	if len(r2.Rows()) != 0 {
+		t.Fatalf("negative capacity should clamp to 0")
+	}
+}
+
+// Chi-square style uniformity check: every item should be selected with
+// probability k/n; over many repetitions the per-item selection frequency
+// must be close to that.
+func TestReservoirUniformity(t *testing.T) {
+	const n, k, reps = 20, 5, 20000
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(7))
+	for rep := 0; rep < reps; rep++ {
+		r := NewReservoir(k, rng)
+		for i := int32(0); i < n; i++ {
+			r.Offer(i)
+		}
+		for _, x := range r.Rows() {
+			counts[x]++
+		}
+	}
+	want := float64(reps) * float64(k) / float64(n) // 5000
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.06*want {
+			t.Fatalf("item %d selected %d times, want ~%.0f (±6%%)", i, c, want)
+		}
+	}
+}
+
+func TestUniformWithoutReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	got := UniformWithoutReplacement(10, 4, rng)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int32]bool{}
+	for _, x := range got {
+		if x < 0 || x >= 10 {
+			t.Fatalf("out of range: %d", x)
+		}
+		if seen[x] {
+			t.Fatalf("duplicate %d", x)
+		}
+		seen[x] = true
+	}
+	// k >= n returns everything
+	all := UniformWithoutReplacement(5, 9, rng)
+	if len(all) != 5 {
+		t.Fatalf("k>=n should return n items, got %d", len(all))
+	}
+	if UniformWithoutReplacement(5, 0, rng) != nil {
+		t.Fatalf("k=0 should return nil")
+	}
+	if UniformWithoutReplacement(5, -2, rng) != nil {
+		t.Fatalf("k<0 should return nil")
+	}
+}
+
+func TestUniformWithoutReplacementUniformity(t *testing.T) {
+	const n, k, reps = 12, 3, 30000
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(11))
+	for rep := 0; rep < reps; rep++ {
+		for _, x := range UniformWithoutReplacement(n, k, rng) {
+			counts[x]++
+		}
+	}
+	want := float64(reps) * float64(k) / float64(n)
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.06*want {
+			t.Fatalf("index %d drawn %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestQuickUniformWithoutReplacementInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(n8, k8 uint8) bool {
+		n, k := int(n8)%200, int(k8)%200
+		got := UniformWithoutReplacement(n, k, rng)
+		if k > n {
+			k = n
+		}
+		if len(got) != k {
+			return false
+		}
+		seen := map[int32]bool{}
+		for _, x := range got {
+			if x < 0 || int(x) >= n || seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStratumSampleScale(t *testing.T) {
+	s := StratumSample{PopulationN: 100, Rows: []int32{1, 2, 3, 4}}
+	if s.SamplingFraction() != 0.04 {
+		t.Fatalf("fraction = %v", s.SamplingFraction())
+	}
+	if s.ScaleUp() != 25 {
+		t.Fatalf("scale = %v", s.ScaleUp())
+	}
+	empty := StratumSample{PopulationN: 50}
+	if empty.ScaleUp() != 0 || empty.SamplingFraction() != 0 {
+		t.Fatalf("empty stratum scale handling wrong")
+	}
+	zeroPop := StratumSample{}
+	if zeroPop.SamplingFraction() != 0 {
+		t.Fatalf("zero population fraction wrong")
+	}
+}
+
+func TestDrawStratified(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rows := [][]int32{
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		{10, 11, 12},
+		{13},
+	}
+	ss, err := DrawStratified(rows, []int{4, 5, 1}, []string{"g"}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Strata) != 3 {
+		t.Fatalf("strata = %d", len(ss.Strata))
+	}
+	if len(ss.Strata[0].Rows) != 4 {
+		t.Fatalf("stratum 0 drew %d", len(ss.Strata[0].Rows))
+	}
+	if len(ss.Strata[1].Rows) != 3 { // clamped to population
+		t.Fatalf("stratum 1 drew %d want clamped 3", len(ss.Strata[1].Rows))
+	}
+	if ss.Strata[2].PopulationN != 1 || len(ss.Strata[2].Rows) != 1 {
+		t.Fatalf("stratum 2 wrong: %+v", ss.Strata[2])
+	}
+	if ss.TotalSampled() != 8 {
+		t.Fatalf("total sampled = %d want 8", ss.TotalSampled())
+	}
+	if ss.TotalPopulation() != 14 {
+		t.Fatalf("total population = %d want 14", ss.TotalPopulation())
+	}
+	all := ss.AllRows()
+	for i := 1; i < len(all); i++ {
+		if all[i-1] >= all[i] {
+			t.Fatalf("AllRows not sorted/unique: %v", all)
+		}
+	}
+	// sampled rows must come from their stratum's row list
+	for _, r := range ss.Strata[0].Rows {
+		if r < 0 || r > 9 {
+			t.Fatalf("stratum 0 sampled foreign row %d", r)
+		}
+	}
+	if _, err := DrawStratified(rows, []int{1, 2}, nil, rng); err == nil {
+		t.Fatalf("want size/strata mismatch error")
+	}
+}
+
+func TestWeightedWithReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	idx, err := WeightedWithReplacement([]float64{1, 0, 3}, 40000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for _, i := range idx {
+		counts[i]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight item drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.25 {
+		t.Fatalf("weight ratio = %v want ~3", ratio)
+	}
+	if _, err := WeightedWithReplacement([]float64{0, 0}, 1, rng); err == nil {
+		t.Fatalf("want zero-weight error")
+	}
+	if out, err := WeightedWithReplacement([]float64{1}, 0, rng); err != nil || out != nil {
+		t.Fatalf("k=0 should be nil,nil")
+	}
+	// negative weights treated as zero
+	idx2, err := WeightedWithReplacement([]float64{-5, 2}, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range idx2 {
+		if i == 0 {
+			t.Fatalf("negative-weight item drawn")
+		}
+	}
+}
+
+func BenchmarkReservoir(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewReservoir(1000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Offer(int32(i))
+	}
+}
+
+func BenchmarkDrawStratified(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]int32, 100)
+	sizes := make([]int, 100)
+	next := int32(0)
+	for i := range rows {
+		rows[i] = make([]int32, 1000)
+		for j := range rows[i] {
+			rows[i][j] = next
+			next++
+		}
+		sizes[i] = 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DrawStratified(rows, sizes, nil, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

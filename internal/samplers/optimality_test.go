@@ -1,0 +1,111 @@
+package samplers
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+// allocationOf reconstructs the per-stratum sample sizes a sampler chose
+// by mapping its sampled rows back through the group index.
+func allocationOf(t *testing.T, gi *table.GroupIndex, rs *RowSample) []int {
+	t.Helper()
+	alloc := make([]int, gi.NumStrata())
+	for _, r := range rs.Rows {
+		alloc[gi.RowID[r]]++
+	}
+	return alloc
+}
+
+// The paper's central claim, checked against every competitor: CVOPT's
+// allocation minimizes the exact l2 objective, so no other method's
+// allocation may score better (modulo integer rounding and budget
+// underuse, tolerated via a 2% slack).
+func TestCVOPTObjectiveDominatesCompetitors(t *testing.T) {
+	tbl := skewedTable(t)
+	qs := specs()
+	plan, err := core.NewPlan(tbl, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 400
+	rng := rand.New(rand.NewSource(19))
+	cvoptSample, err := (&CVOPT{}).Build(tbl, qs, m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvoptObj := plan.ObjectiveL2(allocationOf(t, plan.Index, cvoptSample))
+	for _, s := range []Sampler{Uniform{}, Senate{}, Congress{}, RL{}, SampleSeek{}} {
+		rs, err := s.Build(tbl, qs, m, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		obj := plan.ObjectiveL2(allocationOf(t, plan.Index, rs))
+		if cvoptObj > obj*1.02 {
+			t.Fatalf("%s allocation scores %v on the l2 objective, better than CVOPT's %v", s.Name(), obj, cvoptObj)
+		}
+	}
+}
+
+// Allocation must depend only on per-stratum statistics, not on row
+// order: shuffling the table leaves each group's sample size unchanged.
+func TestAllocationRowOrderInvariant(t *testing.T) {
+	base := skewedTable(t)
+	perm := rand.New(rand.NewSource(23)).Perm(base.NumRows())
+	shuffled := base.Select(perm)
+
+	sizesByKey := func(tbl *table.Table) map[string]int {
+		plan, err := core.NewPlan(tbl, specs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc, err := plan.Allocate(300, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]int{}
+		for c := 0; c < plan.NumStrata(); c++ {
+			out[plan.Index.Key(c).String()] = alloc[c]
+		}
+		return out
+	}
+	a, b := sizesByKey(base), sizesByKey(shuffled)
+	if len(a) != len(b) {
+		t.Fatalf("stratum counts differ: %v vs %v", a, b)
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("group %s allocation changed with row order: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+// The l2 and linf samplers must produce different allocations on
+// heterogeneous data (the norms genuinely trade mean for max).
+func TestL2AndInfAllocationsDiffer(t *testing.T) {
+	tbl := skewedTable(t)
+	plan, err := core.NewPlan(tbl, specs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := plan.Allocate(400, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linf, err := plan.Allocate(400, core.Options{Norm: core.LInf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range l2 {
+		if l2[i] != linf[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("l2 and linf allocations identical on heterogeneous data: %v", l2)
+	}
+}

@@ -1,0 +1,406 @@
+package samplers
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+// skewedTable builds a table with one dominant low-variance group, one
+// small high-variance group and a tiny group — the setting where the
+// samplers separate.
+func skewedTable(t testing.TB) *table.Table {
+	tbl := table.New("t", table.Schema{
+		{Name: "g", Kind: table.String},
+		{Name: "v", Kind: table.Float},
+	})
+	rng := rand.New(rand.NewSource(31))
+	add := func(key string, n int, mean, sd float64) {
+		for i := 0; i < n; i++ {
+			if err := tbl.AppendRow(key, mean+sd*rng.NormFloat64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add("big", 20000, 100, 5)
+	add("mid", 2000, 50, 40)
+	add("small", 60, 500, 250)
+	return tbl
+}
+
+func specs() []core.QuerySpec {
+	return []core.QuerySpec{{GroupBy: []string{"g"}, Aggs: []core.AggColumn{{Column: "v"}}}}
+}
+
+func TestAllSamplersRespectBudgetAndWeights(t *testing.T) {
+	tbl := skewedTable(t)
+	rng := rand.New(rand.NewSource(5))
+	const m = 500
+	for _, s := range WithSenate() {
+		rs, err := s.Build(tbl, specs(), m, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if rs.Len() == 0 {
+			t.Fatalf("%s produced empty sample", s.Name())
+		}
+		if rs.Len() > m+10 { // ceil-rounding slack only
+			t.Fatalf("%s exceeded budget: %d > %d", s.Name(), rs.Len(), m)
+		}
+		var est float64
+		for _, w := range rs.Weights {
+			if w <= 0 {
+				t.Fatalf("%s produced non-positive weight", s.Name())
+			}
+			est += w
+		}
+		n := float64(tbl.NumRows())
+		if math.Abs(est-n)/n > 0.35 {
+			t.Fatalf("%s weighted count %v far from %v", s.Name(), est, n)
+		}
+		for _, r := range rs.Rows {
+			if r < 0 || int(r) >= tbl.NumRows() {
+				t.Fatalf("%s sampled out-of-range row %d", s.Name(), r)
+			}
+		}
+	}
+}
+
+func TestSamplerNames(t *testing.T) {
+	want := map[string]bool{"Uniform": true, "Sample+Seek": true, "CS": true, "RL": true, "CVOPT": true, "Senate": true}
+	for _, s := range WithSenate() {
+		if !want[s.Name()] {
+			t.Fatalf("unexpected sampler name %q", s.Name())
+		}
+	}
+	inf := &CVOPT{Opts: core.Options{Norm: core.LInf}}
+	if inf.Name() != "CVOPT-INF" {
+		t.Fatalf("inf name = %q", inf.Name())
+	}
+	lp := &CVOPT{Opts: core.Options{Norm: core.Lp, P: 4}}
+	if lp.Name() != "CVOPT-L4" {
+		t.Fatalf("lp name = %q", lp.Name())
+	}
+	if len(All()) != 5 {
+		t.Fatalf("All() should have 5 samplers")
+	}
+}
+
+// The headline property: on skewed data with a fixed budget, CVOPT's
+// worst-group error beats Uniform's by a wide margin, and beats or
+// matches CS and RL (the Figure 1 shape).
+func TestCVOPTBeatsBaselinesOnMaxError(t *testing.T) {
+	tbl := skewedTable(t)
+	q, err := sqlparse.Parse("SELECT g, AVG(v) FROM t GROUP BY g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := exec.Run(tbl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 220 // ~1% of the table
+	const reps = 5
+	maxErr := map[string]float64{}
+	for _, s := range All() {
+		var sum float64
+		for rep := 0; rep < reps; rep++ {
+			rng := rand.New(rand.NewSource(int64(100 + rep)))
+			rs, err := s.Build(tbl, specs(), m, rng)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			approx, err := exec.RunWeighted(tbl, q, rs.Rows, rs.Weights)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += metrics.Summarize(metrics.GroupErrors(exact, approx)).Max
+		}
+		maxErr[s.Name()] = sum / reps
+	}
+	if maxErr["CVOPT"] >= maxErr["Uniform"] {
+		t.Fatalf("CVOPT max err %v should beat Uniform %v", maxErr["CVOPT"], maxErr["Uniform"])
+	}
+	if maxErr["CVOPT"] > maxErr["CS"]*1.1 {
+		t.Fatalf("CVOPT max err %v should not lose to CS %v", maxErr["CVOPT"], maxErr["CS"])
+	}
+	if maxErr["CVOPT"] > 0.5 {
+		t.Fatalf("CVOPT max error implausibly high: %v", maxErr["CVOPT"])
+	}
+}
+
+func TestUniformMissesTinyGroups(t *testing.T) {
+	tbl := skewedTable(t)
+	q, _ := sqlparse.Parse("SELECT g, AVG(v) FROM t GROUP BY g")
+	// 0.1% sample: 22 rows over 22060 -> tiny group (60 rows, 0.27%)
+	// almost surely missing
+	rng := rand.New(rand.NewSource(77))
+	missed := 0
+	const reps = 10
+	for rep := 0; rep < reps; rep++ {
+		rs, err := Uniform{}.Build(tbl, specs(), 22, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := exec.RunWeighted(tbl, q, rs.Rows, rs.Weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := approx.Lookup(0, []string{"small"}); !ok {
+			missed++
+		}
+	}
+	if missed < reps/2 {
+		t.Fatalf("tiny group should usually be missed by uniform: %d/%d", missed, reps)
+	}
+	// CVOPT must never miss it (min-per-stratum repair)
+	for rep := 0; rep < reps; rep++ {
+		rs, err := (&CVOPT{}).Build(tbl, specs(), 22, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := exec.RunWeighted(tbl, q, rs.Rows, rs.Weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := approx.Lookup(0, []string{"small"}); !ok {
+			t.Fatalf("CVOPT missed the small group")
+		}
+	}
+}
+
+func TestSenateEqualSplit(t *testing.T) {
+	tbl := skewedTable(t)
+	rng := rand.New(rand.NewSource(9))
+	rs, err := Senate{}.Build(tbl, specs(), 90, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[float64]int{} // weight -> rows (weight identifies stratum here)
+	for _, w := range rs.Weights {
+		counts[w]++
+	}
+	// 3 strata x 30 rows each
+	if len(counts) != 3 {
+		t.Fatalf("senate should hit 3 strata: %v", counts)
+	}
+	for w, c := range counts {
+		if c != 30 {
+			t.Fatalf("senate stratum with weight %v got %d rows, want 30", w, c)
+		}
+	}
+}
+
+func TestCongressDominatesHouseAndSenate(t *testing.T) {
+	tbl := skewedTable(t)
+	rng := rand.New(rand.NewSource(13))
+	const m = 300
+	rs, err := Congress{}.Build(tbl, specs(), m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// reconstruct per-stratum counts via weights: w = n_c/s_c
+	gi, err := table.BuildGroupIndex(tbl, []string{"g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perStratum := map[int]int{}
+	for _, r := range rs.Rows {
+		perStratum[int(gi.RowID[r])]++
+	}
+	nc := gi.StratumSizes()
+	total := float64(tbl.NumRows())
+	for c, got := range perStratum {
+		house := float64(m) * float64(nc[c]) / total
+		senate := float64(m) / 3.0
+		// congress normalizes max(house, senate) shares; each stratum must
+		// get at least ~60% of min share after normalization
+		lower := math.Min(house, senate) * 0.5
+		if float64(got) < lower {
+			t.Fatalf("stratum %d got %d rows, below house/senate floor %v", c, got, lower)
+		}
+	}
+	if len(perStratum) != 3 {
+		t.Fatalf("CS must cover all strata")
+	}
+}
+
+// RL allocates by CV ignoring group size: the tiny, huge-variance group
+// demands more rows than it has; RL clips and loses the surplus, so the
+// total drawn can fall visibly short of the budget.
+func TestRLClipsOversizedAllocations(t *testing.T) {
+	tbl := table.New("t", table.Schema{
+		{Name: "g", Kind: table.String},
+		{Name: "v", Kind: table.Float},
+	})
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 10000; i++ {
+		if err := tbl.AppendRow("calm", 100+rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := tbl.AppendRow("wild", 10+9*rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const m = 1000
+	rs, err := RL{}.Build(tbl, specs(), m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ideal RL share of "wild" is ~99% of 1000 rows, but it only has 40.
+	if rs.Len() > 200 {
+		t.Fatalf("RL should lose clipped budget (got %d of %d)", rs.Len(), m)
+	}
+	// CVOPT redistributes instead
+	cv, err := (&CVOPT{}).Build(tbl, specs(), m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Len() != m {
+		t.Fatalf("CVOPT should spend the full budget: %d", cv.Len())
+	}
+}
+
+func TestSampleSeekBiasedTowardLargeMeasures(t *testing.T) {
+	tbl := table.New("t", table.Schema{
+		{Name: "g", Kind: table.String},
+		{Name: "v", Kind: table.Float},
+	})
+	for i := 0; i < 1000; i++ {
+		key, val := "low", 1.0
+		if i%2 == 0 {
+			key, val = "high", 99.0
+		}
+		if err := tbl.AppendRow(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	rs, err := SampleSeek{}.Build(tbl, specs(), 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, _ := table.BuildGroupIndex(tbl, []string{"g"})
+	hi := 0
+	for _, r := range rs.Rows {
+		if gi.Key(int(gi.RowID[r])).String() == "high" {
+			hi++
+		}
+	}
+	if float64(hi)/float64(len(rs.Rows)) < 0.9 {
+		t.Fatalf("measure-biased sampling should overwhelmingly pick large values: %d/%d", hi, len(rs.Rows))
+	}
+	// weighted COUNT still unbiased
+	var est float64
+	for _, w := range rs.Weights {
+		est += w
+	}
+	if math.Abs(est-1000)/1000 > 0.25 {
+		t.Fatalf("Sample+Seek weighted count = %v want ~1000", est)
+	}
+}
+
+func TestSampleSeekHandlesNonPositiveMeasures(t *testing.T) {
+	tbl := table.New("t", table.Schema{
+		{Name: "g", Kind: table.String},
+		{Name: "v", Kind: table.Float},
+	})
+	for i := 0; i < 100; i++ {
+		v := float64(i % 5)
+		if i%7 == 0 {
+			v = -3
+		}
+		if err := tbl.AppendRow("g", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	rs, err := SampleSeek{}.Build(tbl, specs(), 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 50 {
+		t.Fatalf("sample size = %d", rs.Len())
+	}
+}
+
+func TestSamplerErrors(t *testing.T) {
+	tbl := skewedTable(t)
+	rng := rand.New(rand.NewSource(1))
+	noGroup := []core.QuerySpec{}
+	for _, s := range []Sampler{Senate{}, Congress{}} {
+		if _, err := s.Build(tbl, noGroup, 10, rng); err == nil {
+			t.Fatalf("%s should reject empty query set", s.Name())
+		}
+	}
+	if _, err := (RL{}).Build(tbl, noGroup, 10, rng); err == nil {
+		t.Fatalf("RL should reject empty query set")
+	}
+	if _, err := (SampleSeek{}).Build(tbl, noGroup, 10, rng); err == nil {
+		t.Fatalf("Sample+Seek should reject empty query set")
+	}
+	if _, err := (&CVOPT{}).Build(tbl, noGroup, 10, rng); err == nil {
+		t.Fatalf("CVOPT should reject empty query set")
+	}
+	badCol := []core.QuerySpec{{GroupBy: []string{"g"}, Aggs: []core.AggColumn{{Column: "zz"}}}}
+	if _, err := (SampleSeek{}).Build(tbl, badCol, 10, rng); err == nil {
+		t.Fatalf("Sample+Seek should reject unknown measure column")
+	}
+}
+
+func TestUniformBudgetLargerThanTable(t *testing.T) {
+	tbl := skewedTable(t)
+	rng := rand.New(rand.NewSource(1))
+	rs, err := Uniform{}.Build(tbl, specs(), tbl.NumRows()*2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != tbl.NumRows() {
+		t.Fatalf("uniform should clamp to table size")
+	}
+	if rs.Weights[0] != 1 {
+		t.Fatalf("full sample weight should be 1")
+	}
+}
+
+// Multiple group-bys: every stratified sampler must stratify on the
+// union and still cover all strata.
+func TestSamplersMultiGroupBy(t *testing.T) {
+	tbl, err := datagen.OpenAQ(datagen.OpenAQConfig{Rows: 20000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []core.QuerySpec{
+		{GroupBy: []string{"country"}, Aggs: []core.AggColumn{{Column: "value"}}},
+		{GroupBy: []string{"parameter"}, Aggs: []core.AggColumn{{Column: "value"}}},
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range []Sampler{Congress{}, RL{}, &CVOPT{}} {
+		rs, err := s.Build(tbl, qs, 2000, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		// every country and parameter must be represented
+		giC, _ := table.BuildGroupIndex(tbl, []string{"country"})
+		seen := make([]bool, giC.NumStrata())
+		for _, r := range rs.Rows {
+			seen[giC.RowID[r]] = true
+		}
+		if s.Name() != "RL" { // RL may legitimately starve groups
+			for c, ok := range seen {
+				if !ok {
+					t.Fatalf("%s missed country %s", s.Name(), giC.Key(c))
+				}
+			}
+		}
+	}
+}

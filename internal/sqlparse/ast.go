@@ -1,0 +1,248 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a parsed expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColumnRef references a table column by name.
+type ColumnRef struct{ Name string }
+
+// NumberLit is a numeric literal.
+type NumberLit struct{ Value float64 }
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+// BinaryExpr applies an infix operator: arithmetic (+ - * /),
+// comparison (= != < <= > >=), or boolean (AND OR).
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// UnaryExpr applies a prefix operator: "-" or "NOT".
+type UnaryExpr struct {
+	Op   string
+	Expr Expr
+}
+
+// FuncCall invokes a function. Star marks COUNT(*).
+type FuncCall struct {
+	Name string // uppercased
+	Args []Expr
+	Star bool
+}
+
+// BetweenExpr is `e BETWEEN lo AND hi` (inclusive both ends).
+type BetweenExpr struct {
+	Expr, Lo, Hi Expr
+}
+
+// InExpr is `e IN (item, ...)`.
+type InExpr struct {
+	Expr  Expr
+	Items []Expr
+}
+
+func (*ColumnRef) exprNode()   {}
+func (*NumberLit) exprNode()   {}
+func (*StringLit) exprNode()   {}
+func (*BinaryExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*FuncCall) exprNode()    {}
+func (*BetweenExpr) exprNode() {}
+func (*InExpr) exprNode()      {}
+
+func (e *ColumnRef) String() string { return e.Name }
+func (e *NumberLit) String() string { return fmt.Sprintf("%g", e.Value) }
+func (e *StringLit) String() string { return "'" + strings.ReplaceAll(e.Value, "'", "''") + "'" }
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+func (e *UnaryExpr) String() string {
+	if e.Op == "NOT" {
+		return fmt.Sprintf("(NOT %s)", e.Expr)
+	}
+	return fmt.Sprintf("(%s%s)", e.Op, e.Expr)
+}
+func (e *FuncCall) String() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}
+func (e *BetweenExpr) String() string {
+	return fmt.Sprintf("(%s BETWEEN %s AND %s)", e.Expr, e.Lo, e.Hi)
+}
+func (e *InExpr) String() string {
+	items := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		items[i] = it.String()
+	}
+	return fmt.Sprintf("(%s IN (%s))", e.Expr, strings.Join(items, ", "))
+}
+
+// SelectItem is one output expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// Label is the display name of the item: the alias if present, else the
+// rendered expression.
+func (s SelectItem) Label() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	return s.Expr.String()
+}
+
+// OrderItem is one ORDER BY key: an output expression (a group-by
+// column or an aggregate, matched against the select list by alias or
+// rendering) with a direction.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Query is a parsed SELECT statement.
+type Query struct {
+	Select  []SelectItem
+	From    string
+	Where   Expr // nil when absent
+	GroupBy []string
+	Cube    bool        // GROUP BY ... WITH CUBE
+	Having  Expr        // nil when absent; may reference aggregates
+	OrderBy []OrderItem // empty when absent
+	Limit   int         // 0 = no limit
+}
+
+// String renders the query back to SQL (canonicalized).
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, s := range q.Select {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(s.Expr.String())
+		if s.Alias != "" {
+			sb.WriteString(" AS " + s.Alias)
+		}
+	}
+	sb.WriteString(" FROM " + q.From)
+	if q.Where != nil {
+		sb.WriteString(" WHERE " + q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY " + strings.Join(q.GroupBy, ", "))
+		if q.Cube {
+			sb.WriteString(" WITH CUBE")
+		}
+	}
+	if q.Having != nil {
+		sb.WriteString(" HAVING " + q.Having.String())
+	}
+	if len(q.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
+	}
+	return sb.String()
+}
+
+// AggFuncs lists the aggregate function names the engine understands.
+var AggFuncs = map[string]bool{
+	"AVG": true, "SUM": true, "COUNT": true, "COUNT_IF": true,
+	"MIN": true, "MAX": true, "VAR": true, "STDDEV": true,
+}
+
+// HasAggregate reports whether the expression contains an aggregate
+// function call.
+func HasAggregate(e Expr) bool {
+	switch n := e.(type) {
+	case *FuncCall:
+		if AggFuncs[n.Name] {
+			return true
+		}
+		for _, a := range n.Args {
+			if HasAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return HasAggregate(n.Left) || HasAggregate(n.Right)
+	case *UnaryExpr:
+		return HasAggregate(n.Expr)
+	case *BetweenExpr:
+		return HasAggregate(n.Expr) || HasAggregate(n.Lo) || HasAggregate(n.Hi)
+	case *InExpr:
+		if HasAggregate(n.Expr) {
+			return true
+		}
+		for _, it := range n.Items {
+			if HasAggregate(it) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Columns returns the distinct column names referenced by e, in first-
+// appearance order.
+func Columns(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch n := x.(type) {
+		case *ColumnRef:
+			if !seen[n.Name] {
+				seen[n.Name] = true
+				out = append(out, n.Name)
+			}
+		case *BinaryExpr:
+			walk(n.Left)
+			walk(n.Right)
+		case *UnaryExpr:
+			walk(n.Expr)
+		case *FuncCall:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		case *BetweenExpr:
+			walk(n.Expr)
+			walk(n.Lo)
+			walk(n.Hi)
+		case *InExpr:
+			walk(n.Expr)
+			for _, it := range n.Items {
+				walk(it)
+			}
+		}
+	}
+	walk(e)
+	return out
+}

@@ -1,0 +1,42 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+// FuzzParse checks two robustness properties on arbitrary input: the
+// parser never panics, and any query it accepts renders to SQL that
+// re-parses to the same canonical form (String is a fixed point after
+// one round).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT major, AVG(gpa) FROM Student GROUP BY major",
+		"SELECT country, parameter, unit, SUM(value) AS agg1, COUNT(*) AS agg2 FROM OpenAQ GROUP BY country, parameter, unit WITH CUBE",
+		"SELECT a, SUM(v) FROM t WHERE x BETWEEN 0 AND 5 AND c IN ('p', 'q') GROUP BY a HAVING SUM(v) > 1 ORDER BY a DESC LIMIT 3",
+		"SELECT COUNT_IF(v > 0.5), MIN(v), MAX(v), VAR(v), STDDEV(v) FROM t GROUP BY g",
+		"SELECT -a FROM t WHERE NOT x = 'it''s' OR y != 1e3",
+		"SELECT SUM(IF(v > 2, 1, 0)) / COUNT(*) FROM t GROUP BY g",
+		"SELECT",
+		"SELECT (((((a FROM t",
+		"'unterminated",
+		"SELECT a FROM t WHERE \x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q does not re-parse: %v", input, rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("render not canonical:\n%q\n%q", rendered, q2.String())
+		}
+	})
+}

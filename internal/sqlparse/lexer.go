@@ -1,0 +1,205 @@
+// Package sqlparse implements a lexer and recursive-descent parser for
+// the SQL subset the paper's workload queries use:
+//
+//	SELECT expr [AS alias], ...
+//	FROM table
+//	[WHERE predicate]
+//	[GROUP BY col, ... [WITH CUBE]]
+//	[HAVING predicate-over-aggregates]
+//	[ORDER BY item [ASC|DESC], ...]
+//	[LIMIT n]
+//
+// with aggregate functions AVG, SUM, COUNT, COUNT_IF, MIN, MAX, the
+// scalar IF(cond, a, b), arithmetic (+ - * /), comparisons, BETWEEN,
+// IN (...), AND/OR/NOT, string and numeric literals. This is the query
+// surface needed to express every query of the paper's appendix (AQ1-AQ8,
+// B1-B4) against the synthetic tables.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokSymbol  // ( ) , * + - / = != < <= > >=
+	TokKeyword // SELECT FROM WHERE GROUP BY WITH CUBE AND OR NOT BETWEEN IN AS
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokSymbol:
+		return "symbol"
+	case TokKeyword:
+		return "keyword"
+	}
+	return "unknown"
+}
+
+// Token is one lexical unit. Text is uppercased for keywords, verbatim
+// otherwise.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"WITH": true, "CUBE": true, "AND": true, "OR": true, "NOT": true,
+	"BETWEEN": true, "IN": true, "AS": true, "HAVING": true,
+	"ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with its position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: position %d: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes the input.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				if input[j] == quote {
+					if j+1 < n && input[j+1] == quote { // doubled quote escape
+						sb.WriteByte(quote)
+						j += 2
+						continue
+					}
+					closed = true
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if !closed {
+				return nil, errAt(i, "unterminated string literal")
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			j := i
+			seenDot, seenExp := false, false
+			for j < n {
+				d := input[j]
+				if d >= '0' && d <= '9' {
+					j++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					j++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && j > i {
+					seenExp = true
+					j++
+					if j < n && (input[j] == '+' || input[j] == '-') {
+						j++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[i:j], Pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Pos: i})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: i})
+			}
+			i = j
+		default:
+			switch c {
+			case '(', ')', ',', '*', '+', '-', '/', '=':
+				toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
+				i++
+			case '<':
+				if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+					text := input[i : i+2]
+					if text == "<>" {
+						text = "!="
+					}
+					toks = append(toks, Token{Kind: TokSymbol, Text: text, Pos: i})
+					i += 2
+				} else {
+					toks = append(toks, Token{Kind: TokSymbol, Text: "<", Pos: i})
+					i++
+				}
+			case '>':
+				if i+1 < n && input[i+1] == '=' {
+					toks = append(toks, Token{Kind: TokSymbol, Text: ">=", Pos: i})
+					i += 2
+				} else {
+					toks = append(toks, Token{Kind: TokSymbol, Text: ">", Pos: i})
+					i++
+				}
+			case '!':
+				if i+1 < n && input[i+1] == '=' {
+					toks = append(toks, Token{Kind: TokSymbol, Text: "!=", Pos: i})
+					i += 2
+				} else {
+					return nil, errAt(i, "unexpected character %q", c)
+				}
+			default:
+				return nil, errAt(i, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}
+
+// Identifiers are ASCII-only: the lexer scans bytes, so admitting
+// non-ASCII "letters" would mis-split multi-byte UTF-8 sequences.
+func isIdentStart(r rune) bool {
+	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || r >= '0' && r <= '9'
+}

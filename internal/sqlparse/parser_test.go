@@ -1,0 +1,334 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *Query {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return q
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, AVG(v) FROM t WHERE x >= 1.5e2 AND y != 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	if kinds[0] != TokKeyword || texts[0] != "SELECT" {
+		t.Fatalf("first token %v %q", kinds[0], texts[0])
+	}
+	found := false
+	for i, x := range texts {
+		if x == "it's" && kinds[i] == TokString {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("doubled-quote escape not handled: %v", texts)
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Fatalf("missing EOF token")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("1 2.5 .75 1e3 2.5E-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "2.5", ".75", "1e3", "2.5E-2"}
+	for i, w := range want {
+		if toks[i].Kind != TokNumber || toks[i].Text != w {
+			t.Fatalf("token %d = %v %q want number %q", i, toks[i].Kind, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("< <= > >= = != <>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"<", "<=", ">", ">=", "=", "!=", "!="}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Fatalf("op %d = %q want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", "a ! b", "a ; b", "a # b"} {
+		if _, err := Lex(bad); err == nil {
+			t.Fatalf("Lex(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseSimpleGroupBy(t *testing.T) {
+	q := mustParse(t, "SELECT major, AVG(gpa) FROM Student GROUP BY major")
+	if q.From != "Student" {
+		t.Fatalf("from = %q", q.From)
+	}
+	if len(q.Select) != 2 {
+		t.Fatalf("select items = %d", len(q.Select))
+	}
+	if _, ok := q.Select[0].Expr.(*ColumnRef); !ok {
+		t.Fatalf("first item should be column ref")
+	}
+	call, ok := q.Select[1].Expr.(*FuncCall)
+	if !ok || call.Name != "AVG" {
+		t.Fatalf("second item should be AVG call: %v", q.Select[1].Expr)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "major" {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+	if q.Cube {
+		t.Fatalf("cube should be false")
+	}
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	// every paper query shape must parse
+	queries := []string{
+		// AQ2 (MASG)
+		"SELECT country, parameter, unit, SUM(value) agg1, COUNT(*) agg2 FROM OpenAQ GROUP BY country, parameter, unit",
+		// B1
+		"SELECT from_station_id, AVG(age) agg1, AVG(trip_duration) agg2 FROM Bikes WHERE age > 0 GROUP BY from_station_id",
+		// AQ3
+		"SELECT country, parameter, unit, AVG(value) FROM OpenAQ WHERE hour BETWEEN 0 AND 24 GROUP BY country, parameter, unit",
+		// B2
+		"SELECT from_station_id, AVG(trip_duration) FROM Bikes WHERE trip_duration > 0 GROUP BY from_station_id",
+		// AQ4 (flattened: month/year are columns in our synthetic schema)
+		"SELECT AVG(value), country, month, year FROM OpenAQ WHERE parameter = 'co' GROUP BY country, month, year",
+		// AQ5
+		"SELECT country, parameter, unit, AVG(value) average FROM OpenAQ WHERE latitude > 0 GROUP BY country, parameter, unit",
+		// AQ6
+		"SELECT parameter, unit, COUNT_IF(value > 0.5) AS count FROM OpenAQ WHERE country = 'VN' GROUP BY parameter, unit",
+		// AQ7 (cube)
+		"SELECT country, parameter, SUM(value) FROM OpenAQ GROUP BY country, parameter WITH CUBE",
+		// AQ8
+		"SELECT country, parameter, SUM(value), SUM(latitude) FROM OpenAQ GROUP BY country, parameter WITH CUBE",
+		// AQ1 halves (the join is composed in the harness)
+		"SELECT country, AVG(value) AS avg_value, COUNT_IF(value > 0.04) AS high_cnt FROM OpenAQ WHERE parameter = 'bc' AND year = 2018 GROUP BY country",
+	}
+	for _, sql := range queries {
+		q := mustParse(t, sql)
+		if q.From == "" || len(q.Select) == 0 {
+			t.Fatalf("degenerate parse of %q", sql)
+		}
+	}
+}
+
+func TestParseCube(t *testing.T) {
+	q := mustParse(t, "SELECT a, b, SUM(v) FROM t GROUP BY a, b WITH CUBE")
+	if !q.Cube {
+		t.Fatalf("WITH CUBE not detected")
+	}
+	if len(q.GroupBy) != 2 {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	q := mustParse(t, "SELECT SUM(v) AS total, AVG(v) mean FROM t GROUP BY g")
+	if q.Select[0].Alias != "total" || q.Select[1].Alias != "mean" {
+		t.Fatalf("aliases = %q, %q", q.Select[0].Alias, q.Select[1].Alias)
+	}
+	if q.Select[0].Label() != "total" {
+		t.Fatalf("label should use alias")
+	}
+	noAlias := mustParse(t, "SELECT SUM(v) FROM t GROUP BY g")
+	if noAlias.Select[0].Label() != "SUM(v)" {
+		t.Fatalf("label = %q", noAlias.Select[0].Label())
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	q := mustParse(t, "SELECT a FROM t WHERE x + 2 * y < 10 AND b = 'z' OR NOT c > 1")
+	// ((x + (2*y)) < 10 AND b='z') OR (NOT (c>1))
+	or, ok := q.Where.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top should be OR: %v", q.Where)
+	}
+	and, ok := or.Left.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("left of OR should be AND: %v", or.Left)
+	}
+	lt, ok := and.Left.(*BinaryExpr)
+	if !ok || lt.Op != "<" {
+		t.Fatalf("comparison missing: %v", and.Left)
+	}
+	plus, ok := lt.Left.(*BinaryExpr)
+	if !ok || plus.Op != "+" {
+		t.Fatalf("additive missing: %v", lt.Left)
+	}
+	if mul, ok := plus.Right.(*BinaryExpr); !ok || mul.Op != "*" {
+		t.Fatalf("* should bind tighter than +: %v", plus.Right)
+	}
+	if _, ok := or.Right.(*UnaryExpr); !ok {
+		t.Fatalf("NOT missing: %v", or.Right)
+	}
+}
+
+func TestParseBetweenAndIn(t *testing.T) {
+	q := mustParse(t, "SELECT a FROM t WHERE h BETWEEN 0 AND 12 AND c IN ('x', 'y') AND d BETWEEN 1 AND 2")
+	s := q.Where.String()
+	if !strings.Contains(s, "BETWEEN") || !strings.Contains(s, "IN") {
+		t.Fatalf("where = %s", s)
+	}
+	// the AND after BETWEEN's hi bound must attach to the conjunction
+	top, ok := q.Where.(*BinaryExpr)
+	if !ok || top.Op != "AND" {
+		t.Fatalf("top level should be AND: %v", q.Where)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	q := mustParse(t, "SELECT a FROM t WHERE x > -5 AND y = -2.5")
+	s := q.Where.String()
+	if !strings.Contains(s, "-") {
+		t.Fatalf("negation lost: %s", s)
+	}
+}
+
+func TestParseCountVariants(t *testing.T) {
+	q := mustParse(t, "SELECT COUNT(*), COUNT(v), COUNT_IF(v > 3) FROM t GROUP BY g")
+	star := q.Select[0].Expr.(*FuncCall)
+	if !star.Star {
+		t.Fatalf("COUNT(*) star flag missing")
+	}
+	cv := q.Select[1].Expr.(*FuncCall)
+	if cv.Star || len(cv.Args) != 1 {
+		t.Fatalf("COUNT(v) args wrong")
+	}
+	ci := q.Select[2].Expr.(*FuncCall)
+	if ci.Name != "COUNT_IF" || len(ci.Args) != 1 {
+		t.Fatalf("COUNT_IF wrong: %v", ci)
+	}
+}
+
+func TestParseIfFunction(t *testing.T) {
+	q := mustParse(t, "SELECT SUM(IF(v > 0.5, 1, 0)) FROM t GROUP BY g")
+	sum := q.Select[0].Expr.(*FuncCall)
+	inner := sum.Args[0].(*FuncCall)
+	if inner.Name != "IF" || len(inner.Args) != 3 {
+		t.Fatalf("IF call wrong: %v", inner)
+	}
+}
+
+func TestParseParenthesizedExpr(t *testing.T) {
+	q := mustParse(t, "SELECT (a + b) / 2 FROM t GROUP BY g")
+	div := q.Select[0].Expr.(*BinaryExpr)
+	if div.Op != "/" {
+		t.Fatalf("top op = %s", div.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM 5",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t GROUP BY",
+		"SELECT a FROM t GROUP BY 5",
+		"SELECT a FROM t GROUP BY g WITH",
+		"SELECT a FROM t GROUP BY g WITH ROLLUP",
+		"SELECT a FROM t trailing garbage (",
+		"SELECT a AS FROM t",
+		"SELECT f() FROM t",
+		"SELECT a FROM t WHERE x BETWEEN 1",
+		"SELECT a FROM t WHERE x BETWEEN 1 AND",
+		"SELECT a FROM t WHERE x IN ('a'",
+		"SELECT a FROM t WHERE x IN ",
+		"SELECT (a FROM t",
+		"SELECT a FROM t WHERE 1e FROM",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Fatalf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("SELECT a FROM t WHERE !")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("want *SyntaxError, got %T", err)
+	}
+	if se.Pos <= 0 || !strings.Contains(se.Error(), "position") {
+		t.Fatalf("error lacks position: %v", se)
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	src := "SELECT a, SUM(v) AS s FROM t WHERE x > 1 AND c IN ('p', 'q') GROUP BY a WITH CUBE"
+	q := mustParse(t, src)
+	round := mustParse(t, q.String())
+	if round.String() != q.String() {
+		t.Fatalf("String round-trip unstable:\n%s\n%s", q.String(), round.String())
+	}
+}
+
+func TestHasAggregate(t *testing.T) {
+	q := mustParse(t, "SELECT a, SUM(v), a + 1, COUNT(*) + 2, IF(a > 1, 1, 0) FROM t GROUP BY a")
+	want := []bool{false, true, false, true, false}
+	for i, w := range want {
+		if HasAggregate(q.Select[i].Expr) != w {
+			t.Fatalf("item %d HasAggregate != %v", i, w)
+		}
+	}
+}
+
+func TestColumns(t *testing.T) {
+	q := mustParse(t, "SELECT SUM(a + b) FROM t WHERE c BETWEEN d AND 5 AND e IN (f, 1)")
+	cols := Columns(q.Select[0].Expr)
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Fatalf("select cols = %v", cols)
+	}
+	wcols := Columns(q.Where)
+	if len(wcols) != 4 {
+		t.Fatalf("where cols = %v", wcols)
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	kinds := []TokenKind{TokEOF, TokIdent, TokNumber, TokString, TokSymbol, TokKeyword, TokenKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("kind %d renders empty", k)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	q := mustParse(t, "SELECT -a, NOT b = 1, 'x''y' FROM t")
+	for _, item := range q.Select {
+		if item.Expr.String() == "" {
+			t.Fatalf("empty render")
+		}
+	}
+	if q.Select[2].Expr.String() != "'x''y'" {
+		t.Fatalf("string literal render = %s", q.Select[2].Expr.String())
+	}
+}

@@ -1,0 +1,328 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= tol*scale
+}
+
+// naive reference implementation.
+func naive(xs []float64) (n int64, mean, variance float64) {
+	n = int64(len(xs))
+	if n == 0 {
+		return 0, 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(n)
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return n, mean, ss / float64(n)
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.N != 0 || s.Mean != 0 || s.Variance() != 0 || s.StdDev() != 0 || s.Sum() != 0 {
+		t.Fatalf("zero-value summary not empty: %+v", s)
+	}
+	if got := s.CV(); got != 0 {
+		t.Fatalf("empty CV = %v, want 0", got)
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(42)
+	if s.N != 1 || s.Mean != 42 || s.Variance() != 0 {
+		t.Fatalf("single-value summary wrong: %+v", s)
+	}
+	if s.Min != 42 || s.Max != 42 {
+		t.Fatalf("min/max wrong: %+v", s)
+	}
+}
+
+func TestSummaryMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*100 + 50
+		}
+		var s Summary
+		for _, x := range xs {
+			s.Add(x)
+		}
+		wn, wm, wv := naive(xs)
+		if s.N != wn {
+			t.Fatalf("N=%d want %d", s.N, wn)
+		}
+		if !almostEq(s.Mean, wm, 1e-10) {
+			t.Fatalf("mean=%v want %v", s.Mean, wm)
+		}
+		if !almostEq(s.Variance(), wv, 1e-8) {
+			t.Fatalf("var=%v want %v", s.Variance(), wv)
+		}
+	}
+}
+
+func TestSummaryNumericalStability(t *testing.T) {
+	// Large offset values are where the naive sum-of-squares formula
+	// catastrophically cancels; Welford must not.
+	var s Summary
+	base := 1e9
+	for i := 0; i < 1000; i++ {
+		s.Add(base + float64(i%2)) // values 1e9 and 1e9+1
+	}
+	if !almostEq(s.Variance(), 0.25, 1e-6) {
+		t.Fatalf("variance = %v, want 0.25", s.Variance())
+	}
+}
+
+func TestSummaryMergeEquivalentToSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n1, n2 := rng.Intn(200), rng.Intn(200)
+		var a, b, all Summary
+		for i := 0; i < n1; i++ {
+			x := rng.ExpFloat64() * 10
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := rng.ExpFloat64() * 10
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		if a.N != all.N {
+			t.Fatalf("merged N=%d want %d", a.N, all.N)
+		}
+		if !almostEq(a.Mean, all.Mean, 1e-9) || !almostEq(a.Variance(), all.Variance(), 1e-7) {
+			t.Fatalf("merge mismatch: got (%v,%v) want (%v,%v)", a.Mean, a.Variance(), all.Mean, all.Variance())
+		}
+		if a.Min != all.Min || a.Max != all.Max {
+			t.Fatalf("min/max mismatch after merge")
+		}
+	}
+}
+
+func TestSummaryMergeWithEmpty(t *testing.T) {
+	var a, empty Summary
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(empty)
+	if a != before {
+		t.Fatalf("merging empty changed summary: %+v vs %+v", a, before)
+	}
+	empty.Merge(a)
+	if empty != a {
+		t.Fatalf("merging into empty did not copy: %+v vs %+v", empty, a)
+	}
+}
+
+func TestSummaryCV(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{90, 100, 110} {
+		s.Add(x)
+	}
+	wantSD := math.Sqrt(200.0 / 3.0)
+	if !almostEq(s.CV(), wantSD/100, 1e-12) {
+		t.Fatalf("CV=%v want %v", s.CV(), wantSD/100)
+	}
+}
+
+func TestSummaryCVZeroMean(t *testing.T) {
+	var s Summary
+	s.Add(-1)
+	s.Add(1)
+	if !math.IsInf(s.CV(), 1) {
+		t.Fatalf("CV of zero-mean nonzero-sd = %v, want +Inf", s.CV())
+	}
+	var z Summary
+	z.Add(0)
+	z.Add(0)
+	if z.CV() != 0 {
+		t.Fatalf("CV of all-zero group = %v, want 0", z.CV())
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 6} {
+		s.Add(x)
+	}
+	if !almostEq(s.SampleVariance(), 4, 1e-12) {
+		t.Fatalf("sample variance = %v, want 4", s.SampleVariance())
+	}
+	var one Summary
+	one.Add(5)
+	if one.SampleVariance() != 0 {
+		t.Fatalf("sample variance of n=1 should be 0")
+	}
+}
+
+func TestGroupStats(t *testing.T) {
+	g := NewGroupStats(2)
+	g.Add([]float64{1, 10})
+	g.Add([]float64{3, 30})
+	if g.N() != 2 {
+		t.Fatalf("N=%d want 2", g.N())
+	}
+	if g.Cols[0].Mean != 2 || g.Cols[1].Mean != 20 {
+		t.Fatalf("col means wrong: %v %v", g.Cols[0].Mean, g.Cols[1].Mean)
+	}
+}
+
+func TestGroupStatsMergeArityMismatch(t *testing.T) {
+	a, b := NewGroupStats(2), NewGroupStats(3)
+	if err := a.Merge(b); err == nil {
+		t.Fatalf("expected arity mismatch error")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector(3, 1)
+	for i := 0; i < 10; i++ {
+		if err := c.Observe(i%3, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.NumStrata() != 3 || c.Arity() != 1 {
+		t.Fatalf("shape wrong")
+	}
+	if c.TotalRows() != 10 {
+		t.Fatalf("total rows = %d want 10", c.TotalRows())
+	}
+	// stratum 0 sees 0,3,6,9
+	if got := c.Group(0).Cols[0].Mean; !almostEq(got, 4.5, 1e-12) {
+		t.Fatalf("stratum 0 mean = %v want 4.5", got)
+	}
+}
+
+func TestCollectorErrors(t *testing.T) {
+	c := NewCollector(2, 2)
+	if err := c.Observe(0, []float64{1}); err != ErrArity {
+		t.Fatalf("want ErrArity, got %v", err)
+	}
+	if err := c.Observe(5, []float64{1, 2}); err == nil {
+		t.Fatalf("want out-of-range error")
+	}
+	if err := c.Observe(-1, []float64{1, 2}); err == nil {
+		t.Fatalf("want out-of-range error for negative stratum")
+	}
+}
+
+func TestMergeProjected(t *testing.T) {
+	a := NewGroupStats(1)
+	b := NewGroupStats(1)
+	var all Summary
+	for i := 0; i < 5; i++ {
+		x := float64(i)
+		a.Add([]float64{x})
+		all.Add(x)
+	}
+	for i := 5; i < 12; i++ {
+		x := float64(i * i)
+		b.Add([]float64{x})
+		all.Add(x)
+	}
+	m, err := MergeProjected([]*GroupStats{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != all.N || !almostEq(m.Cols[0].Mean, all.Mean, 1e-10) || !almostEq(m.Cols[0].Variance(), all.Variance(), 1e-8) {
+		t.Fatalf("projected merge mismatch: %+v vs %+v", m.Cols[0], all)
+	}
+	if _, err := MergeProjected(nil); err == nil {
+		t.Fatalf("want error on empty set")
+	}
+}
+
+// Property: merging in any split position gives the same summary as the
+// sequential fold (associativity of Merge over concatenation).
+func TestQuickMergeSplitInvariance(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = float64(i) // keep the property about finite inputs
+			}
+			// bound magnitude to keep tolerance meaningful
+			if math.Abs(xs[i]) > 1e6 {
+				xs[i] = math.Mod(xs[i], 1e6)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(split) % len(xs)
+		var a, b, all Summary
+		for _, x := range xs[:k] {
+			a.Add(x)
+		}
+		for _, x := range xs[k:] {
+			b.Add(x)
+		}
+		for _, x := range xs {
+			all.Add(x)
+		}
+		a.Merge(b)
+		return a.N == all.N && almostEq(a.Mean, all.Mean, 1e-6) && almostEq(a.M2, all.M2, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: variance is never negative and Sum == N*Mean.
+func TestQuickVarianceNonNegative(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				x = float64(i) // keep the property about moderate finite inputs
+			}
+			s.Add(x)
+		}
+		return s.Variance() >= 0 && almostEq(s.Sum(), float64(s.N)*s.Mean, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSummaryAdd(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i))
+	}
+	_ = s.Variance()
+}
+
+func BenchmarkCollectorObserve(b *testing.B) {
+	c := NewCollector(256, 2)
+	vals := []float64{1.5, 2.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Observe(i&255, vals)
+	}
+}

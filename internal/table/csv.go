@@ -1,0 +1,136 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV writes the table with a header row to w.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = c.Spec.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for r := 0; r < t.rows; r++ {
+		if err := cw.Write(t.Row(r)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the table to a file.
+func (t *Table) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSV parses a CSV with header into a table using the given schema.
+// The header must contain every schema column (extra CSV columns are
+// ignored); column order in the file may differ from the schema.
+func ReadCSV(name string, schema Schema, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	pos := make([]int, len(schema))
+	for i, spec := range schema {
+		pos[i] = -1
+		for j, h := range header {
+			if h == spec.Name {
+				pos[i] = j
+				break
+			}
+		}
+		if pos[i] < 0 {
+			return nil, fmt.Errorf("table: CSV missing column %q", spec.Name)
+		}
+	}
+	t := New(name, schema)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		for i, spec := range schema {
+			raw := rec[pos[i]]
+			col := t.Columns[i]
+			switch spec.Kind {
+			case String:
+				col.Str = append(col.Str, col.Dict.Code(raw))
+			case Float:
+				v, err := strconv.ParseFloat(raw, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table: line %d column %s: %w", line, spec.Name, err)
+				}
+				col.Float = append(col.Float, v)
+			case Int:
+				v, err := strconv.ParseInt(raw, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table: line %d column %s: %w", line, spec.Name, err)
+				}
+				col.Int = append(col.Int, v)
+			}
+		}
+		t.rows++
+	}
+	return t, nil
+}
+
+// LoadCSV reads a CSV file into a table.
+func LoadCSV(name string, schema Schema, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, schema, f)
+}
+
+// InferSchema reads the header and first data row of a CSV to guess a
+// schema: values parsing as int64 become Int, as float64 become Float,
+// anything else String. Used by cmd/cvsample when no schema is supplied.
+func InferSchema(r io.Reader) (Schema, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: CSV has no data rows: %w", err)
+	}
+	schema := make(Schema, len(header))
+	for i, h := range header {
+		kind := String
+		if _, err := strconv.ParseInt(first[i], 10, 64); err == nil {
+			kind = Int
+		} else if _, err := strconv.ParseFloat(first[i], 64); err == nil {
+			kind = Float
+		}
+		schema[i] = ColumnSpec{Name: h, Kind: kind}
+	}
+	return schema, nil
+}

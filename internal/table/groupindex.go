@@ -1,0 +1,161 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GroupIndex assigns every row of a table to a stratum defined by the
+// combination of values of a set of attributes (the paper's "finest
+// stratification" over C = ∪ A_k). Stratum ids are dense integers in
+// [0, NumStrata); only combinations that actually occur in the data get
+// an id, as required by Sections 3–4.
+type GroupIndex struct {
+	Attrs   []string // stratification attribute names, in key order
+	RowID   []int32  // stratum id per row
+	keys    []GroupKey
+	keyToID map[string]int32
+	cols    []int // column positions of Attrs in the source table
+}
+
+// GroupKey is the tuple of attribute values identifying one stratum,
+// rendered as strings in Attrs order.
+type GroupKey []string
+
+// String renders the key as a pipe-joined tuple.
+func (k GroupKey) String() string { return strings.Join(k, "|") }
+
+// BuildGroupIndex scans tbl once and assigns each row a stratum id based
+// on the given attribute names. String attributes compare by value; Int
+// attributes by their decimal rendering; Float attributes are rejected
+// because grouping on continuous attributes is ill-defined.
+func BuildGroupIndex(tbl *Table, attrs []string) (*GroupIndex, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("table: group index needs at least one attribute")
+	}
+	gi := &GroupIndex{
+		Attrs:   append([]string(nil), attrs...),
+		RowID:   make([]int32, tbl.NumRows()),
+		keyToID: make(map[string]int32),
+	}
+	cols := make([]*Column, len(attrs))
+	for i, a := range attrs {
+		c := tbl.Column(a)
+		if c == nil {
+			return nil, fmt.Errorf("table: unknown group-by attribute %q", a)
+		}
+		if c.Spec.Kind == Float {
+			return nil, fmt.Errorf("table: cannot group by float column %q", a)
+		}
+		cols[i] = c
+		gi.cols = append(gi.cols, tbl.ColumnIndex(a))
+	}
+	var sb strings.Builder
+	parts := make([]string, len(attrs))
+	for r := 0; r < tbl.NumRows(); r++ {
+		sb.Reset()
+		for i, c := range cols {
+			if i > 0 {
+				sb.WriteByte(0)
+			}
+			switch c.Spec.Kind {
+			case String:
+				parts[i] = c.Dict.Value(c.Str[r])
+			case Int:
+				parts[i] = fmt.Sprintf("%d", c.Int[r])
+			}
+			sb.WriteString(parts[i])
+		}
+		key := sb.String()
+		id, ok := gi.keyToID[key]
+		if !ok {
+			id = int32(len(gi.keys))
+			gi.keyToID[key] = id
+			gi.keys = append(gi.keys, append(GroupKey(nil), parts...))
+		}
+		gi.RowID[r] = id
+	}
+	return gi, nil
+}
+
+// NumStrata returns the number of distinct strata observed.
+func (g *GroupIndex) NumStrata() int { return len(g.keys) }
+
+// Key returns the value tuple of stratum id.
+func (g *GroupIndex) Key(id int) GroupKey { return g.keys[id] }
+
+// ID returns the stratum id for a key tuple (values in Attrs order) and
+// whether the combination occurs in the data.
+func (g *GroupIndex) ID(key GroupKey) (int, bool) {
+	id, ok := g.keyToID[strings.Join(key, "\x00")]
+	return int(id), ok
+}
+
+// Project maps each stratum of g onto the coarser grouping given by a
+// subset of g.Attrs (the paper's Π(c, A)). It returns, per stratum id,
+// the id of its coarse group, plus the list of coarse group keys. Every
+// attribute in attrs must be one of g.Attrs.
+func (g *GroupIndex) Project(attrs []string) (fineToCoarse []int, coarseKeys []GroupKey, err error) {
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := -1
+		for j, ga := range g.Attrs {
+			if ga == a {
+				p = j
+				break
+			}
+		}
+		if p < 0 {
+			return nil, nil, fmt.Errorf("table: projection attribute %q not in stratification %v", a, g.Attrs)
+		}
+		pos[i] = p
+	}
+	fineToCoarse = make([]int, len(g.keys))
+	coarseIdx := make(map[string]int)
+	for id, key := range g.keys {
+		parts := make([]string, len(attrs))
+		for i, p := range pos {
+			parts[i] = key[p]
+		}
+		ck := strings.Join(parts, "\x00")
+		cid, ok := coarseIdx[ck]
+		if !ok {
+			cid = len(coarseKeys)
+			coarseIdx[ck] = cid
+			coarseKeys = append(coarseKeys, GroupKey(parts))
+		}
+		fineToCoarse[id] = cid
+	}
+	return fineToCoarse, coarseKeys, nil
+}
+
+// StratumSizes returns the number of rows per stratum.
+func (g *GroupIndex) StratumSizes() []int64 {
+	n := make([]int64, len(g.keys))
+	for _, id := range g.RowID {
+		n[id]++
+	}
+	return n
+}
+
+// RowsByStratum returns, for each stratum, the slice of row indices that
+// belong to it. The inner slices are views into one backing array.
+func (g *GroupIndex) RowsByStratum() [][]int32 {
+	sizes := g.StratumSizes()
+	offsets := make([]int, len(sizes)+1)
+	for i, s := range sizes {
+		offsets[i+1] = offsets[i] + int(s)
+	}
+	backing := make([]int32, len(g.RowID))
+	cursor := make([]int, len(sizes))
+	copy(cursor, offsets[:len(sizes)])
+	for r, id := range g.RowID {
+		backing[cursor[id]] = int32(r)
+		cursor[id]++
+	}
+	out := make([][]int32, len(sizes))
+	for i := range sizes {
+		out[i] = backing[offsets[i]:offsets[i+1]]
+	}
+	return out
+}

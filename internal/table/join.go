@@ -1,0 +1,97 @@
+package table
+
+import (
+	"fmt"
+)
+
+// Join materializes the foreign-key equi-join of a fact table with a
+// dimension table: every fact row is extended with the dimension row
+// whose key equals the fact's foreign key. This is the standard way to
+// make a stratified sample join-aware (the paper's §8 lists joins
+// *inside* the sampling framework as future work): denormalize first,
+// then stratify the joined view on any mix of fact and dimension
+// attributes — each fact row still joins to at most one dimension row,
+// so Horvitz-Thompson weights carry over unchanged.
+//
+// The join key columns must have the same Kind (String or Int). The
+// dimension key must be unique; duplicate keys are an error. Fact rows
+// with no dimension match are dropped (inner join) and their count is
+// returned. Dimension columns are prefixed to avoid name collisions; the
+// dimension's key column itself is omitted (it duplicates the fact FK).
+func Join(fact *Table, factKey string, dim *Table, dimKey, prefix string) (*Table, int, error) {
+	fk := fact.Column(factKey)
+	if fk == nil {
+		return nil, 0, fmt.Errorf("table: fact table %q has no column %q", fact.Name, factKey)
+	}
+	dk := dim.Column(dimKey)
+	if dk == nil {
+		return nil, 0, fmt.Errorf("table: dimension table %q has no column %q", dim.Name, dimKey)
+	}
+	if fk.Spec.Kind != dk.Spec.Kind {
+		return nil, 0, fmt.Errorf("table: join key kinds differ: %s vs %s", fk.Spec.Kind, dk.Spec.Kind)
+	}
+	if fk.Spec.Kind == Float {
+		return nil, 0, fmt.Errorf("table: cannot join on float column %q", factKey)
+	}
+
+	// dimension lookup: rendered key -> dim row
+	lookup := make(map[string]int, dim.NumRows())
+	for r := 0; r < dim.NumRows(); r++ {
+		k := dk.StringAt(r)
+		if _, dup := lookup[k]; dup {
+			return nil, 0, fmt.Errorf("table: dimension key %q is not unique in %s.%s", k, dim.Name, dimKey)
+		}
+		lookup[k] = r
+	}
+
+	// output schema: fact columns + prefixed dimension columns (minus key)
+	schema := fact.Schema()
+	var dimCols []*Column
+	for _, c := range dim.Columns {
+		if c.Spec.Name == dimKey {
+			continue
+		}
+		name := prefix + c.Spec.Name
+		if fact.Column(name) != nil {
+			return nil, 0, fmt.Errorf("table: joined column %q collides with a fact column (choose a prefix)", name)
+		}
+		schema = append(schema, ColumnSpec{Name: name, Kind: c.Spec.Kind})
+		dimCols = append(dimCols, c)
+	}
+	out := New(fact.Name+"_"+dim.Name, schema)
+	out.Grow(fact.NumRows())
+
+	dropped := 0
+	vals := make([]any, len(schema))
+	for r := 0; r < fact.NumRows(); r++ {
+		dr, ok := lookup[fk.StringAt(r)]
+		if !ok {
+			dropped++
+			continue
+		}
+		for i, c := range fact.Columns {
+			switch c.Spec.Kind {
+			case String:
+				vals[i] = c.Dict.Value(c.Str[r])
+			case Float:
+				vals[i] = c.Float[r]
+			case Int:
+				vals[i] = c.Int[r]
+			}
+		}
+		for j, c := range dimCols {
+			switch c.Spec.Kind {
+			case String:
+				vals[len(fact.Columns)+j] = c.Dict.Value(c.Str[dr])
+			case Float:
+				vals[len(fact.Columns)+j] = c.Float[dr]
+			case Int:
+				vals[len(fact.Columns)+j] = c.Int[dr]
+			}
+		}
+		if err := out.AppendRow(vals...); err != nil {
+			return nil, 0, err
+		}
+	}
+	return out, dropped, nil
+}

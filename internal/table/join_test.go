@@ -1,0 +1,162 @@
+package table
+
+import (
+	"testing"
+)
+
+func factTable(t *testing.T) *Table {
+	tbl := New("orders", Schema{
+		{Name: "station", Kind: Int},
+		{Name: "amount", Kind: Float},
+	})
+	rows := []struct {
+		station int64
+		amount  float64
+	}{
+		{1, 10}, {1, 20}, {2, 30}, {3, 40}, {9, 99}, // station 9 has no dimension row
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(r.station, r.amount); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func dimTable(t *testing.T) *Table {
+	tbl := New("stations", Schema{
+		{Name: "id", Kind: Int},
+		{Name: "city", Kind: String},
+		{Name: "capacity", Kind: Int},
+	})
+	rows := []struct {
+		id       int64
+		city     string
+		capacity int64
+	}{
+		{1, "Chicago", 20}, {2, "Evanston", 10}, {3, "Chicago", 30},
+	}
+	for _, r := range rows {
+		if err := tbl.AppendRow(r.id, r.city, r.capacity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestJoinBasic(t *testing.T) {
+	fact, dim := factTable(t), dimTable(t)
+	joined, dropped, err := Join(fact, "station", dim, "id", "station_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d want 1 (station 9)", dropped)
+	}
+	if joined.NumRows() != 4 {
+		t.Fatalf("rows = %d want 4", joined.NumRows())
+	}
+	// schema: station, amount, station_city, station_capacity
+	if joined.ColumnIndex("station_city") < 0 || joined.ColumnIndex("station_capacity") < 0 {
+		t.Fatalf("dimension columns missing: %v", joined.Schema())
+	}
+	if joined.ColumnIndex("station_id") >= 0 {
+		t.Fatalf("dimension key should be omitted")
+	}
+	// row 0: station 1 -> Chicago/20
+	if joined.Column("station_city").StringAt(0) != "Chicago" {
+		t.Fatalf("row 0 city = %q", joined.Column("station_city").StringAt(0))
+	}
+	if joined.Column("station_capacity").Int[0] != 20 {
+		t.Fatalf("row 0 capacity wrong")
+	}
+	// row 2: station 2 -> Evanston
+	if joined.Column("station_city").StringAt(2) != "Evanston" {
+		t.Fatalf("row 2 city = %q", joined.Column("station_city").StringAt(2))
+	}
+	// fact columns preserved
+	if joined.Column("amount").Float[3] != 40 {
+		t.Fatalf("fact column lost")
+	}
+}
+
+func TestJoinGroupByDimensionAttribute(t *testing.T) {
+	fact, dim := factTable(t), dimTable(t)
+	joined, _, err := Join(fact, "station", dim, "id", "station_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, err := BuildGroupIndex(joined, []string{"station_city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.NumStrata() != 2 {
+		t.Fatalf("cities = %d want 2", gi.NumStrata())
+	}
+	id, ok := gi.ID(GroupKey{"Chicago"})
+	if !ok {
+		t.Fatalf("Chicago stratum missing")
+	}
+	if gi.StratumSizes()[id] != 3 { // stations 1 (2 rows) + 3 (1 row)
+		t.Fatalf("Chicago rows = %d want 3", gi.StratumSizes()[id])
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	fact, dim := factTable(t), dimTable(t)
+	if _, _, err := Join(fact, "zz", dim, "id", "p_"); err == nil {
+		t.Fatalf("want unknown fact key error")
+	}
+	if _, _, err := Join(fact, "station", dim, "zz", "p_"); err == nil {
+		t.Fatalf("want unknown dim key error")
+	}
+	if _, _, err := Join(fact, "amount", dim, "id", "p_"); err == nil {
+		t.Fatalf("want float key error")
+	}
+	if _, _, err := Join(fact, "station", dim, "city", "p_"); err == nil {
+		t.Fatalf("want kind mismatch error")
+	}
+	// duplicate dimension keys
+	dupDim := New("d", Schema{{Name: "id", Kind: Int}, {Name: "x", Kind: Int}})
+	for _, id := range []int64{1, 1} {
+		if err := dupDim.AppendRow(id, int64(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := Join(fact, "station", dupDim, "id", "p_"); err == nil {
+		t.Fatalf("want duplicate key error")
+	}
+	// column collision without prefix
+	collide := New("d", Schema{{Name: "id", Kind: Int}, {Name: "amount", Kind: Float}})
+	if err := collide.AppendRow(int64(1), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Join(fact, "station", collide, "id", ""); err == nil {
+		t.Fatalf("want collision error")
+	}
+}
+
+func TestJoinStringKey(t *testing.T) {
+	fact := New("f", Schema{{Name: "k", Kind: String}, {Name: "v", Kind: Float}})
+	dim := New("d", Schema{{Name: "k", Kind: String}, {Name: "label", Kind: String}})
+	for _, k := range []string{"a", "b", "a"} {
+		if err := fact.AppendRow(k, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range [][2]string{{"a", "Alpha"}, {"b", "Beta"}} {
+		if err := dim.AppendRow(r[0], r[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	joined, dropped, err := Join(fact, "k", dim, "k", "d_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 || joined.NumRows() != 3 {
+		t.Fatalf("join shape wrong")
+	}
+	if joined.Column("d_label").StringAt(1) != "Beta" {
+		t.Fatalf("string-key join wrong")
+	}
+}

@@ -1,0 +1,325 @@
+// Package table implements the in-memory columnar relation that stands in
+// for the paper's Hive warehouse tables.
+//
+// A Table holds a fixed schema of typed columns. String columns are
+// dictionary-encoded (each distinct value stored once, rows store int32
+// codes), which makes group-by key construction and stratification cheap.
+// Numeric columns are dense []float64 / []int64. Tables load from and
+// save to CSV so the cmd tools can operate on external data.
+package table
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind is the type of a column.
+type Kind uint8
+
+// Column kinds.
+const (
+	String Kind = iota // dictionary-encoded string
+	Float              // float64
+	Int                // int64
+)
+
+func (k Kind) String() string {
+	switch k {
+	case String:
+		return "string"
+	case Float:
+		return "float"
+	case Int:
+		return "int"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ColumnSpec describes one column of a schema.
+type ColumnSpec struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of column specs.
+type Schema []ColumnSpec
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Dict is a string dictionary: distinct values with a reverse index.
+type Dict struct {
+	values []string
+	index  map[string]int32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{index: make(map[string]int32)}
+}
+
+// Code interns v and returns its code.
+func (d *Dict) Code(v string) int32 {
+	if c, ok := d.index[v]; ok {
+		return c
+	}
+	c := int32(len(d.values))
+	d.values = append(d.values, v)
+	d.index[v] = c
+	return c
+}
+
+// Lookup returns the code of v and whether it is present.
+func (d *Dict) Lookup(v string) (int32, bool) {
+	c, ok := d.index[v]
+	return c, ok
+}
+
+// Value returns the string for code c.
+func (d *Dict) Value(c int32) string { return d.values[c] }
+
+// Len returns the number of distinct values.
+func (d *Dict) Len() int { return len(d.values) }
+
+// Column is one typed column of a table. Exactly one of the data slices
+// is populated according to Kind.
+type Column struct {
+	Spec  ColumnSpec
+	Str   []int32 // codes into Dict, when Kind == String
+	Dict  *Dict
+	Float []float64 // when Kind == Float
+	Int   []int64   // when Kind == Int
+}
+
+// Len returns the number of rows stored in the column.
+func (c *Column) Len() int {
+	switch c.Spec.Kind {
+	case String:
+		return len(c.Str)
+	case Float:
+		return len(c.Float)
+	case Int:
+		return len(c.Int)
+	}
+	return 0
+}
+
+// Numeric returns row r as a float64. String columns return their
+// dictionary code (useful only for diagnostics); numeric columns return
+// their value.
+func (c *Column) Numeric(r int) float64 {
+	switch c.Spec.Kind {
+	case Float:
+		return c.Float[r]
+	case Int:
+		return float64(c.Int[r])
+	case String:
+		return float64(c.Str[r])
+	}
+	return math.NaN()
+}
+
+// StringAt returns row r rendered as a string.
+func (c *Column) StringAt(r int) string {
+	switch c.Spec.Kind {
+	case String:
+		return c.Dict.Value(c.Str[r])
+	case Float:
+		return strconv.FormatFloat(c.Float[r], 'g', -1, 64)
+	case Int:
+		return strconv.FormatInt(c.Int[r], 10)
+	}
+	return ""
+}
+
+// Table is a columnar relation.
+type Table struct {
+	Name    string
+	Columns []*Column
+	rows    int
+}
+
+// New creates an empty table with the given schema.
+func New(name string, schema Schema) *Table {
+	t := &Table{Name: name}
+	for _, spec := range schema {
+		col := &Column{Spec: spec}
+		if spec.Kind == String {
+			col.Dict = NewDict()
+		}
+		t.Columns = append(t.Columns, col)
+	}
+	return t
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema {
+	s := make(Schema, len(t.Columns))
+	for i, c := range t.Columns {
+		s[i] = c.Spec
+	}
+	return s
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.rows }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.Columns) }
+
+// Column returns the named column or nil.
+func (t *Table) Column(name string) *Column {
+	for _, c := range t.Columns {
+		if c.Spec.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Spec.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AppendRow appends one row given as Go values. Strings go to String
+// columns, float64 to Float, int64/int to Int. It returns an error on
+// arity or type mismatch.
+func (t *Table) AppendRow(vals ...any) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("table %s: AppendRow arity %d, want %d", t.Name, len(vals), len(t.Columns))
+	}
+	for i, v := range vals {
+		col := t.Columns[i]
+		switch col.Spec.Kind {
+		case String:
+			s, ok := v.(string)
+			if !ok {
+				return fmt.Errorf("table %s: column %s expects string, got %T", t.Name, col.Spec.Name, v)
+			}
+			col.Str = append(col.Str, col.Dict.Code(s))
+		case Float:
+			switch x := v.(type) {
+			case float64:
+				col.Float = append(col.Float, x)
+			case int:
+				col.Float = append(col.Float, float64(x))
+			case int64:
+				col.Float = append(col.Float, float64(x))
+			default:
+				return fmt.Errorf("table %s: column %s expects float, got %T", t.Name, col.Spec.Name, v)
+			}
+		case Int:
+			switch x := v.(type) {
+			case int64:
+				col.Int = append(col.Int, x)
+			case int:
+				col.Int = append(col.Int, int64(x))
+			default:
+				return fmt.Errorf("table %s: column %s expects int, got %T", t.Name, col.Spec.Name, v)
+			}
+		}
+	}
+	t.rows++
+	return nil
+}
+
+// Grow pre-allocates capacity for n additional rows.
+func (t *Table) Grow(n int) {
+	for _, c := range t.Columns {
+		switch c.Spec.Kind {
+		case String:
+			if cap(c.Str)-len(c.Str) < n {
+				s := make([]int32, len(c.Str), len(c.Str)+n)
+				copy(s, c.Str)
+				c.Str = s
+			}
+		case Float:
+			if cap(c.Float)-len(c.Float) < n {
+				s := make([]float64, len(c.Float), len(c.Float)+n)
+				copy(s, c.Float)
+				c.Float = s
+			}
+		case Int:
+			if cap(c.Int)-len(c.Int) < n {
+				s := make([]int64, len(c.Int), len(c.Int)+n)
+				copy(s, c.Int)
+				c.Int = s
+			}
+		}
+	}
+}
+
+// Select returns a new table with the subset of rows whose indices are in
+// rows, preserving order. Dictionaries are shared structurally by
+// re-interning, so the result is independent of the source.
+func (t *Table) Select(rows []int) *Table {
+	out := New(t.Name, t.Schema())
+	out.Grow(len(rows))
+	for _, r := range rows {
+		for i, c := range t.Columns {
+			oc := out.Columns[i]
+			switch c.Spec.Kind {
+			case String:
+				oc.Str = append(oc.Str, oc.Dict.Code(c.Dict.Value(c.Str[r])))
+			case Float:
+				oc.Float = append(oc.Float, c.Float[r])
+			case Int:
+				oc.Int = append(oc.Int, c.Int[r])
+			}
+		}
+		out.rows++
+	}
+	return out
+}
+
+// AppendTable appends all rows of src (same schema order/kinds assumed)
+// to t. Used by the -scale duplication in the Table 6 experiment.
+func (t *Table) AppendTable(src *Table) error {
+	if len(src.Columns) != len(t.Columns) {
+		return fmt.Errorf("table: AppendTable schema arity mismatch")
+	}
+	for i := range t.Columns {
+		if t.Columns[i].Spec.Kind != src.Columns[i].Spec.Kind {
+			return fmt.Errorf("table: AppendTable kind mismatch at column %d", i)
+		}
+	}
+	t.Grow(src.rows)
+	for i, c := range t.Columns {
+		sc := src.Columns[i]
+		switch c.Spec.Kind {
+		case String:
+			for _, code := range sc.Str {
+				c.Str = append(c.Str, c.Dict.Code(sc.Dict.Value(code)))
+			}
+		case Float:
+			c.Float = append(c.Float, sc.Float...)
+		case Int:
+			c.Int = append(c.Int, sc.Int...)
+		}
+	}
+	t.rows += src.rows
+	return nil
+}
+
+// Row materializes row r as a []string (for printing and CSV export).
+func (t *Table) Row(r int) []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.StringAt(r)
+	}
+	return out
+}

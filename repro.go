@@ -1,0 +1,112 @@
+// Package repro is a Go reproduction of "Random Sampling for Group-By
+// Queries" (Nguyen, Shih, Parvathaneni, Xu, Srivastava, Tirthapura;
+// ICDE 2020, arXiv:1909.02629): CVOPT, a query- and data-driven
+// stratified sampling framework that, for a row budget M and a set of
+// group-by queries, provably minimizes the ℓ2 (or ℓ∞) norm of the
+// coefficients of variation of all per-group estimates.
+//
+// This root package is the user-facing facade. It re-exports the core
+// types and wires the typical flow together:
+//
+//	tbl, _ := table.LoadCSV("sales", schema, "sales.csv")
+//	s, _ := repro.Build(tbl, []repro.QuerySpec{{
+//	    GroupBy: []string{"region", "product"},
+//	    Aggs:    []repro.AggColumn{{Column: "amount"}},
+//	}}, repro.BudgetRate(tbl, 0.01), repro.Options{}, rng)
+//	res, _ := repro.Answer(tbl, s, "SELECT region, AVG(amount) FROM sales GROUP BY region")
+//
+// The full machinery lives in the internal packages: internal/core (the
+// CVOPT allocation, Theorems 1-2, Lemmas 1-4, CVOPT-INF, workload
+// weights), internal/samplers (CVOPT plus the Uniform/CS/RL/Sample+Seek
+// competitors), internal/exec (the SQL subset engine), internal/datagen
+// (synthetic OpenAQ/Bikes) and internal/experiments (every table and
+// figure of the paper's evaluation; run them with cmd/cvbench).
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/samplers"
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+// Re-exported core types; see internal/core for full documentation.
+type (
+	// QuerySpec describes one group-by query a sample must serve.
+	QuerySpec = core.QuerySpec
+	// AggColumn is an aggregation column with optional weights.
+	AggColumn = core.AggColumn
+	// Options selects the norm (L2, LInf, Lp) and allocation repair.
+	Options = core.Options
+	// Norm is the CV-aggregation norm.
+	Norm = core.Norm
+	// Plan is CVOPT's precomputed offline state.
+	Plan = core.Plan
+	// WorkloadQuery is one entry of a query workload (Section 4.3).
+	WorkloadQuery = core.WorkloadQuery
+	// Sample is a weighted row sample of a table.
+	Sample = samplers.RowSample
+	// Result is a query answer (exact or approximate).
+	Result = exec.Result
+)
+
+// Norm constants.
+const (
+	L2   = core.L2
+	LInf = core.LInf
+	Lp   = core.Lp
+)
+
+// NewPlan runs CVOPT's statistics pass for a table and query set.
+func NewPlan(tbl *table.Table, queries []QuerySpec) (*Plan, error) {
+	return core.NewPlan(tbl, queries)
+}
+
+// Build constructs a CVOPT sample of m rows serving the given queries.
+func Build(tbl *table.Table, queries []QuerySpec, m int, opts Options, rng *rand.Rand) (*Sample, error) {
+	s := &samplers.CVOPT{Opts: opts}
+	return s.Build(tbl, queries, m, rng)
+}
+
+// BudgetRate converts a sampling rate (e.g. 0.01 for 1%) into a row
+// budget for tbl, with a minimum of one row.
+func BudgetRate(tbl *table.Table, rate float64) int {
+	m := int(float64(tbl.NumRows()) * rate)
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Answer evaluates sql approximately over a sample of tbl.
+func Answer(tbl *table.Table, s *Sample, sql string) (*Result, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return exec.RunWeighted(tbl, q, s.Rows, s.Weights)
+}
+
+// Exact evaluates sql exactly over the full table (the ground truth).
+func Exact(tbl *table.Table, sql string) (*Result, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(tbl, q)
+}
+
+// WorkloadWeights deduces per-aggregation-group weights from a query
+// workload (Section 4.3) and returns QuerySpecs ready for Build.
+func WorkloadWeights(tbl *table.Table, workload []WorkloadQuery) ([]QuerySpec, error) {
+	return core.WorkloadWeights(tbl, workload)
+}
+
+// CubeQueries expands a WITH CUBE grouping into one QuerySpec per
+// grouping set, all sharing the same aggregates.
+func CubeQueries(attrs []string, aggs []AggColumn) []QuerySpec {
+	return core.CubeQueries(attrs, aggs)
+}

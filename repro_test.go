@@ -1,0 +1,183 @@
+package repro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/table"
+)
+
+func facadeTable(t testing.TB) *table.Table {
+	tbl := table.New("sales", table.Schema{
+		{Name: "region", Kind: table.String},
+		{Name: "product", Kind: table.String},
+		{Name: "amount", Kind: table.Float},
+	})
+	rng := rand.New(rand.NewSource(5))
+	regions := []struct {
+		name     string
+		n        int
+		mean, sd float64
+	}{
+		{"NA", 8000, 120, 12},
+		{"EU", 3000, 90, 45},
+		{"APAC", 300, 400, 200},
+	}
+	products := []string{"widget", "gadget"}
+	for _, r := range regions {
+		for i := 0; i < r.n; i++ {
+			p := products[i%2]
+			if err := tbl.AppendRow(r.name, p, r.mean+r.sd*rng.NormFloat64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return tbl
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	tbl := facadeTable(t)
+	queries := []QuerySpec{{
+		GroupBy: []string{"region"},
+		Aggs:    []AggColumn{{Column: "amount"}},
+	}}
+	rng := rand.New(rand.NewSource(1))
+	m := BudgetRate(tbl, 0.02)
+	s, err := Build(tbl, queries, m, Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() == 0 || s.Len() > m {
+		t.Fatalf("sample size %d for budget %d", s.Len(), m)
+	}
+
+	sql := "SELECT region, AVG(amount) FROM sales GROUP BY region"
+	exact, err := Exact(tbl, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Answer(tbl, s, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := metrics.Summarize(metrics.GroupErrors(exact, approx))
+	if sum.N != 3 {
+		t.Fatalf("expected 3 groups, got %d", sum.N)
+	}
+	if sum.Max > 0.5 {
+		t.Fatalf("2%% CVOPT sample max error implausible: %v", sum.Max)
+	}
+
+	// runtime predicate + different group-by on the same sample
+	sql2 := "SELECT product, AVG(amount) FROM sales WHERE region != 'NA' GROUP BY product"
+	exact2, err := Exact(tbl, sql2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx2, err := Answer(tbl, s, sql2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum2 := metrics.Summarize(metrics.GroupErrors(exact2, approx2))
+	if sum2.N != 2 || sum2.Max > 0.6 {
+		t.Fatalf("reuse query summary implausible: %+v", sum2)
+	}
+}
+
+func TestFacadeNormOptions(t *testing.T) {
+	tbl := facadeTable(t)
+	queries := []QuerySpec{{GroupBy: []string{"region"}, Aggs: []AggColumn{{Column: "amount"}}}}
+	rng := rand.New(rand.NewSource(2))
+	for _, opts := range []Options{{}, {Norm: LInf}, {Norm: Lp, P: 4}} {
+		s, err := Build(tbl, queries, 200, opts, rng)
+		if err != nil {
+			t.Fatalf("norm %v: %v", opts.Norm, err)
+		}
+		if s.Len() == 0 {
+			t.Fatalf("norm %v produced empty sample", opts.Norm)
+		}
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	tbl := facadeTable(t)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := Build(tbl, nil, 100, Options{}, rng); err == nil {
+		t.Fatalf("want error for no queries")
+	}
+	if _, err := Exact(tbl, "SELECT"); err == nil {
+		t.Fatalf("want parse error")
+	}
+	s, err := Build(tbl, []QuerySpec{{GroupBy: []string{"region"}, Aggs: []AggColumn{{Column: "amount"}}}}, 100, Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Answer(tbl, s, "not sql"); err == nil {
+		t.Fatalf("want parse error from Answer")
+	}
+}
+
+func TestBudgetRateClamp(t *testing.T) {
+	tbl := facadeTable(t)
+	if got := BudgetRate(tbl, 1e-9); got != 1 {
+		t.Fatalf("tiny rate should clamp to 1, got %d", got)
+	}
+	want := int(float64(tbl.NumRows()) * 0.5)
+	if got := BudgetRate(tbl, 0.5); got != want {
+		t.Fatalf("BudgetRate(0.5) = %d want %d", got, want)
+	}
+}
+
+func TestFacadeWorkloadAndCube(t *testing.T) {
+	tbl := facadeTable(t)
+	specs, err := WorkloadWeights(tbl, []WorkloadQuery{
+		{GroupBy: []string{"region"}, Aggs: []string{"amount"}, Freq: 5},
+		{GroupBy: []string{"product"}, Aggs: []string{"amount"}, Freq: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("expected 2 merged specs, got %d", len(specs))
+	}
+	rng := rand.New(rand.NewSource(4))
+	s, err := Build(tbl, specs, 300, Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 300 {
+		t.Fatalf("workload-driven sample size %d", s.Len())
+	}
+
+	cube := CubeQueries([]string{"region", "product"}, []AggColumn{{Column: "amount"}})
+	if len(cube) != 3 {
+		t.Fatalf("cube specs = %d", len(cube))
+	}
+	s2, err := Build(tbl, cube, 300, Options{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Answer(tbl, s2, "SELECT region, product, SUM(amount) FROM sales GROUP BY region, product WITH CUBE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sets) != 4 {
+		t.Fatalf("cube result sets = %d", len(res.Sets))
+	}
+	// grand total estimate sanity
+	var grand float64
+	col := tbl.Column("amount")
+	for r := 0; r < tbl.NumRows(); r++ {
+		grand += col.Float[r]
+	}
+	for _, row := range res.Rows {
+		if len(res.Sets[row.Set]) == 0 {
+			if math.Abs(row.Aggs[0]-grand)/grand > 0.15 {
+				t.Fatalf("grand total estimate %v vs %v", row.Aggs[0], grand)
+			}
+		}
+	}
+	_ = NewPlan // exported facade symbol sanity
+}
