@@ -41,12 +41,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*in)
-	fatalIf(err)
-	schema, err := table.InferSchema(f)
-	fatalIf(err)
-	fatalIf(f.Close())
-	tbl, err := table.LoadCSV("input", schema, *in)
+	tbl, err := table.LoadCSVInferred("input", *in)
 	fatalIf(err)
 
 	q, err := sqlparse.Parse(*sql)

@@ -39,13 +39,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*in)
+	tbl, err := table.LoadCSVInferred("input", *in)
 	fatalIf(err)
-	schema, err := table.InferSchema(f)
-	fatalIf(err)
-	fatalIf(f.Close())
-	tbl, err := table.LoadCSV("input", schema, *in)
-	fatalIf(err)
+	schema := tbl.Schema()
 
 	budget := *m
 	if budget == 0 {

@@ -1,0 +1,144 @@
+// Command cvserve runs the CVOPT sample-serving daemon: it loads CSV
+// tables, then serves the build-once/query-many HTTP API — register a
+// sample for a table + workload + budget once, answer any number of
+// group-by queries off it in parallel.
+//
+//	cvserve -addr :8080 -table sales=sales.csv -table events=events.csv
+//
+//	curl -s localhost:8080/v1/samples -d '{
+//	  "table": "sales", "rate": 0.01,
+//	  "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]
+//	}'
+//	curl -s localhost:8080/v1/query -d '{
+//	  "sql": "SELECT region, AVG(amount) FROM sales GROUP BY region"
+//	}'
+//
+// The process exits cleanly on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/table"
+)
+
+// tableFlags collects repeated -table name=path flags.
+type tableFlags []string
+
+func (t *tableFlags) String() string { return strings.Join(*t, ",") }
+
+func (t *tableFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*t = append(*t, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		tables tableFlags
+	)
+	flag.Var(&tables, "table", "table to serve, as name=path.csv (repeatable)")
+	flag.Parse()
+	if len(tables) == 0 {
+		fmt.Fprintln(os.Stderr, "cvserve: at least one -table name=path is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	reg := serve.NewRegistry()
+	for _, spec := range tables {
+		name, path, _ := strings.Cut(spec, "=")
+		tbl, err := table.LoadCSVInferred(name, path)
+		fatalIf(err)
+		fatalIf(reg.RegisterTable(tbl))
+		log.Printf("cvserve: loaded table %s (%d rows, %d cols) from %s",
+			name, tbl.NumRows(), tbl.NumCols(), path)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	fatalIf(err)
+	srv := &http.Server{
+		Handler: logRequests(serve.NewServer(reg)),
+		// slow-client protection for a resident daemon: bodies are
+		// size-bounded by the handler (1 MiB), these bound duration so
+		// a dripping client cannot pin a connection forever
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// the integration test (and port-0 users) read the bound address
+	// from this line
+	fmt.Printf("cvserve: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		fatalIf(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("cvserve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("cvserve: shutdown: %v", err)
+			os.Exit(1)
+		}
+		if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalIf(err)
+		}
+	}
+}
+
+// logRequests is a minimal ops log: one line per request with status
+// and latency.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		log.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.code, time.Since(start))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer (the
+// build handler clears its write deadline through it).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cvserve:", err)
+		os.Exit(1)
+	}
+}

@@ -4,12 +4,18 @@ package repro
 // host toolchain, run it against a generated CSV, and check the outputs.
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/internal/table"
 )
@@ -207,6 +213,125 @@ func TestCmdSampleThenQueryPipeline(t *testing.T) {
 	cmd = exec.Command(queryBin, "-in", in, "-sample", "-sql", "SELECT region, AVG(amount) FROM input GROUP BY region")
 	if err := cmd.Run(); err == nil {
 		t.Fatalf("-sample without _weight should fail")
+	}
+}
+
+// cvserve end-to-end over a real socket: start the daemon on a free
+// port, register a sample for a workload over HTTP, answer a GROUP BY
+// query off it (estimates + standard errors), then shut down gracefully
+// with SIGTERM.
+func TestCmdCvserveEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "cvserve")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "sales.csv")
+	writeSalesCSV(t, in)
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-table", "sales="+in)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// the daemon prints its bound address once the listener is up;
+	// bound by a deadline so a silently-hung daemon fails fast
+	addrCh := make(chan string, 1)
+	go func() {
+		scanner := bufio.NewScanner(stdout)
+		for scanner.Scan() {
+			if _, addr, ok := strings.Cut(scanner.Text(), "listening on "); ok {
+				addrCh <- strings.TrimSpace(addr)
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	var base string
+	select {
+	case base = <-addrCh:
+	case <-time.After(10 * time.Second):
+	}
+	if base == "" {
+		t.Fatal("cvserve never reported its address")
+	}
+
+	post := func(path, body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("POST %s: reading body: %v", path, err)
+		}
+		return resp.StatusCode, data
+	}
+
+	code, body := post("/v1/samples", `{
+		"table": "sales",
+		"queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}],
+		"rate": 0.05
+	}`)
+	if code != http.StatusCreated {
+		t.Fatalf("register sample: %d %s", code, body)
+	}
+
+	code, body = post("/v1/query", `{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region"}`)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, body)
+	}
+	var qr struct {
+		Exact  bool `json:"exact"`
+		Groups []struct {
+			Key  []string   `json:"key"`
+			Aggs []*float64 `json:"aggs"`
+			SE   []*float64 `json:"se"`
+		} `json:"groups"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if qr.Exact || len(qr.Groups) != 3 {
+		t.Fatalf("want 3 sampled groups, got %s", body)
+	}
+	regions := map[string]bool{}
+	for _, g := range qr.Groups {
+		regions[g.Key[0]] = true
+		// SE may legitimately be 0 for a stratum sampled in full (the
+		// finite-population correction), but must always be reported
+		if g.Aggs[0] == nil || g.SE[0] == nil || *g.SE[0] < 0 {
+			t.Fatalf("group %v missing estimate or standard error: %s", g.Key, body)
+		}
+	}
+	for _, want := range []string{"NA", "EU", "APAC"} {
+		if !regions[want] {
+			t.Fatalf("region %s missing: %s", want, body)
+		}
+	}
+
+	// graceful shutdown: SIGTERM (what container runtimes send), clean
+	// exit
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cvserve exited uncleanly: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cvserve did not shut down within 10s")
 	}
 }
 

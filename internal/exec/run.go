@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/sqlparse"
 	"repro/internal/table"
@@ -23,6 +24,12 @@ type Result struct {
 	// order (plain group-by columns are carried in Row.Key, not here).
 	AggLabels []string
 	Rows      []Row
+
+	// idx memoizes the (set, key) → aggregates map behind Lookup. It is
+	// built at most once, so Rows must not be mutated after the first
+	// Lookup call. Guarded by idxOnce; safe for concurrent Lookups.
+	idxOnce sync.Once
+	idx     map[string][]float64
 }
 
 // Row is one output group of one grouping set.
@@ -44,17 +51,16 @@ func keyString(set int, key []string) string {
 	return fmt.Sprintf("%d\x00%s", set, strings.Join(key, "\x00"))
 }
 
-// Lookup finds the aggregates of a group within a grouping set.
+// Lookup finds the aggregates of a group within a grouping set. The
+// first call builds a map index over all rows (amortized O(1) per
+// lookup thereafter), so repeated Lookups over large results — e.g. a
+// serving loop touching every exact group — stay linear overall rather
+// than quadratic. Concurrent Lookups are safe; mutating Rows after the
+// first Lookup is not.
 func (r *Result) Lookup(set int, key []string) ([]float64, bool) {
-	// linear scan is fine for experiment-sized outputs; build an index
-	// for large results.
-	want := keyString(set, key)
-	for i := range r.Rows {
-		if keyString(r.Rows[i].Set, r.Rows[i].Key) == want {
-			return r.Rows[i].Aggs, true
-		}
-	}
-	return nil, false
+	r.idxOnce.Do(func() { r.idx = r.Index() })
+	v, ok := r.idx[keyString(set, key)]
+	return v, ok
 }
 
 // Index builds a map from (set, key) to aggregate values.

@@ -102,9 +102,12 @@ func RunAblationCap(cfg Config) error {
 			if err != nil {
 				return err
 			}
+			// one index over the approximate answer, then O(1) membership
+			// per exact group (previously a Lookup scan per group, O(G²))
+			approxIdx := approx.Index()
 			miss := 0
 			for _, row := range exact.Rows {
-				if _, ok := approx.Lookup(row.Set, row.Key); !ok {
+				if _, ok := approxIdx[exec.KeyOf(row.Set, row.Key)]; !ok {
 					miss++
 				}
 			}

@@ -1,0 +1,489 @@
+// Package serve turns the batch CVOPT pipeline into a resident,
+// concurrent sample-serving subsystem: the build-once/query-many shape
+// the paper's offline/online split (Section 4) implies. A Registry owns
+// read-only tables and immutable built samples keyed by (table,
+// workload, budget); building is deduplicated singleflight-style (one
+// goroutine builds, concurrent requesters wait for the same result) and
+// the query path takes only a read lock, so any number of queries
+// answer in parallel off the same shared sample. The HTTP front end
+// lives in server.go; cmd/cvserve is the binary.
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/samplers"
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+// BuildRequest identifies one sample to build: the workload it must
+// serve and the row budget it may spend. Equal requests (same table,
+// canonically-equal workload, same budget and options) share one built
+// sample.
+type BuildRequest struct {
+	// Table is the name of a table previously registered with
+	// RegisterTable.
+	Table string
+	// Queries is the workload the sample must serve (Section 4.3).
+	Queries []core.QuerySpec
+	// Budget is the row budget M.
+	Budget int
+	// Opts selects the norm and allocation repair (zero value = ℓ2).
+	Opts core.Options
+	// Seed seeds the sampling RNG; 0 derives a deterministic seed from
+	// the request key so identical requests build identical samples.
+	Seed int64
+}
+
+// key canonicalizes the request into the registry cache key. Query
+// order is normalized away; the norm options and seed are folded in
+// because they change the allocation or the drawn rows — two requests
+// differing only in explicit seed must build two samples.
+func (b BuildRequest) key() string {
+	specs := make([]string, len(b.Queries))
+	// names are %q-quoted throughout so a column containing a
+	// delimiter (",", "|", ...) cannot collide two workloads onto one
+	// key
+	for i, q := range b.Queries {
+		aggs := make([]string, len(q.Aggs))
+		for j, a := range q.Aggs {
+			var gw []string
+			for k, v := range a.GroupWeights {
+				gw = append(gw, fmt.Sprintf("%q=%g", k, v))
+			}
+			sort.Strings(gw)
+			// render the effective weight (zero means 1, per
+			// AggColumn.weightFor) so omitted and explicit defaults
+			// share one sample
+			w := a.Weight
+			if w == 0 {
+				w = 1
+			}
+			aggs[j] = fmt.Sprintf("%q*%g{%s}", a.Column, w, strings.Join(gw, ","))
+		}
+		sort.Strings(aggs)
+		// group-by is a set for stratification purposes: ["a","b"] and
+		// ["b","a"] must share one sample
+		gb := make([]string, len(q.GroupBy))
+		for j, a := range q.GroupBy {
+			gb[j] = fmt.Sprintf("%q", a)
+		}
+		sort.Strings(gb)
+		specs[i] = strings.Join(gb, ",") + "|" + strings.Join(aggs, ";")
+	}
+	sort.Strings(specs)
+	// normalize option defaults the same way the sampler reads them
+	// (core.Options.minPerStratum: 0 means 1, negative disables; P is
+	// ignored outside Lp) so equivalent requests share one key
+	min := b.Opts.MinPerStratum
+	switch {
+	case min < 0:
+		min = 0
+	case min == 0:
+		min = 1
+	}
+	p := 0.0
+	if b.Opts.Norm == core.Lp {
+		p = b.Opts.P
+	}
+	return fmt.Sprintf("%q/m=%d/norm=%d,p=%g,min=%d,seed=%d/%s",
+		b.Table, b.Budget, b.Opts.Norm, p, min,
+		b.Seed, strings.Join(specs, "&"))
+}
+
+// Entry is one immutable built sample held by a Registry. All fields
+// are read-only after publication; the sample's Rows/Weights slices
+// must not be mutated.
+type Entry struct {
+	// Key is the canonical registry key (table, workload, budget, norm).
+	Key string
+	// Table is the source table name.
+	Table string
+	// Budget is the requested row budget M.
+	Budget int
+	// Queries is the workload the sample was optimized for.
+	Queries []core.QuerySpec
+	// Opts are the build options.
+	Opts core.Options
+	// Sample is the built weighted row sample.
+	Sample *samplers.RowSample
+	// BuiltAt and BuildDuration record when and how long the build ran.
+	BuiltAt       time.Time
+	BuildDuration time.Duration
+
+	attrs map[string]bool // union of group-by attributes, for coverage
+}
+
+// Covers reports whether the sample's stratification covers a query
+// grouping by the given attributes (every queried attribute is one of
+// the sample's stratification attributes, so every group of the query
+// is a union of strata and the weighted estimate is well-formed).
+func (e *Entry) Covers(groupBy []string) bool {
+	for _, a := range groupBy {
+		if !e.attrs[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// GroupAttrs returns the sorted union of the entry's stratification
+// attributes.
+func (e *Entry) GroupAttrs() []string {
+	out := make([]string, 0, len(e.attrs))
+	for a := range e.attrs {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// buildCall is one in-flight singleflight build. Waiters block on done
+// and then read entry/err, which the builder sets before closing done.
+type buildCall struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// Registry is the concurrent sample store: read-only tables plus
+// immutable built samples. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use; reads
+// (Table/Find/Entries/Query) share an RLock while builds are
+// deduplicated so each distinct key is built exactly once no matter how
+// many requesters race.
+type Registry struct {
+	mu       sync.RWMutex
+	tables   map[string]*table.Table
+	entries  map[string]*Entry
+	inflight map[string]*buildCall
+	builds   atomic.Int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		tables:   make(map[string]*table.Table),
+		entries:  make(map[string]*Entry),
+		inflight: make(map[string]*buildCall),
+	}
+}
+
+// RegisterTable adds a table to the registry. The registry and its
+// queries treat the table as immutable from this point on; registering
+// a second table under the same name is an error (samples already built
+// against it would silently go stale).
+func (r *Registry) RegisterTable(tbl *table.Table) error {
+	if tbl == nil || tbl.Name == "" {
+		return fmt.Errorf("serve: table must be non-nil and named")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// the duplicate check is case-insensitive to match resolution:
+	// "Sales" and "sales" would otherwise register side by side and
+	// resolve nondeterministically
+	for existing := range r.tables {
+		if strings.EqualFold(existing, tbl.Name) {
+			return fmt.Errorf("serve: table %q already registered (as %q)", tbl.Name, existing)
+		}
+	}
+	r.tables[tbl.Name] = tbl
+	return nil
+}
+
+// Table returns the registered table with the given name. The match is
+// case-insensitive, like the executor's FROM check.
+func (r *Registry) Table(name string) (*table.Table, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if t, ok := r.tables[name]; ok {
+		return t, true
+	}
+	for n, t := range r.tables {
+		if strings.EqualFold(n, name) {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// TableNames returns the sorted names of all registered tables.
+func (r *Registry) TableNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.tables))
+	for n := range r.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build returns the sample for req, building it if no equal request has
+// been built before. The cached result reports whether the sample came
+// from the cache (including waiting on another goroutine's in-flight
+// build of the same key). Concurrent Builds of the same key run the
+// expensive CVOPT pass exactly once.
+func (r *Registry) Build(req BuildRequest) (entry *Entry, cached bool, err error) {
+	if req.Budget <= 0 {
+		return nil, false, fmt.Errorf("serve: budget must be positive, got %d", req.Budget)
+	}
+	if len(req.Queries) == 0 {
+		return nil, false, fmt.Errorf("serve: build request has no queries")
+	}
+	// resolve the table first (case-insensitively, like every other
+	// entry point) and canonicalize its name so the cache key cannot
+	// fork on casing
+	tbl, ok := r.Table(req.Table)
+	if !ok {
+		return nil, false, fmt.Errorf("serve: unknown table %q", req.Table)
+	}
+	req.Table = tbl.Name
+	key := req.key()
+
+	// cache-hit fast path under the read lock: idempotent re-registers
+	// (the steady state of build-once/query-many) must not serialize
+	// against concurrent queries
+	r.mu.RLock()
+	e, ok := r.entries[key]
+	r.mu.RUnlock()
+	if ok {
+		return e, true, nil
+	}
+
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		r.mu.Unlock()
+		return e, true, nil
+	}
+	if c, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.entry, true, c.err
+	}
+	c := &buildCall{done: make(chan struct{})}
+	r.inflight[key] = c
+	r.mu.Unlock()
+
+	// Cleanup runs deferred so a panicking build still releases its
+	// waiters and un-wedges the key (the panic is converted to the
+	// call's error rather than left to kill a waiter-visible state).
+	defer func() {
+		if p := recover(); p != nil {
+			c.entry, c.err = nil, fmt.Errorf("serve: building %s: panic: %v", key, p)
+			entry, err = nil, c.err
+		}
+		r.mu.Lock()
+		delete(r.inflight, key)
+		if c.err == nil {
+			r.entries[key] = c.entry
+		}
+		r.mu.Unlock()
+		close(c.done)
+	}()
+
+	// The expensive part runs outside the lock: the registry stays
+	// readable (and other keys buildable) while CVOPT allocates and
+	// draws.
+	c.entry, c.err = r.buildEntry(key, tbl, req)
+	return c.entry, false, c.err
+}
+
+// buildEntry runs the actual sampler. Failed builds are not cached, so
+// a later corrected request retries.
+func (r *Registry) buildEntry(key string, tbl *table.Table, req BuildRequest) (*Entry, error) {
+	seed := req.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		seed = int64(h.Sum64() >> 1)
+	}
+	r.builds.Add(1)
+	start := time.Now()
+	s := &samplers.CVOPT{Opts: req.Opts}
+	rs, err := s.Build(tbl, req.Queries, req.Budget, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, fmt.Errorf("serve: building %s: %w", key, err)
+	}
+	attrs := make(map[string]bool)
+	for _, q := range req.Queries {
+		for _, a := range q.GroupBy {
+			attrs[a] = true
+		}
+	}
+	return &Entry{
+		Key:           key,
+		Table:         tbl.Name,
+		Budget:        req.Budget,
+		Queries:       req.Queries,
+		Opts:          req.Opts,
+		Sample:        rs,
+		BuiltAt:       start,
+		BuildDuration: time.Since(start),
+		attrs:         attrs,
+	}, nil
+}
+
+// Builds returns how many sampler builds have actually executed —
+// deduplicated or cached requests do not count. Exposed for ops
+// (/healthz) and for the dedup tests.
+func (r *Registry) Builds() int64 { return r.builds.Load() }
+
+// Counts returns the number of registered tables and built samples
+// without materializing snapshots (the /healthz hot path).
+func (r *Registry) Counts() (tables, samples int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tables), len(r.entries)
+}
+
+// Entries returns a sorted snapshot of all built samples.
+func (r *Registry) Entries() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Find selects the best built sample of the named table covering a
+// query over the given group-by attributes: among covering entries it
+// prefers the tightest stratification (fewest attributes beyond the
+// query's), then the largest budget (most rows, lowest error), then key
+// order for determinism.
+func (r *Registry) Find(tableName string, groupBy []string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var best *Entry
+	bestExtra := 0
+	for _, e := range r.entries {
+		if !strings.EqualFold(e.Table, tableName) || !e.Covers(groupBy) {
+			continue
+		}
+		extra := len(e.attrs) - len(groupBy)
+		if best == nil || extra < bestExtra ||
+			(extra == bestExtra && (e.Budget > best.Budget ||
+				(e.Budget == best.Budget && e.Key < best.Key))) {
+			best, bestExtra = e, extra
+		}
+	}
+	return best, best != nil
+}
+
+// QueryMode selects how Query answers.
+type QueryMode int
+
+// Query modes: auto prefers a covering sample and falls back to exact
+// execution; the other two force one path.
+const (
+	ModeAuto QueryMode = iota
+	ModeSample
+	ModeExact
+)
+
+// QueryOptions tunes one Query call.
+type QueryOptions struct {
+	Mode QueryMode
+	// Compare additionally runs the exact query so the caller can report
+	// true per-group errors next to the estimates. Ignored when the
+	// answer is already exact.
+	Compare bool
+}
+
+// QueryAnswer is the outcome of one Query.
+type QueryAnswer struct {
+	// Table is the resolved table name.
+	Table string
+	// Result is the answer (approximate when Entry != nil).
+	Result *exec.Result
+	// Entry is the sample that answered, nil for exact answers.
+	Entry *Entry
+	// ExactResult is the ground truth, present only when
+	// QueryOptions.Compare was set and the answer is approximate.
+	ExactResult *exec.Result
+}
+
+// Query parses sql, resolves its FROM table against the registry and
+// answers it — from the best covering sample (amortizing the build over
+// arbitrarily many queries, the paper's build-once/query-many regime)
+// or exactly, per opt.Mode. The read path takes only read locks, so
+// concurrent Queries proceed in parallel.
+func (r *Registry) Query(sql string, opt QueryOptions) (*QueryAnswer, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if q.From == "" {
+		return nil, fmt.Errorf("serve: query must name its table in FROM")
+	}
+	tbl, ok := r.Table(q.From)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown table %q", q.From)
+	}
+	ans := &QueryAnswer{Table: tbl.Name}
+
+	// MIN/MAX/VAR/STDDEV have no unbiased weighted estimator: a sample
+	// strictly underestimates MAX whenever the extreme row wasn't
+	// drawn, and no standard error is reportable. Auto mode therefore
+	// answers them exactly; ModeSample still forces the sample (the
+	// caller asked, and the null SEs signal the caveat).
+	sampleable := true
+	exprs := make([]sqlparse.Expr, 0, len(q.Select)+1)
+	for _, item := range q.Select {
+		exprs = append(exprs, item.Expr)
+	}
+	if q.Having != nil {
+		// HAVING is the only other site the executor accepts new
+		// aggregate calls; a sampled MAX there silently drops groups
+		exprs = append(exprs, q.Having)
+	}
+	for _, e := range exprs {
+		for _, name := range sqlparse.AggCalls(e) {
+			switch name {
+			case "MIN", "MAX", "VAR", "STDDEV":
+				sampleable = false
+			}
+		}
+	}
+
+	if opt.Mode == ModeSample || (opt.Mode == ModeAuto && sampleable) {
+		if e, ok := r.Find(tbl.Name, q.GroupBy); ok {
+			res, err := exec.RunWeighted(tbl, q, e.Sample.Rows, e.Sample.Weights)
+			if err != nil {
+				return nil, err
+			}
+			ans.Result, ans.Entry = res, e
+			if opt.Compare {
+				exact, err := exec.Run(tbl, q)
+				if err != nil {
+					return nil, err
+				}
+				ans.ExactResult = exact
+			}
+			return ans, nil
+		}
+		if opt.Mode == ModeSample {
+			return nil, fmt.Errorf("serve: no built sample of %q covers GROUP BY %s (register one via Build)",
+				tbl.Name, strings.Join(q.GroupBy, ", "))
+		}
+	}
+	res, err := exec.Run(tbl, q)
+	if err != nil {
+		return nil, err
+	}
+	ans.Result = res
+	return ans, nil
+}

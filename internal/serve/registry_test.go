@@ -1,0 +1,445 @@
+package serve_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/serve"
+	"repro/internal/table"
+)
+
+// salesTable builds the canonical skewed test table: one dominant
+// group, one medium, one tiny high-variance group.
+func salesTable(t *testing.T) *table.Table {
+	t.Helper()
+	tbl := table.New("sales", table.Schema{
+		{Name: "region", Kind: table.String},
+		{Name: "product", Kind: table.String},
+		{Name: "amount", Kind: table.Float},
+	})
+	add := func(region, product string, n int, base float64) {
+		for i := 0; i < n; i++ {
+			// deterministic, mildly varying amounts
+			v := base + float64(i%17) - 8
+			if err := tbl.AppendRow(region, product, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	add("NA", "widget", 2000, 100)
+	add("NA", "gadget", 900, 70)
+	add("EU", "widget", 500, 80)
+	add("EU", "gadget", 300, 120)
+	add("APAC", "widget", 40, 300)
+	return tbl
+}
+
+func buildReq(budget int) serve.BuildRequest {
+	return serve.BuildRequest{
+		Table: "sales",
+		Queries: []core.QuerySpec{{
+			GroupBy: []string{"region"},
+			Aggs:    []core.AggColumn{{Column: "amount"}},
+		}},
+		Budget: budget,
+		Seed:   7,
+	}
+}
+
+func newSalesRegistry(t *testing.T) *serve.Registry {
+	t.Helper()
+	reg := serve.NewRegistry()
+	if err := reg.RegisterTable(salesTable(t)); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestRegisterTableRejectsDuplicatesAndNil(t *testing.T) {
+	reg := newSalesRegistry(t)
+	if err := reg.RegisterTable(salesTable(t)); err == nil {
+		t.Fatal("duplicate table registration should fail")
+	}
+	caseVariant := salesTable(t)
+	caseVariant.Name = "SALES"
+	if err := reg.RegisterTable(caseVariant); err == nil {
+		t.Fatal("case-colliding table registration should fail (resolution is case-insensitive)")
+	}
+	if err := reg.RegisterTable(nil); err == nil {
+		t.Fatal("nil table registration should fail")
+	}
+	if _, ok := reg.Table("SALES"); !ok {
+		t.Fatal("table lookup should be case-insensitive")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	reg := newSalesRegistry(t)
+	if _, _, err := reg.Build(buildReq(0)); err == nil {
+		t.Fatal("zero budget should fail")
+	}
+	req := buildReq(100)
+	req.Table = "nope"
+	if _, _, err := reg.Build(req); err == nil {
+		t.Fatal("unknown table should fail")
+	}
+	req = buildReq(100)
+	req.Queries = nil
+	if _, _, err := reg.Build(req); err == nil {
+		t.Fatal("empty workload should fail")
+	}
+}
+
+// Concurrent Builds of one key must run the sampler exactly once: every
+// caller gets the same immutable entry, and exactly one of them
+// observes cached == false.
+func TestBuildDeduplicatesConcurrentRequests(t *testing.T) {
+	reg := newSalesRegistry(t)
+	const n = 32
+	var (
+		start   = make(chan struct{})
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		entries = make(map[*serve.Entry]int)
+		fresh   int
+	)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			<-start
+			e, cached, err := reg.Build(buildReq(200))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			entries[e]++
+			if !cached {
+				fresh++
+			}
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := reg.Builds(); got != 1 {
+		t.Fatalf("sampler ran %d times for one key, want exactly 1", got)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("callers saw %d distinct entries, want 1 shared entry", len(entries))
+	}
+	if fresh != 1 {
+		t.Fatalf("%d callers observed a fresh build, want exactly 1", fresh)
+	}
+}
+
+func TestBuildDistinctKeysBuildSeparately(t *testing.T) {
+	reg := newSalesRegistry(t)
+	if _, _, err := reg.Build(buildReq(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, cached, err := reg.Build(buildReq(100)); err != nil || !cached {
+		t.Fatalf("identical request should be cached (cached=%v err=%v)", cached, err)
+	}
+	if _, cached, err := reg.Build(buildReq(200)); err != nil || cached {
+		t.Fatalf("different budget should rebuild (cached=%v err=%v)", cached, err)
+	}
+	linf := buildReq(100)
+	linf.Opts = core.Options{Norm: core.LInf}
+	if _, cached, err := reg.Build(linf); err != nil || cached {
+		t.Fatalf("different norm should rebuild (cached=%v err=%v)", cached, err)
+	}
+	reseeded := buildReq(100)
+	reseeded.Seed = 99
+	if _, cached, err := reg.Build(reseeded); err != nil || cached {
+		t.Fatalf("different seed should rebuild (cached=%v err=%v)", cached, err)
+	}
+	// case-insensitive table resolution canonicalizes the cache key
+	upper := buildReq(100)
+	upper.Table = "SALES"
+	if _, cached, err := reg.Build(upper); err != nil || !cached {
+		t.Fatalf("case-variant table name should hit the cache (cached=%v err=%v)", cached, err)
+	}
+	// group-by order is a set for stratification: permutations share a key
+	pair := func(gb ...string) serve.BuildRequest {
+		return serve.BuildRequest{
+			Table:   "sales",
+			Queries: []core.QuerySpec{{GroupBy: gb, Aggs: []core.AggColumn{{Column: "amount"}}}},
+			Budget:  150,
+		}
+	}
+	if _, cached, err := reg.Build(pair("region", "product")); err != nil || cached {
+		t.Fatalf("first two-attribute build should be fresh (cached=%v err=%v)", cached, err)
+	}
+	if _, cached, err := reg.Build(pair("product", "region")); err != nil || !cached {
+		t.Fatalf("permuted group-by should hit the cache (cached=%v err=%v)", cached, err)
+	}
+	// omitted weight (0) and the explicit default (1) are the same spec
+	weighted := pair("region", "product")
+	weighted.Queries[0].Aggs[0].Weight = 1
+	if _, cached, err := reg.Build(weighted); err != nil || !cached {
+		t.Fatalf("explicit default weight should hit the cache (cached=%v err=%v)", cached, err)
+	}
+	if got := reg.Builds(); got != 5 {
+		t.Fatalf("got %d builds, want 5", got)
+	}
+	if got := len(reg.Entries()); got != 5 {
+		t.Fatalf("got %d entries, want 5", got)
+	}
+}
+
+func TestFindPrefersTightestCoverThenBudget(t *testing.T) {
+	reg := newSalesRegistry(t)
+	region := buildReq(100)
+	regionBig := buildReq(400)
+	both := serve.BuildRequest{
+		Table: "sales",
+		Queries: []core.QuerySpec{{
+			GroupBy: []string{"region", "product"},
+			Aggs:    []core.AggColumn{{Column: "amount"}},
+		}},
+		Budget: 300,
+	}
+	for _, req := range []serve.BuildRequest{region, regionBig, both} {
+		if _, _, err := reg.Build(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, ok := reg.Find("sales", []string{"region"})
+	if !ok {
+		t.Fatal("no entry found for region")
+	}
+	if len(e.GroupAttrs()) != 1 || e.Budget != 400 {
+		t.Fatalf("want the budget-400 region-only sample, got attrs=%v budget=%d", e.GroupAttrs(), e.Budget)
+	}
+	e, ok = reg.Find("sales", []string{"product"})
+	if !ok || !e.Covers([]string{"product"}) {
+		t.Fatalf("product query should be covered by the (region, product) sample, got %+v ok=%v", e, ok)
+	}
+	if _, ok := reg.Find("sales", []string{"amount"}); ok {
+		t.Fatal("no sample stratifies on amount; Find should report none")
+	}
+	if _, ok := reg.Find("other", []string{"region"}); ok {
+		t.Fatal("unknown table should find nothing")
+	}
+}
+
+func TestQueryModes(t *testing.T) {
+	reg := newSalesRegistry(t)
+	sql := "SELECT region, AVG(amount) FROM sales GROUP BY region"
+
+	// no sample yet: auto falls back to exact, sample mode fails
+	ans, err := reg.Query(sql, serve.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Entry != nil {
+		t.Fatal("auto mode with no samples should answer exactly")
+	}
+	if _, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample}); err == nil {
+		t.Fatal("sample mode with no covering sample should fail")
+	}
+
+	if _, _, err := reg.Build(buildReq(300)); err != nil {
+		t.Fatal(err)
+	}
+	ans, err = reg.Query(sql, serve.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Entry == nil {
+		t.Fatal("auto mode should now answer from the sample")
+	}
+	if len(ans.Result.Rows) != 3 {
+		t.Fatalf("got %d groups, want 3 (sample has a floor per stratum)", len(ans.Result.Rows))
+	}
+	for _, row := range ans.Result.Rows {
+		if row.SE == nil || math.IsNaN(row.SE[0]) {
+			t.Fatalf("approximate row %v should carry a standard error", row.Key)
+		}
+	}
+
+	exact, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Entry != nil {
+		t.Fatal("exact mode must not use a sample")
+	}
+	// sanity: estimates near truth on this low-variance table
+	exactIdx := exact.Result.Index()
+	for _, row := range ans.Result.Rows {
+		want, ok := exactIdx[exec.KeyOf(row.Set, row.Key)]
+		if !ok {
+			t.Fatalf("approximate group %v missing from exact answer", row.Key)
+		}
+		if rel := math.Abs(row.Aggs[0]-want[0]) / want[0]; rel > 0.25 {
+			t.Fatalf("group %v estimate %.3f vs exact %.3f (rel %.2f) implausibly far", row.Key, row.Aggs[0], want[0], rel)
+		}
+	}
+
+	// MIN/MAX/VAR/STDDEV have no weighted estimator: auto mode answers
+	// them exactly even with a covering sample; explicit sample mode
+	// still forces the sample
+	extremes, err := reg.Query("SELECT region, MAX(amount) FROM sales GROUP BY region", serve.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extremes.Entry != nil {
+		t.Fatal("auto mode must answer MAX exactly (no unbiased sample estimator)")
+	}
+	extremes, err = reg.Query("SELECT region, MAX(amount) FROM sales GROUP BY region",
+		serve.QueryOptions{Mode: serve.ModeSample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extremes.Entry == nil {
+		t.Fatal("explicit sample mode must still force the sample for MAX")
+	}
+
+	// errors: bad SQL, missing FROM table
+	if _, err := reg.Query("not sql", serve.QueryOptions{}); err == nil {
+		t.Fatal("bad SQL should fail")
+	}
+	if _, err := reg.Query("SELECT region, AVG(amount) FROM nope GROUP BY region", serve.QueryOptions{}); err == nil {
+		t.Fatal("unknown table should fail")
+	}
+}
+
+func TestQueryCompareReportsExact(t *testing.T) {
+	reg := newSalesRegistry(t)
+	if _, _, err := reg.Build(buildReq(300)); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+		serve.QueryOptions{Compare: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Entry == nil || ans.ExactResult == nil {
+		t.Fatalf("compare mode should return both sample answer and ground truth")
+	}
+	if len(ans.ExactResult.Rows) != 3 {
+		t.Fatalf("exact result has %d groups, want 3", len(ans.ExactResult.Rows))
+	}
+}
+
+// sameResult compares two results bit-exactly (NaN-tolerant, which
+// reflect.DeepEqual is not).
+func sameResult(a, b *exec.Result) bool {
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if ra.Set != rb.Set || len(ra.Key) != len(rb.Key) || len(ra.Aggs) != len(rb.Aggs) || len(ra.SE) != len(rb.SE) {
+			return false
+		}
+		for j := range ra.Key {
+			if ra.Key[j] != rb.Key[j] {
+				return false
+			}
+		}
+		for j := range ra.Aggs {
+			if math.Float64bits(ra.Aggs[j]) != math.Float64bits(rb.Aggs[j]) {
+				return false
+			}
+		}
+		for j := range ra.SE {
+			if math.Float64bits(ra.SE[j]) != math.Float64bits(rb.SE[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// The load-shaped test behind the subsystem's reason to exist: many
+// clients hammer one registry concurrently (run under -race) and every
+// answer matches the sequential ground run off the same shared sample.
+func TestConcurrentQueriesMatchSequential(t *testing.T) {
+	reg := newSalesRegistry(t)
+	if _, _, err := reg.Build(buildReq(300)); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT region, AVG(amount) FROM sales GROUP BY region",
+		"SELECT region, SUM(amount), COUNT(*) FROM sales GROUP BY region",
+		"SELECT region, AVG(amount) FROM sales GROUP BY region ORDER BY AVG(amount) DESC",
+		"SELECT region, MAX(amount) FROM sales GROUP BY region",
+	}
+	want := make([]*exec.Result, len(queries))
+	for i, q := range queries {
+		ans, err := reg.Query(q, serve.QueryOptions{Mode: serve.ModeSample})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ans.Result
+	}
+
+	const clients = 16
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for rep := 0; rep < 8; rep++ {
+				i := (c + rep) % len(queries)
+				ans, err := reg.Query(queries[i], serve.QueryOptions{Mode: serve.ModeSample})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !sameResult(want[i], ans.Result) {
+					t.Errorf("client %d: concurrent answer to %q diverged from sequential run", c, queries[i])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// Mixed load: queries answering off existing samples while new samples
+// for other keys build concurrently. Exercises the RWMutex read path
+// against the build write path under -race.
+func TestQueriesProceedDuringBuilds(t *testing.T) {
+	reg := newSalesRegistry(t)
+	if _, _, err := reg.Build(buildReq(300)); err != nil {
+		t.Fatal(err)
+	}
+	sql := "SELECT region, AVG(amount) FROM sales GROUP BY region"
+	base, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := reg.Build(buildReq(100 + i)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+		go func() {
+			defer wg.Done()
+			ans, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Find prefers the largest budget (300), so answers stay
+			// pinned to the base sample while smaller ones build
+			if !sameResult(base.Result, ans.Result) {
+				t.Error("answer diverged from the base sample mid-build")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,372 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+)
+
+// Server is the HTTP/JSON front end of a Registry:
+//
+//	GET  /healthz     — liveness plus table/sample/build counters
+//	GET  /v1/tables   — registered tables
+//	GET  /v1/samples  — built samples
+//	POST /v1/samples  — register (build or fetch cached) a sample
+//	POST /v1/query    — answer a SQL group-by query
+//
+// A Server is safe for concurrent use; it holds no state of its own
+// beyond the registry.
+type Server struct {
+	reg *Registry
+	mux *http.ServeMux
+}
+
+// NewServer wraps a registry in its HTTP API.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
+	s.mux.HandleFunc("GET /v1/samples", s.handleListSamples)
+	s.mux.HandleFunc("POST /v1/samples", s.handleBuildSample)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorJSON is every non-2xx body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes caps request bodies: the largest legitimate request is
+// a workload spec, far under 1 MiB, and the daemon must not buffer an
+// unbounded body from one client.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON decodes a request body strictly (unknown fields are
+// errors, catching typos like "buget" before they silently build the
+// wrong sample) and bounded by maxBodyBytes. On failure it writes the
+// error response (413 for oversized bodies, 400 otherwise) and returns
+// false.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// jsonFloat renders a float for JSON: NaN and ±Inf (legal aggregates,
+// illegal JSON) become null.
+func jsonFloat(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func jsonFloats(vs []float64) []*float64 {
+	if vs == nil {
+		return nil
+	}
+	out := make([]*float64, len(vs))
+	for i, v := range vs {
+		out[i] = jsonFloat(v)
+	}
+	return out
+}
+
+// aggJSON is one aggregation column of a build request.
+type aggJSON struct {
+	Column string  `json:"column"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// querySpecJSON is one workload query of a build request.
+type querySpecJSON struct {
+	GroupBy []string  `json:"group_by"`
+	Aggs    []aggJSON `json:"aggs"`
+}
+
+// buildJSON is the POST /v1/samples request body.
+type buildJSON struct {
+	Table   string          `json:"table"`
+	Queries []querySpecJSON `json:"queries"`
+	// Budget is the absolute row budget; Rate (in (0, 1]) is the
+	// fractional alternative. Exactly one must be set.
+	Budget int     `json:"budget,omitempty"`
+	Rate   float64 `json:"rate,omitempty"`
+	Norm   string  `json:"norm,omitempty"` // "l2" (default), "linf", "lp"
+	P      float64 `json:"p,omitempty"`    // exponent for norm "lp"
+	Seed   int64   `json:"seed,omitempty"`
+}
+
+// sampleJSON describes one built sample in responses.
+type sampleJSON struct {
+	Key     string    `json:"key"`
+	Table   string    `json:"table"`
+	Budget  int       `json:"budget"`
+	Rows    int       `json:"rows"`
+	GroupBy []string  `json:"group_by"`
+	BuiltAt time.Time `json:"built_at"`
+	BuildMS float64   `json:"build_ms"`
+	Cached  bool      `json:"cached,omitempty"`
+}
+
+func sampleToJSON(e *Entry, cached bool) sampleJSON {
+	return sampleJSON{
+		Key:     e.Key,
+		Table:   e.Table,
+		Budget:  e.Budget,
+		Rows:    e.Sample.Len(),
+		GroupBy: e.GroupAttrs(),
+		BuiltAt: e.BuiltAt,
+		BuildMS: float64(e.BuildDuration.Microseconds()) / 1000,
+		Cached:  cached,
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	tables, samples := s.reg.Counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"tables":  tables,
+		"samples": samples,
+		"builds":  s.reg.Builds(),
+	})
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	type tableJSON struct {
+		Name string `json:"name"`
+		Rows int    `json:"rows"`
+		Cols int    `json:"cols"`
+	}
+	out := []tableJSON{}
+	for _, name := range s.reg.TableNames() {
+		tbl, _ := s.reg.Table(name)
+		out = append(out, tableJSON{Name: name, Rows: tbl.NumRows(), Cols: tbl.NumCols()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tables": out})
+}
+
+func (s *Server) handleListSamples(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.Entries()
+	out := make([]sampleJSON, len(entries))
+	for i, e := range entries {
+		out[i] = sampleToJSON(e, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"samples": out})
+}
+
+func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
+	var req buildJSON
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	// a CVOPT build on a production-sized table can outlast any
+	// server-wide WriteTimeout; clear this route's write deadline so a
+	// slow build still delivers its response (best-effort: not every
+	// ResponseWriter supports it)
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	if req.Table == "" {
+		writeError(w, http.StatusBadRequest, "table is required")
+		return
+	}
+	tbl, ok := s.reg.Table(req.Table)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown table %q", req.Table)
+		return
+	}
+	budget := req.Budget
+	switch {
+	case budget < 0:
+		writeError(w, http.StatusBadRequest, "budget must be positive, got %d", budget)
+		return
+	case budget != 0 && req.Rate != 0:
+		writeError(w, http.StatusBadRequest, "set budget or rate, not both")
+		return
+	case budget == 0 && req.Rate == 0:
+		writeError(w, http.StatusBadRequest, "one of budget or rate is required")
+		return
+	case req.Rate != 0:
+		if req.Rate < 0 || req.Rate > 1 {
+			writeError(w, http.StatusBadRequest, "rate must be in (0, 1], got %g", req.Rate)
+			return
+		}
+		budget = int(float64(tbl.NumRows()) * req.Rate)
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	var opts core.Options
+	switch req.Norm {
+	case "", "l2":
+	case "linf":
+		opts.Norm = core.LInf
+	case "lp":
+		if req.P < 1 {
+			writeError(w, http.StatusBadRequest, "norm lp requires p >= 1, got %g", req.P)
+			return
+		}
+		opts.Norm, opts.P = core.Lp, req.P
+	default:
+		writeError(w, http.StatusBadRequest, "unknown norm %q (want l2, linf or lp)", req.Norm)
+		return
+	}
+	specs := make([]core.QuerySpec, len(req.Queries))
+	for i, q := range req.Queries {
+		specs[i] = core.QuerySpec{GroupBy: q.GroupBy}
+		for _, a := range q.Aggs {
+			specs[i].Aggs = append(specs[i].Aggs, core.AggColumn{Column: a.Column, Weight: a.Weight})
+		}
+		if err := specs[i].Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+	}
+	entry, cached, err := s.reg.Build(BuildRequest{
+		Table:   tbl.Name,
+		Queries: specs,
+		Budget:  budget,
+		Opts:    opts,
+		Seed:    req.Seed,
+	})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	code := http.StatusCreated
+	if cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, sampleToJSON(entry, cached))
+}
+
+// queryJSON is the POST /v1/query request body.
+type queryJSON struct {
+	SQL string `json:"sql"`
+	// Mode: "auto" (default — covering sample if built, exact
+	// otherwise), "sample" (fail without one), "exact".
+	Mode string `json:"mode,omitempty"`
+	// Compare also runs the exact query and reports each group's true
+	// relative error next to its estimate (ops/debugging aid).
+	Compare bool `json:"compare,omitempty"`
+}
+
+// groupJSON is one output group of a query response.
+type groupJSON struct {
+	Set  int        `json:"set"`
+	Key  []string   `json:"key"`
+	Aggs []*float64 `json:"aggs"`
+	// SE are the per-aggregate standard errors (approximate answers
+	// only; null where no estimator applies).
+	SE []*float64 `json:"se,omitempty"`
+	// RelErr are the true per-aggregate relative errors (compare mode
+	// only).
+	RelErr []*float64 `json:"rel_err,omitempty"`
+}
+
+// queryResponseJSON is the POST /v1/query response body.
+type queryResponseJSON struct {
+	Table      string      `json:"table"`
+	Exact      bool        `json:"exact"`
+	SampleKey  string      `json:"sample_key,omitempty"`
+	SampleRows int         `json:"sample_rows,omitempty"`
+	Sets       [][]string  `json:"sets"`
+	AggLabels  []string    `json:"agg_labels"`
+	Groups     []groupJSON `json:"groups"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryJSON
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	// exact and compare answers scan the full table, which can outlast
+	// a server-wide WriteTimeout just like a sample build; best-effort
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "sql is required")
+		return
+	}
+	var opt QueryOptions
+	switch req.Mode {
+	case "", "auto":
+		opt.Mode = ModeAuto
+	case "sample":
+		opt.Mode = ModeSample
+	case "exact":
+		opt.Mode = ModeExact
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q (want auto, sample or exact)", req.Mode)
+		return
+	}
+	opt.Compare = req.Compare
+	ans, err := s.reg.Query(req.SQL, opt)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := queryResponseJSON{
+		Table:     ans.Table,
+		Exact:     ans.Entry == nil,
+		Sets:      ans.Result.Sets,
+		AggLabels: ans.Result.AggLabels,
+		Groups:    make([]groupJSON, len(ans.Result.Rows)),
+	}
+	if ans.Entry != nil {
+		resp.SampleKey = ans.Entry.Key
+		resp.SampleRows = ans.Entry.Sample.Len()
+	}
+	// compare mode: index the exact answer once (O(G)), then O(1) per
+	// served group — never the per-group Lookup scan.
+	var exactIdx map[string][]float64
+	if ans.ExactResult != nil {
+		exactIdx = ans.ExactResult.Index()
+	}
+	for i, row := range ans.Result.Rows {
+		g := groupJSON{Set: row.Set, Key: row.Key, Aggs: jsonFloats(row.Aggs)}
+		if row.SE != nil {
+			g.SE = jsonFloats(row.SE)
+		}
+		if exactIdx != nil {
+			want, ok := exactIdx[exec.KeyOf(row.Set, row.Key)]
+			rel := make([]*float64, len(row.Aggs))
+			for j, got := range row.Aggs {
+				if ok && j < len(want) {
+					rel[j] = jsonFloat(metrics.RelativeError(want[j], got))
+				}
+			}
+			g.RelErr = rel
+		}
+		resp.Groups[i] = g
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -179,7 +179,8 @@ var AggFuncs = map[string]bool{
 }
 
 // HasAggregate reports whether the expression contains an aggregate
-// function call.
+// function call. Kept as a short-circuiting walk (not len(AggCalls))
+// because the executor calls it in per-item compile loops.
 func HasAggregate(e Expr) bool {
 	switch n := e.(type) {
 	case *FuncCall:
@@ -208,6 +209,40 @@ func HasAggregate(e Expr) bool {
 		}
 	}
 	return false
+}
+
+// AggCalls returns the names of the aggregate functions called in e,
+// in first-appearance order (duplicates included).
+func AggCalls(e Expr) []string {
+	var out []string
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch n := x.(type) {
+		case *FuncCall:
+			if AggFuncs[n.Name] {
+				out = append(out, n.Name)
+			}
+			for _, a := range n.Args {
+				walk(a)
+			}
+		case *BinaryExpr:
+			walk(n.Left)
+			walk(n.Right)
+		case *UnaryExpr:
+			walk(n.Expr)
+		case *BetweenExpr:
+			walk(n.Expr)
+			walk(n.Lo)
+			walk(n.Hi)
+		case *InExpr:
+			walk(n.Expr)
+			for _, it := range n.Items {
+				walk(it)
+			}
+		}
+	}
+	walk(e)
+	return out
 }
 
 // Columns returns the distinct column names referenced by e, in first-

@@ -109,6 +109,24 @@ func LoadCSV(name string, schema Schema, path string) (*Table, error) {
 	return ReadCSV(name, schema, f)
 }
 
+// LoadCSVInferred loads a CSV with a schema inferred from its header
+// and first data row — the open/infer/load sequence every cmd tool
+// needs.
+func LoadCSVInferred(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := InferSchema(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return LoadCSV(name, schema, path)
+}
+
 // InferSchema reads the header and first data row of a CSV to guess a
 // schema: values parsing as int64 become Int, as float64 become Float,
 // anything else String. Used by cmd/cvsample when no schema is supplied.

@@ -25,10 +25,12 @@ package repro
 
 import (
 	"math/rand"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/samplers"
+	"repro/internal/serve"
 	"repro/internal/sqlparse"
 	"repro/internal/table"
 )
@@ -51,6 +53,14 @@ type (
 	Sample = samplers.RowSample
 	// Result is a query answer (exact or approximate).
 	Result = exec.Result
+	// Registry is the concurrent sample-serving store: immutable built
+	// samples keyed by (table, workload, budget), deduplicated builds,
+	// parallel reads. See internal/serve.
+	Registry = serve.Registry
+	// SampleEntry is one immutable built sample held by a Registry.
+	SampleEntry = serve.Entry
+	// BuildRequest identifies one sample a Registry should build.
+	BuildRequest = serve.BuildRequest
 )
 
 // Norm constants.
@@ -109,4 +119,17 @@ func WorkloadWeights(tbl *table.Table, workload []WorkloadQuery) ([]QuerySpec, e
 // grouping set, all sharing the same aggregates.
 func CubeQueries(attrs []string, aggs []AggColumn) []QuerySpec {
 	return core.CubeQueries(attrs, aggs)
+}
+
+// NewRegistry returns an empty sample-serving registry: register
+// tables, build samples once, answer queries concurrently off them.
+func NewRegistry() *Registry {
+	return serve.NewRegistry()
+}
+
+// NewServerHandler exposes a registry over the HTTP/JSON serving API
+// (POST /v1/query, POST /v1/samples, GET /v1/samples, GET /healthz);
+// cmd/cvserve is the ready-made daemon around it.
+func NewServerHandler(reg *Registry) http.Handler {
+	return serve.NewServer(reg)
 }
