@@ -3,7 +3,7 @@
 // sample for a table + workload + budget once, answer any number of
 // group-by queries off it in parallel.
 //
-//	cvserve -addr :8080 -table sales=sales.csv -table events=events.csv
+//	cvserve -addr :8080 -load sales=sales.csv -load events=events.csv
 //
 //	curl -s localhost:8080/v1/samples -d '{
 //	  "table": "sales", "rate": 0.01,
@@ -12,6 +12,12 @@
 //	curl -s localhost:8080/v1/query -d '{
 //	  "sql": "SELECT region, AVG(amount) FROM sales GROUP BY region"
 //	}'
+//
+// Loaded tables can be made *live* over the API: POST
+// /v1/tables/{name}/stream registers a streaming workload, POST
+// /v1/tables/{name}/rows appends, and the sample republishes on the
+// refresh policy (-refresh-rows / -refresh-interval set the daemon-wide
+// defaults; POST /v1/tables/{name}/refresh flushes explicitly).
 //
 // The process exits cleanly on SIGINT/SIGTERM, draining in-flight
 // requests.
@@ -31,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/serve"
 	"repro/internal/table"
 )
@@ -50,18 +57,29 @@ func (t *tableFlags) Set(v string) error {
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		tables tableFlags
+		addr            = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		refreshRows     = flag.Int("refresh-rows", 0, "default streaming refresh threshold: republish a live table's sample after this many appended rows (0 = explicit refresh only)")
+		refreshInterval = flag.Duration("refresh-interval", 0, "default streaming refresh period: republish a live table's sample this often while rows are pending (0 = off)")
+		tables          tableFlags
 	)
 	flag.Var(&tables, "table", "table to serve, as name=path.csv (repeatable)")
+	// -load is the preload spelling of the same flag: both feed one
+	// list, so mixing them works and ordering is preserved per flag
+	flag.Var(&tables, "load", "alias of -table: preload a CSV at startup so the daemon is queryable without a client bootstrap step (repeatable)")
 	flag.Parse()
 	if len(tables) == 0 {
-		fmt.Fprintln(os.Stderr, "cvserve: at least one -table name=path is required")
+		fmt.Fprintln(os.Stderr, "cvserve: at least one -table/-load name=path is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *refreshRows < 0 || *refreshInterval < 0 {
+		fmt.Fprintln(os.Stderr, "cvserve: refresh policy flags must be non-negative")
 		os.Exit(2)
 	}
 
 	reg := serve.NewRegistry()
+	defer reg.Close()
+	reg.SetStreamDefaults(ingest.Policy{MaxPending: *refreshRows, Interval: *refreshInterval})
 	for _, spec := range tables {
 		name, path, _ := strings.Cut(spec, "=")
 		tbl, err := table.LoadCSVInferred(name, path)

@@ -229,7 +229,9 @@ func TestCmdCvserveEndToEnd(t *testing.T) {
 	in := filepath.Join(dir, "sales.csv")
 	writeSalesCSV(t, in)
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-table", "sales="+in)
+	// -load is the preload alias of -table; the refresh flags set the
+	// daemon-wide streaming defaults
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-load", "sales="+in, "-refresh-rows", "100000")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -316,6 +318,45 @@ func TestCmdCvserveEndToEnd(t *testing.T) {
 		if !regions[want] {
 			t.Fatalf("region %s missing: %s", want, body)
 		}
+	}
+
+	// streaming ingest over the socket: make the table live, append a
+	// batch, refresh, and check the generation advances end to end
+	code, body = post("/v1/tables/sales/stream", `{
+		"queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}],
+		"rate": 0.05
+	}`)
+	if code != http.StatusCreated {
+		t.Fatalf("stream: %d %s", code, body)
+	}
+	code, body = post("/v1/tables/sales/rows", `{
+		"rows": [["NA", 105.5, 2], ["EU", 82.0, 1], ["APAC", 290.0, 3]]
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("append: %d %s", code, body)
+	}
+	var ap struct {
+		Appended int `json:"appended"`
+		Pending  int `json:"pending"`
+	}
+	if err := json.Unmarshal(body, &ap); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if ap.Appended != 3 || ap.Pending != 3 {
+		t.Fatalf("append response: %s", body)
+	}
+	code, body = post("/v1/tables/sales/refresh", "")
+	if code != http.StatusOK {
+		t.Fatalf("refresh: %d %s", code, body)
+	}
+	var ref struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(body, &ref); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if ref.Generation != 2 {
+		t.Fatalf("refresh generation = %d, want 2: %s", ref.Generation, body)
 	}
 
 	// graceful shutdown: SIGTERM (what container runtimes send), clean

@@ -1,0 +1,471 @@
+// Package ingest is the streaming side of the serving layer: it turns a
+// static registered table into a *live* one. A Stream owns a private,
+// growing copy of the table plus a resident core.StreamSampler (Welford
+// statistics and per-stratum reservoirs, the paper's future-work item
+// (3)), so appended rows update the CVOPT state in one pass with no
+// rescan. On a refresh trigger — a row-count threshold, a periodic tick,
+// or an explicit flush — the stream finalizes a fresh stratified sample,
+// takes an O(columns) immutable snapshot of the table, and hands both to
+// a publish callback as one Publication carrying a monotonically
+// increasing generation number. The serving registry installs the pair
+// atomically, so concurrent queries either see the previous complete
+// generation or the new complete generation, never a partial one.
+//
+// Concurrency model: one mutex serializes Append, Refresh and the
+// snapshot cut; the publish callback runs under that mutex so
+// generations reach the registry in order. Readers of a published
+// snapshot need no lock at all — the snapshot shares only memory the
+// writer will never touch again (see table.Snapshot).
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/samplers"
+	"repro/internal/table"
+)
+
+// DefaultCapacity is the per-stratum reservoir capacity used when
+// Config.Capacity is zero. It bounds resident memory at
+// O(strata × capacity) row ids and caps how many rows any one stratum
+// can contribute to a published sample.
+const DefaultCapacity = 256
+
+// Policy says when a stream republishes its sample without being asked.
+// The zero value never auto-refreshes (explicit Refresh only). Each
+// field follows the core.Options.MinPerStratum convention: 0 means
+// "unset" (a registry substitutes its default there), negative means
+// "explicitly off" even when defaults exist.
+type Policy struct {
+	// MaxPending triggers a refresh once at least this many rows have
+	// been appended since the last publication. <= 0 disables the
+	// threshold.
+	MaxPending int
+	// Interval triggers a periodic refresh (skipped while no rows are
+	// pending). <= 0 disables the ticker.
+	Interval time.Duration
+}
+
+// Config describes one streaming table registration.
+type Config struct {
+	// Queries is the workload the live sample must serve; it fixes the
+	// stratification for the stream's lifetime.
+	Queries []core.QuerySpec
+	// Budget is the absolute row budget of every published sample.
+	// Exactly one of Budget and Rate must be set.
+	Budget int
+	// Rate is the fractional alternative: each refresh spends
+	// Rate × (current rows), so the sample grows with the stream.
+	Rate float64
+	// Capacity is the per-stratum reservoir capacity (0 =
+	// DefaultCapacity). Allocations beyond it are clipped with the
+	// surplus redistributed, exactly as in core.StreamSampler.
+	Capacity int
+	// Opts selects the norm (StreamSampler supports L2 and Lp).
+	Opts core.Options
+	// Seed seeds the reservoir RNG; 0 derives one from the table name.
+	Seed int64
+	// Policy selects the automatic refresh triggers.
+	Policy Policy
+}
+
+// validate rejects configurations the sampler would choke on later.
+func (c Config) validate() error {
+	if len(c.Queries) == 0 {
+		return errors.New("ingest: streaming config needs at least one query")
+	}
+	switch {
+	case c.Budget < 0:
+		return fmt.Errorf("ingest: negative budget %d", c.Budget)
+	case c.Budget > 0 && c.Rate != 0:
+		return errors.New("ingest: set budget or rate, not both")
+	case c.Budget == 0 && c.Rate == 0:
+		return errors.New("ingest: one of budget or rate is required")
+	case c.Rate < 0 || c.Rate > 1:
+		return fmt.Errorf("ingest: rate must be in (0, 1], got %g", c.Rate)
+	case c.Capacity < 0:
+		return fmt.Errorf("ingest: negative reservoir capacity %d", c.Capacity)
+	}
+	return nil
+}
+
+// Publication is one complete publishable state of a streaming table:
+// an immutable snapshot of all rows ingested so far plus the weighted
+// sample drawn over exactly those rows. Sample is nil only for the
+// initial publication of a stream seeded with zero rows.
+type Publication struct {
+	// Generation numbers publications 1, 2, 3, ... per stream.
+	Generation uint64
+	// Snapshot is the immutable table cut the sample's row ids index.
+	Snapshot *table.Table
+	// Sample is the weighted row sample over Snapshot.
+	Sample *samplers.RowSample
+	// Budget is the row budget this generation actually spent (resolved
+	// from Config.Rate when set).
+	Budget int
+	// Rows is Snapshot's row count, recorded for ops surfaces.
+	Rows int
+	// BuiltAt and BuildDuration time the finalize + snapshot cut.
+	BuiltAt       time.Time
+	BuildDuration time.Duration
+}
+
+// Stream is one live table: a growing private buffer, the resident
+// one-pass sampler, and the refresh machinery. Create with New; all
+// methods are safe for concurrent use.
+type Stream struct {
+	name string
+	cfg  Config
+
+	mu      sync.Mutex
+	tbl     *table.Table // private buffer; only this stream appends
+	sampler *core.StreamSampler
+	attrIdx []int // buffer column positions of sampler.Attrs()
+	aggIdx  []int // buffer column positions of sampler.AggColumns()
+	pending int   // rows appended since the last publication
+	gen     uint64
+	last    *Publication
+	publish func(*Publication)
+
+	kick        chan struct{} // threshold crossings wake the loop
+	stop        chan struct{}
+	loopDone    chan struct{}
+	closeOnce   sync.Once
+	refreshErrs atomic.Int64
+}
+
+// New registers a streaming table: seed's rows are copied into the
+// stream's private buffer (seed itself is never mutated and may keep
+// serving readers), fed through the resident sampler, and published as
+// generation 1 via the publish callback — with a finalized sample when
+// the seed has rows, snapshot-only when it is empty. The callback runs
+// synchronously under the stream's mutex, here and on every later
+// refresh, so it observes strictly increasing generations.
+func New(seed *table.Table, cfg Config, publish func(*Publication)) (*Stream, error) {
+	if seed == nil || seed.Name == "" {
+		return nil, errors.New("ingest: seed table must be non-nil and named")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	for i, q := range cfg.Queries {
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("ingest: query %d: %v", i, err)
+		}
+	}
+	seedVal := cfg.Seed
+	if seedVal == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(seed.Name))
+		seedVal = int64(h.Sum64() >> 1)
+	}
+	sampler, err := core.NewStreamSampler(cfg.Queries, cfg.Capacity, rand.New(rand.NewSource(seedVal)))
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{
+		name:     seed.Name,
+		cfg:      cfg,
+		tbl:      table.New(seed.Name, seed.Schema()),
+		sampler:  sampler,
+		publish:  publish,
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	// resolve the sampler's attribute and aggregate columns against the
+	// schema once; Append re-reads values through these positions
+	for _, a := range sampler.Attrs() {
+		i := s.tbl.ColumnIndex(a)
+		if i < 0 {
+			return nil, fmt.Errorf("ingest: table %q has no column %q named by the workload", seed.Name, a)
+		}
+		s.attrIdx = append(s.attrIdx, i)
+	}
+	for _, a := range sampler.AggColumns() {
+		i := s.tbl.ColumnIndex(a)
+		if i < 0 {
+			return nil, fmt.Errorf("ingest: table %q has no column %q named by the workload", seed.Name, a)
+		}
+		s.aggIdx = append(s.aggIdx, i)
+	}
+	if err := s.tbl.AppendTable(seed); err != nil {
+		return nil, err
+	}
+	if err := core.StreamTable(s.sampler, s.tbl); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tbl.NumRows() > 0 {
+		if _, err := s.refreshLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		// an empty stream still publishes its (empty) snapshot so the
+		// table is immediately registered and exactly queryable
+		s.publishLocked(&Publication{Snapshot: s.tbl.Snapshot(), BuiltAt: time.Now()})
+	}
+	go s.loop()
+	return s, nil
+}
+
+// Name returns the stream's table name.
+func (s *Stream) Name() string { return s.name }
+
+// Generation returns the latest published generation.
+func (s *Stream) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen
+}
+
+// Pending returns how many appended rows the published sample does not
+// cover yet.
+func (s *Stream) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// Rows returns the total number of rows ingested so far.
+func (s *Stream) Rows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tbl.NumRows()
+}
+
+// RefreshErrors counts automatic refreshes that failed (the stream
+// keeps serving its previous generation when one does).
+func (s *Stream) RefreshErrors() int64 { return s.refreshErrs.Load() }
+
+// Last returns the most recent publication.
+func (s *Stream) Last() *Publication {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// CoerceRow converts one row of loosely-typed values (JSON decoding
+// yields float64 for every number) into the Go types Table.AppendRow
+// expects for sch, rejecting wrong arity, wrong types and non-integral
+// values for integer columns.
+func CoerceRow(sch table.Schema, vals []any) ([]any, error) {
+	if len(vals) != len(sch) {
+		return nil, fmt.Errorf("ingest: row arity %d, want %d", len(vals), len(sch))
+	}
+	out := make([]any, len(vals))
+	for i, v := range vals {
+		spec := sch[i]
+		switch spec.Kind {
+		case table.String:
+			sv, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("ingest: column %q expects a string, got %T", spec.Name, v)
+			}
+			out[i] = sv
+		case table.Float:
+			switch x := v.(type) {
+			case float64:
+				out[i] = x
+			case int:
+				out[i] = float64(x)
+			case int64:
+				out[i] = float64(x)
+			default:
+				return nil, fmt.Errorf("ingest: column %q expects a number, got %T", spec.Name, v)
+			}
+		case table.Int:
+			switch x := v.(type) {
+			case int:
+				out[i] = int64(x)
+			case int64:
+				out[i] = x
+			case float64:
+				if x != math.Trunc(x) || math.IsInf(x, 0) || math.IsNaN(x) {
+					return nil, fmt.Errorf("ingest: column %q expects an integer, got %v", spec.Name, x)
+				}
+				out[i] = int64(x)
+			default:
+				return nil, fmt.Errorf("ingest: column %q expects an integer, got %T", spec.Name, v)
+			}
+		}
+	}
+	return out, nil
+}
+
+// AppendStatus reports the stream state right after a batch append.
+type AppendStatus struct {
+	// Appended is how many rows the batch added.
+	Appended int
+	// Pending is how many appended rows the published sample does not
+	// cover yet (includes this batch).
+	Pending int
+	// Rows is the total ingested row count.
+	Rows int
+	// Generation is the currently published generation (the batch is
+	// NOT part of it until the next refresh).
+	Generation uint64
+}
+
+// Append ingests a batch of rows: each row is type-coerced against the
+// schema, appended to the private buffer and offered to the resident
+// sampler. The whole batch is validated first so a bad row rejects the
+// batch atomically instead of leaving half of it ingested. Crossing the
+// Policy.MaxPending threshold wakes the refresh loop; the append itself
+// never pays the refresh latency.
+func (s *Stream) Append(rows [][]any) (AppendStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sch := s.tbl.Schema()
+	coerced := make([][]any, len(rows))
+	for i, row := range rows {
+		c, err := CoerceRow(sch, row)
+		if err != nil {
+			return AppendStatus{Pending: s.pending, Rows: s.tbl.NumRows(), Generation: s.gen},
+				fmt.Errorf("ingest: row %d: %w", i, err)
+		}
+		coerced[i] = c
+	}
+	key := make(table.GroupKey, len(s.attrIdx))
+	vals := make([]float64, len(s.aggIdx))
+	for _, row := range coerced {
+		if err := s.tbl.AppendRow(row...); err != nil {
+			// unreachable after coercion; surface it loudly if not
+			return AppendStatus{Pending: s.pending, Rows: s.tbl.NumRows(), Generation: s.gen}, err
+		}
+		r := s.tbl.NumRows() - 1
+		for i, ci := range s.attrIdx {
+			key[i] = s.tbl.Columns[ci].StringAt(r)
+		}
+		for i, ci := range s.aggIdx {
+			vals[i] = s.tbl.Columns[ci].Numeric(r)
+		}
+		if err := s.sampler.Observe(key, vals, int32(r)); err != nil {
+			return AppendStatus{Pending: s.pending, Rows: s.tbl.NumRows(), Generation: s.gen}, err
+		}
+		s.pending++
+	}
+	st := AppendStatus{
+		Appended:   len(rows),
+		Pending:    s.pending,
+		Rows:       s.tbl.NumRows(),
+		Generation: s.gen,
+	}
+	if s.cfg.Policy.MaxPending > 0 && s.pending >= s.cfg.Policy.MaxPending {
+		select {
+		case s.kick <- struct{}{}:
+		default: // a wakeup is already queued
+		}
+	}
+	return st, nil
+}
+
+// Refresh finalizes and publishes a new generation now, regardless of
+// policy. With nothing pending it returns the current publication
+// without rebuilding (so callers can use it as "make sure the sample is
+// current" idempotently); an empty stream returns an error.
+func (s *Stream) Refresh() (*Publication, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == 0 && s.last != nil && s.last.Sample != nil {
+		return s.last, nil
+	}
+	return s.refreshLocked()
+}
+
+// refreshLocked builds and publishes the next generation. Caller holds
+// s.mu.
+func (s *Stream) refreshLocked() (*Publication, error) {
+	rows := s.tbl.NumRows()
+	if rows == 0 {
+		return nil, errors.New("ingest: no rows ingested yet")
+	}
+	m := s.cfg.Budget
+	if s.cfg.Rate > 0 {
+		m = int(float64(rows) * s.cfg.Rate)
+		if m < 1 {
+			m = 1
+		}
+	}
+	start := time.Now()
+	ss, err := s.sampler.Finalize(m, s.cfg.Opts)
+	if err != nil {
+		return nil, err
+	}
+	rids, weights := core.RowWeights(ss)
+	pub := &Publication{
+		Snapshot:      s.tbl.Snapshot(),
+		Sample:        &samplers.RowSample{Rows: rids, Weights: weights},
+		Budget:        m,
+		Rows:          rows,
+		BuiltAt:       start,
+		BuildDuration: time.Since(start),
+	}
+	s.publishLocked(pub)
+	return pub, nil
+}
+
+// publishLocked stamps the next generation and hands the publication to
+// the callback. Caller holds s.mu, which is what keeps generations
+// ordered at the receiver.
+func (s *Stream) publishLocked(pub *Publication) {
+	s.gen++
+	pub.Generation = s.gen
+	pub.Rows = pub.Snapshot.NumRows()
+	s.pending = 0
+	s.last = pub
+	if s.publish != nil {
+		s.publish(pub)
+	}
+}
+
+// loop is the per-table ingest loop: it owns the automatic refresh
+// triggers so appends and ticks never block each other for longer than
+// one finalize. Failed automatic refreshes are counted and the previous
+// generation keeps serving.
+func (s *Stream) loop() {
+	defer close(s.loopDone)
+	var tick <-chan time.Time
+	if s.cfg.Policy.Interval > 0 {
+		t := time.NewTicker(s.cfg.Policy.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.kick:
+		case <-tick:
+		}
+		s.mu.Lock()
+		var err error
+		if s.pending > 0 {
+			_, err = s.refreshLocked()
+		}
+		s.mu.Unlock()
+		if err != nil {
+			s.refreshErrs.Add(1)
+		}
+	}
+}
+
+// Close stops the refresh loop. The stream's published generations stay
+// valid; further Append/Refresh calls still work but nothing fires
+// automatically anymore. Safe to call more than once.
+func (s *Stream) Close() {
+	s.closeOnce.Do(func() { close(s.stop) })
+	<-s.loopDone
+}

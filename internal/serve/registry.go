@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/ingest"
 	"repro/internal/samplers"
 	"repro/internal/sqlparse"
 	"repro/internal/table"
@@ -45,16 +46,13 @@ type BuildRequest struct {
 	Seed int64
 }
 
-// key canonicalizes the request into the registry cache key. Query
-// order is normalized away; the norm options and seed are folded in
-// because they change the allocation or the drawn rows — two requests
-// differing only in explicit seed must build two samples.
-func (b BuildRequest) key() string {
-	specs := make([]string, len(b.Queries))
-	// names are %q-quoted throughout so a column containing a
-	// delimiter (",", "|", ...) cannot collide two workloads onto one
-	// key
-	for i, q := range b.Queries {
+// canonQueries canonicalizes a workload for key purposes. Query order
+// is normalized away; names are %q-quoted throughout so a column
+// containing a delimiter (",", "|", ...) cannot collide two workloads
+// onto one key. Shared by static build keys and streaming table keys.
+func canonQueries(queries []core.QuerySpec) string {
+	specs := make([]string, len(queries))
+	for i, q := range queries {
 		aggs := make([]string, len(q.Aggs))
 		for j, a := range q.Aggs {
 			var gw []string
@@ -82,6 +80,14 @@ func (b BuildRequest) key() string {
 		specs[i] = strings.Join(gb, ",") + "|" + strings.Join(aggs, ";")
 	}
 	sort.Strings(specs)
+	return strings.Join(specs, "&")
+}
+
+// key canonicalizes the request into the registry cache key. The norm
+// options and seed are folded in because they change the allocation or
+// the drawn rows — two requests differing only in explicit seed must
+// build two samples.
+func (b BuildRequest) key() string {
 	// normalize option defaults the same way the sampler reads them
 	// (core.Options.minPerStratum: 0 means 1, negative disables; P is
 	// ignored outside Lp) so equivalent requests share one key
@@ -98,12 +104,15 @@ func (b BuildRequest) key() string {
 	}
 	return fmt.Sprintf("%q/m=%d/norm=%d,p=%g,min=%d,seed=%d/%s",
 		b.Table, b.Budget, b.Opts.Norm, p, min,
-		b.Seed, strings.Join(specs, "&"))
+		b.Seed, canonQueries(b.Queries))
 }
 
 // Entry is one immutable built sample held by a Registry. All fields
-// are read-only after publication; the sample's Rows/Weights slices
-// must not be mutated.
+// except the Hits counter are read-only after publication; the sample's
+// Rows/Weights slices must not be mutated. Streaming tables replace
+// their entry wholesale on refresh (never mutate it), so a query that
+// picked up an entry keeps a complete, self-consistent generation no
+// matter how many refreshes land while it runs.
 type Entry struct {
 	// Key is the canonical registry key (table, workload, budget, norm).
 	Key string
@@ -120,8 +129,28 @@ type Entry struct {
 	// BuiltAt and BuildDuration record when and how long the build ran.
 	BuiltAt       time.Time
 	BuildDuration time.Duration
+	// Generation is the streaming publication number that produced this
+	// entry (1, 2, 3, ... per streaming table; 0 for static builds).
+	Generation uint64
+	// Hits counts how many times Find selected this entry to answer a
+	// query — the reuse signal eviction policies need. Carried across
+	// streaming refreshes of the same key.
+	Hits atomic.Int64
 
 	attrs map[string]bool // union of group-by attributes, for coverage
+	// snapshot is the immutable table cut the sample's row ids index
+	// (streaming entries only; nil means "use the registered table").
+	snapshot *table.Table
+}
+
+// execTable returns the table the entry's sample must be evaluated
+// against: its own snapshot for streaming entries (the sample's row ids
+// index that exact cut), the registered table otherwise.
+func (e *Entry) execTable(registered *table.Table) *table.Table {
+	if e.snapshot != nil {
+		return e.snapshot
+	}
+	return registered
 }
 
 // Covers reports whether the sample's stratification covers a query
@@ -167,7 +196,13 @@ type Registry struct {
 	tables   map[string]*table.Table
 	entries  map[string]*Entry
 	inflight map[string]*buildCall
-	builds   atomic.Int64
+	// streams holds the live ingest state of streaming tables, keyed by
+	// canonical table name (nil value = registration in progress, which
+	// reserves the name). See stream.go.
+	streams        map[string]*streamState
+	streamDefaults ingest.Policy
+	builds         atomic.Int64
+	refreshes      atomic.Int64
 }
 
 // NewRegistry returns an empty registry.
@@ -176,6 +211,7 @@ func NewRegistry() *Registry {
 		tables:   make(map[string]*table.Table),
 		entries:  make(map[string]*Entry),
 		inflight: make(map[string]*buildCall),
+		streams:  make(map[string]*streamState),
 	}
 }
 
@@ -189,32 +225,41 @@ func (r *Registry) RegisterTable(tbl *table.Table) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	// the duplicate check is case-insensitive to match resolution:
-	// "Sales" and "sales" would otherwise register side by side and
-	// resolve nondeterministically
-	for existing := range r.tables {
-		if strings.EqualFold(existing, tbl.Name) {
-			return fmt.Errorf("serve: table %q already registered (as %q)", tbl.Name, existing)
-		}
+	if err := r.checkNameFree(tbl.Name); err != nil {
+		return err
 	}
 	r.tables[tbl.Name] = tbl
 	return nil
 }
 
+// checkNameFree rejects a table name already taken by a registered
+// table or an in-flight streaming registration. The check is
+// case-insensitive to match resolution: "Sales" and "sales" would
+// otherwise register side by side and resolve nondeterministically.
+// Caller holds r.mu.
+func (r *Registry) checkNameFree(name string) error {
+	for existing := range r.tables {
+		if strings.EqualFold(existing, name) {
+			return fmt.Errorf("serve: table %q already registered (as %q)", name, existing)
+		}
+	}
+	for existing := range r.streams {
+		if strings.EqualFold(existing, name) {
+			return fmt.Errorf("serve: table %q already registered (as streaming %q)", name, existing)
+		}
+	}
+	return nil
+}
+
 // Table returns the registered table with the given name. The match is
-// case-insensitive, like the executor's FROM check.
+// case-insensitive, like the executor's FROM check. For a streaming
+// table this is the latest published snapshot — queries see the data as
+// of the last refresh, never a half-appended buffer.
 func (r *Registry) Table(name string) (*table.Table, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if t, ok := r.tables[name]; ok {
-		return t, true
-	}
-	for n, t := range r.tables {
-		if strings.EqualFold(n, name) {
-			return t, true
-		}
-	}
-	return nil, false
+	t, _ := r.tableLocked(name)
+	return t, t != nil
 }
 
 // TableNames returns the sorted names of all registered tables.
@@ -339,6 +384,22 @@ func (r *Registry) buildEntry(key string, tbl *table.Table, req BuildRequest) (*
 // (/healthz) and for the dedup tests.
 func (r *Registry) Builds() int64 { return r.builds.Load() }
 
+// Refreshes returns how many streaming publications (initial
+// registrations included) have been installed.
+func (r *Registry) Refreshes() int64 { return r.refreshes.Load() }
+
+// TotalHits sums the hit counters of all resident entries — the
+// aggregate sample-reuse signal /healthz reports.
+func (r *Registry) TotalHits() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, e := range r.entries {
+		total += e.Hits.Load()
+	}
+	return total
+}
+
 // Counts returns the number of registered tables and built samples
 // without materializing snapshots (the /healthz hot path).
 func (r *Registry) Counts() (tables, samples int) {
@@ -362,23 +423,40 @@ func (r *Registry) Entries() []*Entry {
 // Find selects the best built sample of the named table covering a
 // query over the given group-by attributes: among covering entries it
 // prefers the tightest stratification (fewest attributes beyond the
-// query's), then the largest budget (most rows, lowest error), then key
-// order for determinism.
+// query's), then *live* entries over static ones (a streaming entry
+// refreshes with the table, while a static sample of a now-streaming
+// table is frozen at its build-time snapshot and would silently hide
+// appended rows forever), then the largest budget (most rows, lowest
+// error), then key order for determinism. A hit is recorded on the
+// selected entry — the reuse count /v1/samples and /healthz surface
+// for eviction decisions.
 func (r *Registry) Find(tableName string, groupBy []string) (*Entry, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	better := func(a, b *Entry) bool { // is a a better answer source than b
+		ea, eb := len(a.attrs)-len(groupBy), len(b.attrs)-len(groupBy)
+		if ea != eb {
+			return ea < eb
+		}
+		if live, bLive := a.Generation > 0, b.Generation > 0; live != bLive {
+			return live
+		}
+		if a.Budget != b.Budget {
+			return a.Budget > b.Budget
+		}
+		return a.Key < b.Key
+	}
 	var best *Entry
-	bestExtra := 0
 	for _, e := range r.entries {
 		if !strings.EqualFold(e.Table, tableName) || !e.Covers(groupBy) {
 			continue
 		}
-		extra := len(e.attrs) - len(groupBy)
-		if best == nil || extra < bestExtra ||
-			(extra == bestExtra && (e.Budget > best.Budget ||
-				(e.Budget == best.Budget && e.Key < best.Key))) {
-			best, bestExtra = e, extra
+		if best == nil || better(e, best) {
+			best = e
 		}
+	}
+	if best != nil {
+		best.Hits.Add(1)
 	}
 	return best, best != nil
 }
@@ -461,13 +539,17 @@ func (r *Registry) Query(sql string, opt QueryOptions) (*QueryAnswer, error) {
 
 	if opt.Mode == ModeSample || (opt.Mode == ModeAuto && sampleable) {
 		if e, ok := r.Find(tbl.Name, q.GroupBy); ok {
-			res, err := exec.RunWeighted(tbl, q, e.Sample.Rows, e.Sample.Weights)
+			// streaming entries carry the immutable snapshot their row
+			// ids index; evaluating against it keeps the answer
+			// self-consistent even while newer generations publish
+			execTbl := e.execTable(tbl)
+			res, err := exec.RunWeighted(execTbl, q, e.Sample.Rows, e.Sample.Weights)
 			if err != nil {
 				return nil, err
 			}
 			ans.Result, ans.Entry = res, e
 			if opt.Compare {
-				exact, err := exec.Run(tbl, q)
+				exact, err := exec.Run(execTbl, q)
 				if err != nil {
 					return nil, err
 				}

@@ -10,16 +10,20 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/ingest"
 	"repro/internal/metrics"
 )
 
 // Server is the HTTP/JSON front end of a Registry:
 //
-//	GET  /healthz     — liveness plus table/sample/build counters
-//	GET  /v1/tables   — registered tables
-//	GET  /v1/samples  — built samples
-//	POST /v1/samples  — register (build or fetch cached) a sample
-//	POST /v1/query    — answer a SQL group-by query
+//	GET  /healthz                   — liveness plus table/sample/build/stream counters
+//	GET  /v1/tables                 — registered tables (live ones carry stream state)
+//	GET  /v1/samples                — built samples with per-entry hit counts
+//	POST /v1/samples                — register (build or fetch cached) a sample
+//	POST /v1/query                  — answer a SQL group-by query
+//	POST /v1/tables/{name}/stream   — make a registered table live (streaming)
+//	POST /v1/tables/{name}/rows     — batch-append rows to a live table
+//	POST /v1/tables/{name}/refresh  — publish a fresh sample generation now
 //
 // A Server is safe for concurrent use; it holds no state of its own
 // beyond the registry.
@@ -36,6 +40,9 @@ func NewServer(reg *Registry) *Server {
 	s.mux.HandleFunc("GET /v1/samples", s.handleListSamples)
 	s.mux.HandleFunc("POST /v1/samples", s.handleBuildSample)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/tables/{name}/stream", s.handleStreamTable)
+	s.mux.HandleFunc("POST /v1/tables/{name}/rows", s.handleAppendRows)
+	s.mux.HandleFunc("POST /v1/tables/{name}/refresh", s.handleRefreshTable)
 	return s
 }
 
@@ -136,29 +143,40 @@ type sampleJSON struct {
 	GroupBy []string  `json:"group_by"`
 	BuiltAt time.Time `json:"built_at"`
 	BuildMS float64   `json:"build_ms"`
-	Cached  bool      `json:"cached,omitempty"`
+	// Hits is how many queries this sample (this key, across streaming
+	// generations) has answered.
+	Hits int64 `json:"hits"`
+	// Generation is the streaming publication number (absent for
+	// static builds).
+	Generation uint64 `json:"generation,omitempty"`
+	Cached     bool   `json:"cached,omitempty"`
 }
 
 func sampleToJSON(e *Entry, cached bool) sampleJSON {
 	return sampleJSON{
-		Key:     e.Key,
-		Table:   e.Table,
-		Budget:  e.Budget,
-		Rows:    e.Sample.Len(),
-		GroupBy: e.GroupAttrs(),
-		BuiltAt: e.BuiltAt,
-		BuildMS: float64(e.BuildDuration.Microseconds()) / 1000,
-		Cached:  cached,
+		Key:        e.Key,
+		Table:      e.Table,
+		Budget:     e.Budget,
+		Rows:       e.Sample.Len(),
+		GroupBy:    e.GroupAttrs(),
+		BuiltAt:    e.BuiltAt,
+		BuildMS:    float64(e.BuildDuration.Microseconds()) / 1000,
+		Hits:       e.Hits.Load(),
+		Generation: e.Generation,
+		Cached:     cached,
 	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	tables, samples := s.reg.Counts()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"tables":  tables,
-		"samples": samples,
-		"builds":  s.reg.Builds(),
+		"status":      "ok",
+		"tables":      tables,
+		"samples":     samples,
+		"builds":      s.reg.Builds(),
+		"streams":     s.reg.StreamCount(),
+		"refreshes":   s.reg.Refreshes(),
+		"sample_hits": s.reg.TotalHits(),
 	})
 }
 
@@ -167,11 +185,22 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		Name string `json:"name"`
 		Rows int    `json:"rows"`
 		Cols int    `json:"cols"`
+		// streaming tables additionally report their live state
+		Streaming  bool   `json:"streaming,omitempty"`
+		Generation uint64 `json:"generation,omitempty"`
+		Pending    int    `json:"pending,omitempty"`
 	}
 	out := []tableJSON{}
 	for _, name := range s.reg.TableNames() {
 		tbl, _ := s.reg.Table(name)
-		out = append(out, tableJSON{Name: name, Rows: tbl.NumRows(), Cols: tbl.NumCols()})
+		tj := tableJSON{Name: name, Rows: tbl.NumRows(), Cols: tbl.NumCols()}
+		if st, ok := s.reg.StreamStatus(name); ok {
+			tj.Streaming = true
+			tj.Generation = st.Generation
+			tj.Pending = st.Pending
+			tj.Rows = st.Rows
+		}
+		out = append(out, tj)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"tables": out})
 }
@@ -225,31 +254,15 @@ func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
 			budget = 1
 		}
 	}
-	var opts core.Options
-	switch req.Norm {
-	case "", "l2":
-	case "linf":
-		opts.Norm = core.LInf
-	case "lp":
-		if req.P < 1 {
-			writeError(w, http.StatusBadRequest, "norm lp requires p >= 1, got %g", req.P)
-			return
-		}
-		opts.Norm, opts.P = core.Lp, req.P
-	default:
-		writeError(w, http.StatusBadRequest, "unknown norm %q (want l2, linf or lp)", req.Norm)
+	opts, err := parseNorm(req.Norm, req.P)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	specs := make([]core.QuerySpec, len(req.Queries))
-	for i, q := range req.Queries {
-		specs[i] = core.QuerySpec{GroupBy: q.GroupBy}
-		for _, a := range q.Aggs {
-			specs[i].Aggs = append(specs[i].Aggs, core.AggColumn{Column: a.Column, Weight: a.Weight})
-		}
-		if err := specs[i].Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, "query %d: %v", i, err)
-			return
-		}
+	specs, err := parseSpecs(req.Queries)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	entry, cached, err := s.reg.Build(BuildRequest{
 		Table:   tbl.Name,
@@ -267,6 +280,197 @@ func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, sampleToJSON(entry, cached))
+}
+
+// parseNorm maps the wire norm ("l2" default, "linf", "lp" + p) onto
+// core.Options.
+func parseNorm(norm string, p float64) (core.Options, error) {
+	var opts core.Options
+	switch norm {
+	case "", "l2":
+	case "linf":
+		opts.Norm = core.LInf
+	case "lp":
+		if p < 1 {
+			return opts, fmt.Errorf("norm lp requires p >= 1, got %g", p)
+		}
+		opts.Norm, opts.P = core.Lp, p
+	default:
+		return opts, fmt.Errorf("unknown norm %q (want l2, linf or lp)", norm)
+	}
+	return opts, nil
+}
+
+// parseSpecs converts and validates wire query specs.
+func parseSpecs(queries []querySpecJSON) ([]core.QuerySpec, error) {
+	specs := make([]core.QuerySpec, len(queries))
+	for i, q := range queries {
+		specs[i] = core.QuerySpec{GroupBy: q.GroupBy}
+		for _, a := range q.Aggs {
+			specs[i].Aggs = append(specs[i].Aggs, core.AggColumn{Column: a.Column, Weight: a.Weight})
+		}
+		if err := specs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("query %d: %v", i, err)
+		}
+	}
+	return specs, nil
+}
+
+// streamRequestJSON is the POST /v1/tables/{name}/stream request body:
+// the workload and budget the live sample must serve plus the refresh
+// policy. Omitted policy fields fall back to the daemon's
+// -refresh-rows / -refresh-interval defaults.
+type streamRequestJSON struct {
+	Queries []querySpecJSON `json:"queries"`
+	// Budget is the absolute per-generation row budget; Rate (in
+	// (0, 1]) spends a fraction of the current rows instead, so the
+	// sample grows with the stream. Exactly one must be set.
+	Budget int     `json:"budget,omitempty"`
+	Rate   float64 `json:"rate,omitempty"`
+	Norm   string  `json:"norm,omitempty"`
+	P      float64 `json:"p,omitempty"`
+	Seed   int64   `json:"seed,omitempty"`
+	// Capacity is the per-stratum reservoir capacity (the streaming
+	// memory/accuracy knob; 0 = server default).
+	Capacity int `json:"capacity,omitempty"`
+	// RefreshRows republishes after this many appended rows. 0 (or
+	// omitted) inherits the daemon's -refresh-rows default; a negative
+	// value explicitly disables the threshold even when a default is
+	// set.
+	RefreshRows int `json:"refresh_rows,omitempty"`
+	// RefreshInterval republishes periodically, as a Go duration
+	// string like "30s". "" inherits the daemon's -refresh-interval
+	// default; a negative duration like "-1s" explicitly disables the
+	// ticker.
+	RefreshInterval string `json:"refresh_interval,omitempty"`
+}
+
+// streamStateJSON describes a live table in responses.
+type streamStateJSON struct {
+	Table      string `json:"table"`
+	Streaming  bool   `json:"streaming"`
+	Generation uint64 `json:"generation"`
+	Rows       int    `json:"rows"`
+	Pending    int    `json:"pending"`
+}
+
+func (s *Server) streamStateToJSON(name string) streamStateJSON {
+	out := streamStateJSON{Table: name}
+	if st, ok := s.reg.StreamStatus(name); ok {
+		out.Table = st.Table
+		out.Streaming = true
+		out.Generation = st.Generation
+		out.Rows = st.Rows
+		out.Pending = st.Pending
+	}
+	return out
+}
+
+// handleStreamTable converts a registered table into a streaming one.
+func (s *Server) handleStreamTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req streamRequestJSON
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	// the initial publication samples the whole seed table; exempt it
+	// from the daemon's write deadline like any other build
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	if _, ok := s.reg.Table(name); !ok {
+		writeError(w, http.StatusNotFound, "unknown table %q", name)
+		return
+	}
+	opts, err := parseNorm(req.Norm, req.P)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	specs, err := parseSpecs(req.Queries)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var interval time.Duration
+	if req.RefreshInterval != "" {
+		interval, err = time.ParseDuration(req.RefreshInterval)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad refresh_interval: %v", err)
+			return
+		}
+	}
+	cfg := ingest.Config{
+		Queries:  specs,
+		Budget:   req.Budget,
+		Rate:     req.Rate,
+		Capacity: req.Capacity,
+		Opts:     opts,
+		Seed:     req.Seed,
+		Policy:   ingest.Policy{MaxPending: req.RefreshRows, Interval: interval},
+	}
+	if err := s.reg.StreamTable(name, cfg); err != nil {
+		writeError(w, streamErrorCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.streamStateToJSON(name))
+}
+
+// appendRowsJSON is the POST /v1/tables/{name}/rows request body: a
+// batch of rows in schema order, loosely typed (JSON numbers for both
+// float and int columns, strings for dictionary columns).
+type appendRowsJSON struct {
+	Rows [][]any `json:"rows"`
+}
+
+// handleAppendRows batch-appends rows to a streaming table.
+func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req appendRowsJSON
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "rows is required")
+		return
+	}
+	st, err := s.reg.Append(name, req.Rows)
+	if err != nil {
+		writeError(w, streamErrorCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":      name,
+		"appended":   st.Appended,
+		"pending":    st.Pending,
+		"rows":       st.Rows,
+		"generation": st.Generation,
+	})
+}
+
+// handleRefreshTable forces a streaming table to publish a fresh
+// sample generation.
+func (s *Server) handleRefreshTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// a refresh finalizes over everything ingested so far; exempt it
+	// from the write deadline like a build
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	e, err := s.reg.Refresh(name)
+	if err != nil {
+		writeError(w, streamErrorCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sampleToJSON(e, false))
+}
+
+// streamErrorCode maps streaming registry errors to HTTP statuses:
+// unknown table 404, streaming-state conflicts 409, anything else 422.
+func streamErrorCode(err error) int {
+	switch {
+	case errors.Is(err, ErrNotStreaming), errors.Is(err, ErrAlreadyStreaming):
+		return http.StatusConflict
+	case errors.Is(err, ErrUnknownTable):
+		return http.StatusNotFound
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // queryJSON is the POST /v1/query request body.
@@ -295,10 +499,13 @@ type groupJSON struct {
 
 // queryResponseJSON is the POST /v1/query response body.
 type queryResponseJSON struct {
-	Table      string      `json:"table"`
-	Exact      bool        `json:"exact"`
-	SampleKey  string      `json:"sample_key,omitempty"`
-	SampleRows int         `json:"sample_rows,omitempty"`
+	Table      string `json:"table"`
+	Exact      bool   `json:"exact"`
+	SampleKey  string `json:"sample_key,omitempty"`
+	SampleRows int    `json:"sample_rows,omitempty"`
+	// Generation is the streaming publication the answer came from
+	// (absent for static samples and exact answers).
+	Generation uint64      `json:"generation,omitempty"`
 	Sets       [][]string  `json:"sets"`
 	AggLabels  []string    `json:"agg_labels"`
 	Groups     []groupJSON `json:"groups"`
@@ -344,6 +551,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if ans.Entry != nil {
 		resp.SampleKey = ans.Entry.Key
 		resp.SampleRows = ans.Entry.Sample.Len()
+		resp.Generation = ans.Entry.Generation
 	}
 	// compare mode: index the exact answer once (O(G)), then O(1) per
 	// served group — never the per-group Lookup scan.

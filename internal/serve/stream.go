@@ -1,0 +1,325 @@
+package serve
+
+// Streaming tables: the registry-side half of the ingest subsystem. A
+// streaming table is owned by an ingest.Stream (private buffer +
+// resident one-pass CVOPT sampler); every publication the stream emits
+// is installed here under one write lock — the registered table pointer
+// and the sample entry swap together, so the read path (Table/Find/
+// Query) always observes a complete (snapshot, sample) pair of the same
+// generation. Queries that already picked up an older entry keep
+// answering from that entry's own snapshot; nothing is ever mutated in
+// place.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/table"
+)
+
+// Sentinel errors for the streaming entry points, matched with
+// errors.Is by the HTTP layer to pick status codes. Wrapped errors
+// carry the table name.
+var (
+	// ErrNotStreaming reports an append/refresh against a table that
+	// was never registered as streaming.
+	ErrNotStreaming = errors.New("table is not streaming")
+	// ErrAlreadyStreaming reports a second streaming registration of
+	// one table.
+	ErrAlreadyStreaming = errors.New("table is already streaming")
+	// ErrUnknownTable reports a streaming operation against a name no
+	// table is registered under.
+	ErrUnknownTable = errors.New("unknown table")
+)
+
+// streamState is the registry's handle on one streaming table.
+type streamState struct {
+	stream *ingest.Stream
+	key    string // the entry key publications swap
+}
+
+// streamKey is the registry key every generation of a streaming table's
+// sample publishes under — stable across refreshes (budget changes with
+// a rate policy), so each publication replaces its predecessor.
+func streamKey(name string, queries []core.QuerySpec) string {
+	return fmt.Sprintf("stream:%q/%s", name, canonQueries(queries))
+}
+
+// SetStreamDefaults sets the refresh policy applied when a streaming
+// registration does not choose its own (cmd/cvserve wires its
+// -refresh-rows / -refresh-interval flags here).
+func (r *Registry) SetStreamDefaults(p ingest.Policy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.streamDefaults = p
+}
+
+// RegisterStreamingTable registers seed as a *streaming* table: its
+// rows are copied into a private ingest buffer (seed stays untouched),
+// generation 1 publishes immediately (snapshot + sample when seed has
+// rows), and from then on Append/Refresh and the configured policy keep
+// the published sample current. cfg.Policy zero-value falls back to the
+// registry's stream defaults.
+func (r *Registry) RegisterStreamingTable(seed *table.Table, cfg ingest.Config) error {
+	if seed == nil || seed.Name == "" {
+		return fmt.Errorf("serve: streaming table must be non-nil and named")
+	}
+	r.mu.Lock()
+	if err := r.checkNameFree(seed.Name); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	// reserve the name (nil placeholder) so a racing registration
+	// cannot claim it while the stream spins up outside the lock
+	r.streams[seed.Name] = nil
+	cfg.Policy = r.applyPolicyDefaultsLocked(cfg.Policy)
+	r.mu.Unlock()
+	return r.startStream(seed.Name, seed, cfg)
+}
+
+// StreamTable converts an already-registered static table into a
+// streaming one in place: the registered rows seed the stream, and the
+// first publication atomically replaces the registered table with the
+// stream's snapshot. Existing static samples of the table stay valid
+// (their row ids index a prefix of every later snapshot).
+func (r *Registry) StreamTable(name string, cfg ingest.Config) error {
+	r.mu.Lock()
+	seed, canonical := r.tableLocked(name)
+	if seed == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("serve: %w: %q", ErrUnknownTable, name)
+	}
+	for existing := range r.streams {
+		if strings.EqualFold(existing, canonical) {
+			r.mu.Unlock()
+			return fmt.Errorf("serve: %w: %q", ErrAlreadyStreaming, canonical)
+		}
+	}
+	r.streams[canonical] = nil
+	cfg.Policy = r.applyPolicyDefaultsLocked(cfg.Policy)
+	r.mu.Unlock()
+	return r.startStream(canonical, seed, cfg)
+}
+
+// applyPolicyDefaultsLocked substitutes the registry defaults into
+// unset (zero) policy fields, per the Policy convention: 0 inherits
+// the default, negative explicitly disables the trigger even when a
+// default exists. Caller holds r.mu.
+func (r *Registry) applyPolicyDefaultsLocked(p ingest.Policy) ingest.Policy {
+	if p.MaxPending == 0 {
+		p.MaxPending = r.streamDefaults.MaxPending
+	}
+	if p.Interval == 0 {
+		p.Interval = r.streamDefaults.Interval
+	}
+	return p
+}
+
+// tableLocked resolves a table name case-insensitively. Caller holds
+// r.mu (either mode).
+func (r *Registry) tableLocked(name string) (*table.Table, string) {
+	if t, ok := r.tables[name]; ok {
+		return t, name
+	}
+	for n, t := range r.tables {
+		if strings.EqualFold(n, name) {
+			return t, n
+		}
+	}
+	return nil, ""
+}
+
+// startStream spins up the ingest.Stream for a reserved name and
+// finalizes (or rolls back) the reservation.
+func (r *Registry) startStream(name string, seed *table.Table, cfg ingest.Config) error {
+	key := streamKey(name, cfg.Queries)
+	st, err := ingest.New(seed, cfg, func(pub *ingest.Publication) {
+		r.installPublication(name, key, cfg, pub)
+	})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		delete(r.streams, name)
+		return err
+	}
+	r.streams[name] = &streamState{stream: st, key: key}
+	return nil
+}
+
+// installPublication is the stream's publish callback: one write lock
+// swaps the registered table to the new snapshot and the sample entry
+// to the new generation together. The ingest side calls it under the
+// stream's own mutex, so generations arrive strictly in order.
+func (r *Registry) installPublication(name, key string, cfg ingest.Config, pub *ingest.Publication) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tables[name] = pub.Snapshot
+	if pub.Sample != nil {
+		attrs := make(map[string]bool)
+		for _, q := range cfg.Queries {
+			for _, a := range q.GroupBy {
+				attrs[a] = true
+			}
+		}
+		e := &Entry{
+			Key:           key,
+			Table:         name,
+			Budget:        pub.Budget,
+			Queries:       cfg.Queries,
+			Opts:          cfg.Opts,
+			Sample:        pub.Sample,
+			BuiltAt:       pub.BuiltAt,
+			BuildDuration: pub.BuildDuration,
+			Generation:    pub.Generation,
+			attrs:         attrs,
+			snapshot:      pub.Snapshot,
+		}
+		// the hit counter is per key, not per generation: eviction
+		// wants to know how hot the streaming sample is overall
+		if old, ok := r.entries[key]; ok {
+			e.Hits.Store(old.Hits.Load())
+		}
+		r.entries[key] = e
+	}
+	r.refreshes.Add(1)
+}
+
+// streamFor resolves a streaming table case-insensitively.
+func (r *Registry) streamFor(name string) (*streamState, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if st, ok := r.streams[name]; ok && st != nil {
+		return st, nil
+	}
+	for n, st := range r.streams {
+		if st != nil && strings.EqualFold(n, name) {
+			return st, nil
+		}
+	}
+	if t, _ := r.tableLocked(name); t != nil {
+		return nil, fmt.Errorf("serve: %w: %q", ErrNotStreaming, name)
+	}
+	return nil, fmt.Errorf("serve: %w: %q", ErrUnknownTable, name)
+}
+
+// Append ingests a batch of rows into a streaming table. Rows are
+// loosely typed ([]any per row, in schema order; JSON numbers welcome)
+// and the batch is rejected atomically on the first malformed row.
+// Crossing the stream's refresh threshold wakes its ingest loop; the
+// published sample is otherwise unchanged until the next refresh.
+func (r *Registry) Append(name string, rows [][]any) (ingest.AppendStatus, error) {
+	st, err := r.streamFor(name)
+	if err != nil {
+		return ingest.AppendStatus{}, err
+	}
+	return st.stream.Append(rows)
+}
+
+// Refresh finalizes and publishes a new sample generation for a
+// streaming table now (a no-op returning the current entry when
+// nothing is pending) and returns the freshly installed entry.
+func (r *Registry) Refresh(name string) (*Entry, error) {
+	st, err := r.streamFor(name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := st.stream.Refresh(); err != nil {
+		return nil, fmt.Errorf("serve: refreshing %q: %w", name, err)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[st.key]
+	if !ok {
+		return nil, fmt.Errorf("serve: refreshing %q: publication vanished", name)
+	}
+	return e, nil
+}
+
+// StreamStatus is the ops view of one streaming table.
+type StreamStatus struct {
+	// Table is the canonical table name.
+	Table string
+	// Generation is the latest published generation.
+	Generation uint64
+	// Pending is how many appended rows the published sample does not
+	// cover yet.
+	Pending int
+	// Rows is the total ingested row count.
+	Rows int
+	// RefreshErrors counts failed automatic refreshes.
+	RefreshErrors int64
+}
+
+// StreamCount returns the number of streaming tables without touching
+// any per-stream lock (the /healthz hot path).
+func (r *Registry) StreamCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, st := range r.streams {
+		if st != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// StreamStatuses returns the ops view of every streaming table, sorted
+// by name.
+func (r *Registry) StreamStatuses() []StreamStatus {
+	r.mu.RLock()
+	states := make(map[string]*streamState, len(r.streams))
+	for n, st := range r.streams {
+		if st != nil {
+			states[n] = st
+		}
+	}
+	r.mu.RUnlock()
+	out := make([]StreamStatus, 0, len(states))
+	for n, st := range states {
+		out = append(out, StreamStatus{
+			Table:         n,
+			Generation:    st.stream.Generation(),
+			Pending:       st.stream.Pending(),
+			Rows:          st.stream.Rows(),
+			RefreshErrors: st.stream.RefreshErrors(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
+}
+
+// StreamStatus returns the ops view of one streaming table.
+func (r *Registry) StreamStatus(name string) (StreamStatus, bool) {
+	st, err := r.streamFor(name)
+	if err != nil {
+		return StreamStatus{}, false
+	}
+	return StreamStatus{
+		Table:         st.stream.Name(),
+		Generation:    st.stream.Generation(),
+		Pending:       st.stream.Pending(),
+		Rows:          st.stream.Rows(),
+		RefreshErrors: st.stream.RefreshErrors(),
+	}, true
+}
+
+// Close stops every streaming table's ingest loop. Published
+// generations stay queryable; nothing refreshes automatically anymore.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	states := make([]*streamState, 0, len(r.streams))
+	for _, st := range r.streams {
+		if st != nil {
+			states = append(states, st)
+		}
+	}
+	r.mu.Unlock()
+	for _, st := range states {
+		st.stream.Close()
+	}
+}

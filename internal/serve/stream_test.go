@@ -1,0 +1,646 @@
+package serve_test
+
+import (
+	"math"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/ingest"
+	"repro/internal/metrics"
+	"repro/internal/samplers"
+	"repro/internal/serve"
+	"repro/internal/sqlparse"
+)
+
+// streamRows generates deterministic skewed rows [start, start+n) for
+// the sales schema of salesTable.
+func streamRows(start, n int) [][]any {
+	rows := make([][]any, 0, n)
+	for i := start; i < start+n; i++ {
+		var region, product string
+		var base float64
+		switch {
+		case i%25 == 0:
+			region, product, base = "APAC", "widget", 300
+		case i%25 < 6:
+			region, product, base = "EU", "gadget", 120
+		case i%25 < 12:
+			region, product, base = "EU", "widget", 80
+		default:
+			region, product, base = "NA", "widget", 100
+		}
+		rows = append(rows, []any{region, product, base + float64(i%17) - 8})
+	}
+	return rows
+}
+
+func streamCfg(budget int) ingest.Config {
+	return ingest.Config{
+		Queries: []core.QuerySpec{{
+			GroupBy: []string{"region"},
+			Aggs:    []core.AggColumn{{Column: "amount"}},
+		}},
+		Budget: budget,
+		Seed:   13,
+	}
+}
+
+func newStreamingRegistry(t *testing.T, cfg ingest.Config) *serve.Registry {
+	t.Helper()
+	reg := serve.NewRegistry()
+	t.Cleanup(reg.Close)
+	if err := reg.RegisterStreamingTable(salesTable(t), cfg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestRegisterStreamingTablePublishesImmediately(t *testing.T) {
+	reg := newStreamingRegistry(t, streamCfg(300))
+	// generation 1 is queryable right away, off the sample
+	ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+		serve.QueryOptions{Mode: serve.ModeSample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Entry == nil || ans.Entry.Generation != 1 {
+		t.Fatalf("want a generation-1 streaming answer, got %+v", ans.Entry)
+	}
+	if st, ok := reg.StreamStatus("sales"); !ok || st.Generation != 1 || st.Pending != 0 || st.Rows != 3740 {
+		t.Fatalf("stream status: %+v ok=%v", st, ok)
+	}
+	// the name is taken in both namespaces
+	if err := reg.RegisterTable(salesTable(t)); err == nil {
+		t.Fatal("static registration over a streaming name should fail")
+	}
+	if err := reg.RegisterStreamingTable(salesTable(t), streamCfg(100)); err == nil {
+		t.Fatal("duplicate streaming registration should fail")
+	}
+}
+
+func TestAppendThenRefreshAdvancesGeneration(t *testing.T) {
+	reg := newStreamingRegistry(t, streamCfg(300))
+	st, err := reg.Append("sales", streamRows(3740, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Appended != 500 || st.Pending != 500 || st.Rows != 4240 || st.Generation != 1 {
+		t.Fatalf("append status: %+v", st)
+	}
+	// queries still answer from generation 1 until the refresh
+	ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+		serve.QueryOptions{Mode: serve.ModeSample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Entry.Generation != 1 {
+		t.Fatalf("pre-refresh answer came from generation %d", ans.Entry.Generation)
+	}
+	e, err := reg.Refresh("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Generation != 2 {
+		t.Fatalf("refresh produced generation %d, want 2", e.Generation)
+	}
+	// the exact path now sees the appended rows too
+	exact, err := reg.Query("SELECT COUNT(*) FROM sales", serve.QueryOptions{Mode: serve.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exact.Result.Rows[0].Aggs[0]; got != 4240 {
+		t.Fatalf("exact COUNT(*) = %g after refresh, want 4240", got)
+	}
+	// case-insensitive resolution, like every other entry point
+	if _, err := reg.Append("SALES", streamRows(4240, 10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamTableConvertsStaticTable(t *testing.T) {
+	reg := newSalesRegistry(t)
+	t.Cleanup(reg.Close)
+	// a static sample built before the conversion
+	if _, _, err := reg.Build(buildReq(200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Append("sales", streamRows(0, 10)); err == nil {
+		t.Fatal("append to a static table should fail")
+	}
+	if err := reg.StreamTable("sales", streamCfg(300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.StreamTable("sales", streamCfg(300)); err == nil {
+		t.Fatal("double conversion should fail")
+	}
+	if _, err := reg.Append("sales", streamRows(3740, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Refresh("sales"); err != nil {
+		t.Fatal(err)
+	}
+	// both the static and the streaming entry cover region queries; the
+	// streaming one has the bigger budget and wins
+	ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+		serve.QueryOptions{Mode: serve.ModeSample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Entry.Generation == 0 {
+		t.Fatal("query should answer from the streaming entry")
+	}
+	// the old static entry's row ids index a prefix of the new
+	// snapshot, so forcing it is still well-formed
+	if es := reg.Entries(); len(es) != 2 {
+		t.Fatalf("want 2 entries (static + streaming), got %d", len(es))
+	}
+}
+
+// Freshness beats budget: a static sample built before (or after) the
+// conversion must not shadow the live entry, no matter how large its
+// budget — it is frozen at its build-time snapshot and would hide
+// appended rows forever.
+func TestFindPrefersLiveEntryOverBiggerStaticSample(t *testing.T) {
+	reg := newSalesRegistry(t)
+	t.Cleanup(reg.Close)
+	// static sample with a budget far above the streaming one
+	if _, _, err := reg.Build(buildReq(2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.StreamTable("sales", streamCfg(300)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Append("sales", streamRows(3740, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Refresh("sales"); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+		serve.QueryOptions{Mode: serve.ModeSample})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Entry.Generation == 0 {
+		t.Fatalf("query answered from the frozen static sample (budget %d) instead of the live entry", ans.Entry.Budget)
+	}
+	// tightest stratification still wins over liveness: a static
+	// (region, product) sample is not dragged in for a region query —
+	// ordering is extra-attrs first, then liveness, then budget
+	if e, ok := reg.Find("sales", []string{"region"}); !ok || len(e.GroupAttrs()) != 1 {
+		t.Fatalf("Find widened the stratification: %v", e.GroupAttrs())
+	}
+}
+
+// Policy fields distinguish "unset" (0: inherit the registry default)
+// from "explicitly off" (negative: never auto-refresh even when a
+// default exists).
+func TestStreamPolicyDefaultsAndOptOut(t *testing.T) {
+	reg := serve.NewRegistry()
+	t.Cleanup(reg.Close)
+	reg.SetStreamDefaults(ingest.Policy{MaxPending: 50})
+
+	inherit := salesTable(t)
+	if err := reg.RegisterStreamingTable(inherit, streamCfg(200)); err != nil {
+		t.Fatal(err)
+	}
+	optOut := salesTable(t)
+	optOut.Name = "sales_manual"
+	cfg := streamCfg(200)
+	cfg.Policy = ingest.Policy{MaxPending: -1}
+	if err := reg.RegisterStreamingTable(optOut, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{"sales", "sales_manual"} {
+		if _, err := reg.Append(name, streamRows(3740, 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// the inheriting table crossed the default threshold and refreshes
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _ := reg.StreamStatus("sales")
+		if st.Generation >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("default-policy stream never auto-refreshed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// the opted-out table must still be on generation 1 with its rows
+	// pending, despite having crossed the same threshold
+	st, _ := reg.StreamStatus("sales_manual")
+	if st.Generation != 1 || st.Pending != 80 {
+		t.Fatalf("opted-out stream auto-refreshed: %+v", st)
+	}
+}
+
+func TestStreamingErrors(t *testing.T) {
+	reg := newStreamingRegistry(t, streamCfg(300))
+	if _, err := reg.Append("nope", streamRows(0, 1)); err == nil {
+		t.Fatal("append to unknown table should fail")
+	}
+	if _, err := reg.Refresh("nope"); err == nil {
+		t.Fatal("refresh of unknown table should fail")
+	}
+	// a malformed batch is rejected atomically
+	before, _ := reg.StreamStatus("sales")
+	if _, err := reg.Append("sales", [][]any{{"NA", "widget", 1.0}, {"NA", "widget"}}); err == nil {
+		t.Fatal("bad batch should fail")
+	}
+	after, _ := reg.StreamStatus("sales")
+	if after.Rows != before.Rows {
+		t.Fatalf("failed batch leaked rows: %d -> %d", before.Rows, after.Rows)
+	}
+	// a config the sampler rejects never registers
+	bad := streamCfg(0)
+	tbl := salesTable(t)
+	tbl.Name = "other"
+	if err := reg.RegisterStreamingTable(tbl, bad); err == nil {
+		t.Fatal("budgetless config should fail")
+	}
+	// and the reservation rolled back: the name is free again
+	if err := reg.RegisterStreamingTable(tbl, streamCfg(100)); err != nil {
+		t.Fatalf("name not released after failed registration: %v", err)
+	}
+}
+
+func TestHitCountersSurviveRefresh(t *testing.T) {
+	reg := newStreamingRegistry(t, streamCfg(300))
+	sql := "SELECT region, AVG(amount) FROM sales GROUP BY region"
+	for i := 0; i < 5; i++ {
+		if _, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, _ := reg.Find("sales", []string{"region"}) // +1 hit
+	if got := e.Hits.Load(); got != 6 {
+		t.Fatalf("hits = %d, want 6", got)
+	}
+	if got := reg.TotalHits(); got != 6 {
+		t.Fatalf("total hits = %d, want 6", got)
+	}
+	// hits carry across a generation swap: the counter is per key
+	if _, err := reg.Append("sales", streamRows(3740, 50)); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := reg.Refresh("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 == e {
+		t.Fatal("refresh should publish a new entry")
+	}
+	if got := e2.Hits.Load(); got != 6 {
+		t.Fatalf("hits after refresh = %d, want carried-over 6", got)
+	}
+}
+
+// The acceptance criterion: after appending rows, a refreshed sample's
+// per-group accuracy matches a fresh two-pass CVOPT build over the same
+// published snapshot, within reservoir-subsampling tolerance.
+func TestRefreshedSampleMatchesTwoPassBuild(t *testing.T) {
+	const budget = 400
+	cfg := streamCfg(budget)
+	cfg.Capacity = 2 * budget // nothing clipped: one-pass ≡ two-pass in distribution
+	reg := newStreamingRegistry(t, cfg)
+	if _, err := reg.Append("sales", streamRows(3740, 4000)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := reg.Refresh("sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := reg.Table("sales")
+	if !ok || snap.NumRows() != 7740 {
+		t.Fatalf("published snapshot has %d rows, want 7740", snap.NumRows())
+	}
+
+	cv := &samplers.CVOPT{}
+	twoPass, err := cv.Build(snap, cfg.Queries, budget, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sqlparse.Parse("SELECT region, AVG(amount) FROM sales GROUP BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := exec.Run(snap, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanErr := func(s *samplers.RowSample) float64 {
+		approx, err := exec.RunWeighted(snap, q, s.Rows, s.Weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(approx.Rows) != len(exact.Rows) {
+			t.Fatalf("sample answer has %d groups, exact %d", len(approx.Rows), len(exact.Rows))
+		}
+		return metrics.Summarize(metrics.GroupErrors(exact, approx)).Mean
+	}
+	streamErr := meanErr(e.Sample)
+	twoPassErr := meanErr(twoPass)
+	if streamErr > 0.05 {
+		t.Fatalf("refreshed sample mean error %.4f implausibly high", streamErr)
+	}
+	if twoPassErr > 0 && streamErr > 5*twoPassErr+0.01 {
+		t.Fatalf("refreshed sample error %.4f far above two-pass %.4f", streamErr, twoPassErr)
+	}
+}
+
+// The acceptance race: N goroutines appending and M goroutines querying
+// one streaming table while refreshes fire (threshold policy + explicit
+// flushes). Run under -race. Every answer must be a complete sample of
+// one generation and the generations each querier observes must be
+// monotonically non-decreasing.
+func TestStreamingAppendQueryRefreshRace(t *testing.T) {
+	cfg := streamCfg(200)
+	cfg.Policy = ingest.Policy{MaxPending: 300}
+	reg := newStreamingRegistry(t, cfg)
+
+	const (
+		appenders = 4
+		queriers  = 4
+		batches   = 25
+		batchLen  = 20
+		queryReps = 40
+	)
+	sql := "SELECT region, AVG(amount), COUNT(*) FROM sales GROUP BY region"
+	var wg sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				start := 10000 + a*batches*batchLen + b*batchLen
+				if _, err := reg.Append("sales", streamRows(start, batchLen)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(a)
+	}
+	wg.Add(1)
+	go func() { // explicit flusher racing the threshold loop
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if _, err := reg.Refresh("sales"); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for c := 0; c < queriers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastGen uint64
+			for rep := 0; rep < queryReps; rep++ {
+				ans, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				gen := ans.Entry.Generation
+				if gen < lastGen {
+					t.Errorf("generation went backwards: %d -> %d", lastGen, gen)
+					return
+				}
+				lastGen = gen
+				// a torn read would show as missing groups, NaN
+				// estimates or a COUNT that covers no rows
+				if len(ans.Result.Rows) == 0 {
+					t.Error("answer has no groups")
+					return
+				}
+				var totalCount float64
+				for _, row := range ans.Result.Rows {
+					if len(row.Aggs) != 2 || math.IsNaN(row.Aggs[0]) || math.IsNaN(row.Aggs[1]) {
+						t.Errorf("torn answer: group %v aggs %v", row.Key, row.Aggs)
+						return
+					}
+					totalCount += row.Aggs[1]
+				}
+				// the weighted COUNT estimates the generation's row
+				// count exactly up to float accumulation (weights sum
+				// to the population per stratum)
+				if totalCount < 3739 {
+					t.Errorf("estimated population %g below the seed row count", totalCount)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if _, err := reg.Refresh("sales"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := reg.StreamStatus("sales")
+	wantRows := 3740 + appenders*batches*batchLen
+	if st.Rows != wantRows {
+		t.Fatalf("ingested %d rows, want %d", st.Rows, wantRows)
+	}
+	if st.Pending != 0 {
+		t.Fatalf("pending = %d after final refresh", st.Pending)
+	}
+	if st.RefreshErrors != 0 {
+		t.Fatalf("automatic refreshes failed %d times", st.RefreshErrors)
+	}
+	// the final generation's COUNT covers every ingested row
+	ans, err := reg.Query("SELECT COUNT(*) FROM sales", serve.QueryOptions{Mode: serve.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ans.Result.Rows[0].Aggs[0]; got != float64(wantRows) {
+		t.Fatalf("exact COUNT(*) = %g, want %d", got, wantRows)
+	}
+}
+
+// HTTP round trip of the streaming endpoints: stream, append, refresh,
+// query; plus the ops surfaces carrying hits and stream state.
+func TestServerStreamingEndpoints(t *testing.T) {
+	ts, reg := startServer(t)
+	t.Cleanup(reg.Close)
+
+	var st streamStateResp
+	code := post(t, ts.URL+"/v1/tables/sales/stream", `{
+		"queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}],
+		"budget": 300, "seed": 9, "refresh_rows": 100000
+	}`, &st)
+	if code != http.StatusCreated {
+		t.Fatalf("stream: %d", code)
+	}
+	if !st.Streaming || st.Generation != 1 || st.Rows != 3740 {
+		t.Fatalf("stream state: %+v", st)
+	}
+
+	rows := `{"rows": [["NA", "widget", 101.5], ["EU", "gadget", 88], ["APAC", "widget", 310]]}`
+	var ap struct {
+		Appended   int    `json:"appended"`
+		Pending    int    `json:"pending"`
+		Rows       int    `json:"rows"`
+		Generation uint64 `json:"generation"`
+	}
+	if code := post(t, ts.URL+"/v1/tables/sales/rows", rows, &ap); code != http.StatusOK {
+		t.Fatalf("rows: %d", code)
+	}
+	if ap.Appended != 3 || ap.Pending != 3 || ap.Rows != 3743 || ap.Generation != 1 {
+		t.Fatalf("append response: %+v", ap)
+	}
+
+	var ref struct {
+		Generation uint64 `json:"generation"`
+		Rows       int    `json:"rows"`
+	}
+	if code := post(t, ts.URL+"/v1/tables/sales/refresh", "", &ref); code != http.StatusOK {
+		t.Fatalf("refresh: %d", code)
+	}
+	if ref.Generation != 2 {
+		t.Fatalf("refresh generation = %d, want 2", ref.Generation)
+	}
+
+	var qr struct {
+		queryResponse
+		Generation uint64 `json:"generation"`
+	}
+	code = post(t, ts.URL+"/v1/query",
+		`{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region", "mode": "sample"}`, &qr)
+	if code != http.StatusOK || qr.Generation != 2 {
+		t.Fatalf("query: code=%d generation=%d", code, qr.Generation)
+	}
+
+	// ops surfaces: tables report stream state, samples report hits,
+	// healthz aggregates
+	var tables struct {
+		Tables []struct {
+			Name       string `json:"name"`
+			Rows       int    `json:"rows"`
+			Streaming  bool   `json:"streaming"`
+			Generation uint64 `json:"generation"`
+		} `json:"tables"`
+	}
+	if code := get(t, ts.URL+"/v1/tables", &tables); code != http.StatusOK {
+		t.Fatalf("tables: %d", code)
+	}
+	if len(tables.Tables) != 1 || !tables.Tables[0].Streaming || tables.Tables[0].Generation != 2 || tables.Tables[0].Rows != 3743 {
+		t.Fatalf("tables: %+v", tables.Tables)
+	}
+	var samples struct {
+		Samples []struct {
+			Generation uint64 `json:"generation"`
+			Hits       int64  `json:"hits"`
+		} `json:"samples"`
+	}
+	if code := get(t, ts.URL+"/v1/samples", &samples); code != http.StatusOK {
+		t.Fatalf("samples: %d", code)
+	}
+	if len(samples.Samples) != 1 || samples.Samples[0].Generation != 2 || samples.Samples[0].Hits != 1 {
+		t.Fatalf("samples: %+v", samples.Samples)
+	}
+	var health struct {
+		Streams    int   `json:"streams"`
+		Refreshes  int64 `json:"refreshes"`
+		SampleHits int64 `json:"sample_hits"`
+	}
+	if code := get(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health.Streams != 1 || health.Refreshes != 2 || health.SampleHits != 1 {
+		t.Fatalf("healthz: %+v", health)
+	}
+}
+
+type streamStateResp struct {
+	Table      string `json:"table"`
+	Streaming  bool   `json:"streaming"`
+	Generation uint64 `json:"generation"`
+	Rows       int    `json:"rows"`
+	Pending    int    `json:"pending"`
+}
+
+func TestServerStreamingErrors(t *testing.T) {
+	ts, reg := startServer(t)
+	t.Cleanup(reg.Close)
+	goodStream := `{"queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}], "budget": 100}`
+	cases := []struct {
+		name, path, body string
+		wantCode         int
+	}{
+		{"stream unknown table", "/v1/tables/nope/stream", goodStream, http.StatusNotFound},
+		{"stream no budget", "/v1/tables/sales/stream", `{"queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`, http.StatusUnprocessableEntity},
+		{"stream bad norm", "/v1/tables/sales/stream", `{"queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}], "budget": 10, "norm": "l7"}`, http.StatusBadRequest},
+		{"stream bad interval", "/v1/tables/sales/stream", `{"queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}], "budget": 10, "refresh_interval": "soon"}`, http.StatusBadRequest},
+		{"stream bad spec", "/v1/tables/sales/stream", `{"queries": [{"group_by": [], "aggs": [{"column": "amount"}]}], "budget": 10}`, http.StatusBadRequest},
+		{"rows before streaming", "/v1/tables/sales/rows", `{"rows": [["NA", "widget", 1]]}`, http.StatusConflict},
+		{"refresh before streaming", "/v1/tables/sales/refresh", ``, http.StatusConflict},
+		{"rows unknown table", "/v1/tables/nope/rows", `{"rows": [["NA", "widget", 1]]}`, http.StatusNotFound},
+		{"refresh unknown table", "/v1/tables/nope/refresh", ``, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := post(t, ts.URL+c.path, c.body, &e); code != c.wantCode {
+			t.Errorf("%s: got %d, want %d (%s)", c.name, code, c.wantCode, e.Error)
+		} else if e.Error == "" {
+			t.Errorf("%s: error body missing", c.name)
+		}
+	}
+	// now stream it and exercise post-registration errors
+	if code := post(t, ts.URL+"/v1/tables/sales/stream", goodStream, nil); code != http.StatusCreated {
+		t.Fatalf("stream: %d", code)
+	}
+	post2 := func(path, body string, want int, name string) {
+		t.Helper()
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := post(t, ts.URL+path, body, &e); code != want {
+			t.Errorf("%s: got %d, want %d (%s)", name, code, want, e.Error)
+		}
+	}
+	post2("/v1/tables/sales/stream", goodStream, http.StatusConflict, "double stream")
+	post2("/v1/tables/sales/rows", `{"rows": []}`, http.StatusBadRequest, "empty rows")
+	post2("/v1/tables/sales/rows", `{"rows": [["NA", "widget"]]}`, http.StatusUnprocessableEntity, "short row")
+	post2("/v1/tables/sales/rows", `{"rows": [[3, "widget", 1.0]]}`, http.StatusUnprocessableEntity, "bad type")
+}
+
+// The refresh key is stable across generations even under a rate
+// budget: each publication replaces its predecessor instead of piling
+// up entries.
+func TestStreamRefreshReplacesEntry(t *testing.T) {
+	cfg := ingest.Config{
+		Queries: streamCfg(0).Queries,
+		Rate:    0.1,
+		Seed:    3,
+	}
+	reg := newStreamingRegistry(t, cfg)
+	for i := 0; i < 3; i++ {
+		if _, err := reg.Append("sales", streamRows(5000+100*i, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Refresh("sales"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := reg.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("refreshes piled up %d entries, want 1", len(entries))
+	}
+	if entries[0].Generation != 4 {
+		t.Fatalf("generation = %d, want 4 (seed + 3 refreshes)", entries[0].Generation)
+	}
+	// rate budget grew with the table
+	if entries[0].Budget != (3740+300)/10 {
+		t.Fatalf("budget = %d, want %d", entries[0].Budget, (3740+300)/10)
+	}
+}

@@ -86,6 +86,19 @@ func (d *Dict) Lookup(v string) (int32, bool) {
 // Value returns the string for code c.
 func (d *Dict) Value(c int32) string { return d.values[c] }
 
+// snapshot returns an independent read-only view of the dictionary's
+// current state. The values slice header is copied with its capacity
+// clamped to its length and the index map is cloned, so the writer may
+// keep interning new values into the original without the snapshot ever
+// observing a concurrent mutation.
+func (d *Dict) snapshot() *Dict {
+	idx := make(map[string]int32, len(d.index))
+	for v, c := range d.index {
+		idx[v] = c
+	}
+	return &Dict{values: d.values[:len(d.values):len(d.values)], index: idx}
+}
+
 // Len returns the number of distinct values.
 func (d *Dict) Len() int { return len(d.values) }
 
@@ -282,6 +295,36 @@ func (t *Table) Select(rows []int) *Table {
 			}
 		}
 		out.rows++
+	}
+	return out
+}
+
+// Snapshot returns an immutable view of the table's current rows that
+// stays valid while a single writer keeps appending to the receiver.
+// Column slice headers are copied with capacity clamped to the current
+// length and dictionaries are cloned (values prefix shared, index map
+// copied), so the snapshot and the growing original never touch the
+// same memory location: the writer only ever writes elements at indices
+// the snapshot cannot reach. Taking a snapshot is O(columns + distinct
+// string values), independent of the row count.
+//
+// The caller must ensure no append is in flight during the call itself
+// (the streaming ingest layer serializes Snapshot against its writer);
+// after it returns, reads of the snapshot need no synchronization.
+func (t *Table) Snapshot() *Table {
+	out := &Table{Name: t.Name, rows: t.rows, Columns: make([]*Column, len(t.Columns))}
+	for i, c := range t.Columns {
+		nc := &Column{Spec: c.Spec}
+		switch c.Spec.Kind {
+		case String:
+			nc.Str = c.Str[:len(c.Str):len(c.Str)]
+			nc.Dict = c.Dict.snapshot()
+		case Float:
+			nc.Float = c.Float[:len(c.Float):len(c.Float)]
+		case Int:
+			nc.Int = c.Int[:len(c.Int):len(c.Int)]
+		}
+		out.Columns[i] = nc
 	}
 	return out
 }

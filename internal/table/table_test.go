@@ -359,6 +359,51 @@ func TestGrow(t *testing.T) {
 	}
 }
 
+func TestSnapshotIsolatedFromLaterAppends(t *testing.T) {
+	tbl := studentTable(t)
+	snap := tbl.Snapshot()
+	if snap.NumRows() != 8 || snap.NumCols() != 3 {
+		t.Fatalf("snapshot shape: %d x %d", snap.NumRows(), snap.NumCols())
+	}
+	// keep appending to the original, including a brand-new dictionary
+	// value; the snapshot must not move
+	for i := 0; i < 200; i++ {
+		if err := tbl.AppendRow("Bio", int64(2021), 2.9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap.NumRows() != 8 {
+		t.Fatalf("snapshot grew to %d rows after appends", snap.NumRows())
+	}
+	if got := snap.Column("major").StringAt(2); got != "Math" {
+		t.Fatalf("snapshot row 2 major = %q", got)
+	}
+	if _, ok := snap.Column("major").Dict.Lookup("Bio"); ok {
+		t.Fatal("snapshot dictionary saw a value interned after the cut")
+	}
+	if _, ok := tbl.Column("major").Dict.Lookup("Bio"); !ok {
+		t.Fatal("original dictionary lost the new value")
+	}
+	// concurrent reads of the snapshot while the writer appends: the
+	// race detector is the assertion here
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			_ = tbl.AppendRow("Chem", int64(2022), 3.0+float64(i%10)/10)
+		}
+	}()
+	sum := 0.0
+	for i := 0; i < snap.NumRows(); i++ {
+		sum += snap.Column("gpa").Numeric(i)
+		_ = snap.Column("major").StringAt(i)
+	}
+	<-done
+	if sum == 0 {
+		t.Fatal("snapshot reads returned nothing")
+	}
+}
+
 func BenchmarkBuildGroupIndex(b *testing.B) {
 	tbl := New("b", Schema{{Name: "g", Kind: String}, {Name: "v", Kind: Float}})
 	for i := 0; i < 100000; i++ {

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/ingest"
 	"repro/internal/samplers"
 	"repro/internal/serve"
 	"repro/internal/sqlparse"
@@ -61,7 +62,39 @@ type (
 	SampleEntry = serve.Entry
 	// BuildRequest identifies one sample a Registry should build.
 	BuildRequest = serve.BuildRequest
+	// StreamConfig configures a streaming (live) table: the workload
+	// its resident sample must serve, the per-generation budget, the
+	// reservoir capacity and the refresh policy. See internal/ingest.
+	StreamConfig = ingest.Config
+	// RefreshPolicy selects when a streaming table republishes its
+	// sample (row-count threshold and/or periodic tick).
+	RefreshPolicy = ingest.Policy
+	// Publication is one atomically-published generation of a
+	// streaming table: immutable snapshot + weighted sample.
+	Publication = ingest.Publication
+	// IngestStream is the standalone streaming primitive behind
+	// Registry.RegisterStreamingTable, usable without a registry.
+	IngestStream = ingest.Stream
+	// AppendStatus reports stream state right after a batch append.
+	AppendStatus = ingest.AppendStatus
+	// StreamStatus is the ops view of one streaming table.
+	StreamStatus = serve.StreamStatus
+	// QueryOptions tunes one Registry.Query call (mode, compare).
+	QueryOptions = serve.QueryOptions
+	// QueryAnswer is the outcome of one Registry.Query call.
+	QueryAnswer = serve.QueryAnswer
 )
+
+// Query modes for QueryOptions.Mode.
+const (
+	ModeAuto   = serve.ModeAuto
+	ModeSample = serve.ModeSample
+	ModeExact  = serve.ModeExact
+)
+
+// DefaultStreamCapacity is the per-stratum reservoir capacity used when
+// StreamConfig.Capacity is zero.
+const DefaultStreamCapacity = ingest.DefaultCapacity
 
 // Norm constants.
 const (
@@ -122,14 +155,26 @@ func CubeQueries(attrs []string, aggs []AggColumn) []QuerySpec {
 }
 
 // NewRegistry returns an empty sample-serving registry: register
-// tables, build samples once, answer queries concurrently off them.
+// tables (static via RegisterTable, live via RegisterStreamingTable or
+// StreamTable), build samples once, answer queries concurrently off
+// them, and Append/Refresh streaming tables in place. Call Close when
+// done to stop streaming refresh loops.
 func NewRegistry() *Registry {
 	return serve.NewRegistry()
 }
 
 // NewServerHandler exposes a registry over the HTTP/JSON serving API
-// (POST /v1/query, POST /v1/samples, GET /v1/samples, GET /healthz);
+// (POST /v1/query, POST /v1/samples, GET /v1/samples, the streaming
+// POST /v1/tables/{name}/stream|rows|refresh endpoints, GET /healthz);
 // cmd/cvserve is the ready-made daemon around it.
 func NewServerHandler(reg *Registry) http.Handler {
 	return serve.NewServer(reg)
+}
+
+// NewStream creates a standalone streaming sampler for a table: seed's
+// rows are copied in, publish receives every finalized generation. Most
+// callers want Registry.RegisterStreamingTable instead, which wires the
+// publications into the serving read path.
+func NewStream(seed *table.Table, cfg StreamConfig, publish func(*Publication)) (*IngestStream, error) {
+	return ingest.New(seed, cfg, publish)
 }
