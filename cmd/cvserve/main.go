@@ -19,6 +19,11 @@
 // refresh policy (-refresh-rows / -refresh-interval set the daemon-wide
 // defaults; POST /v1/tables/{name}/refresh flushes explicitly).
 //
+// The registry behind the API is sharded by table name (-shards), so
+// heavy builds or refreshes on one table never stall queries on
+// another, and -max-sample-bytes bounds resident sample memory with
+// least-recently-used eviction (live streaming samples are pinned).
+//
 // The process exits cleanly on SIGINT/SIGTERM, draining in-flight
 // requests.
 package main
@@ -60,6 +65,8 @@ func main() {
 		addr            = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 		refreshRows     = flag.Int("refresh-rows", 0, "default streaming refresh threshold: republish a live table's sample after this many appended rows (0 = explicit refresh only)")
 		refreshInterval = flag.Duration("refresh-interval", 0, "default streaming refresh period: republish a live table's sample this often while rows are pending (0 = off)")
+		maxSampleBytes  = flag.Int64("max-sample-bytes", 0, "resident sample memory budget in bytes: least-recently-used samples are evicted once built samples exceed it (0 = unbounded)")
+		shards          = flag.Int("shards", 0, "registry shard count; tables hash to shards so load on one table never locks out another (0 = default)")
 		tables          tableFlags
 	)
 	flag.Var(&tables, "table", "table to serve, as name=path.csv (repeatable)")
@@ -76,8 +83,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cvserve: refresh policy flags must be non-negative")
 		os.Exit(2)
 	}
+	if *maxSampleBytes < 0 || *shards < 0 {
+		fmt.Fprintln(os.Stderr, "cvserve: -max-sample-bytes and -shards must be non-negative")
+		os.Exit(2)
+	}
 
-	reg := serve.NewRegistry()
+	reg := serve.NewRegistry(serve.WithMaxSampleBytes(*maxSampleBytes), serve.WithShards(*shards))
 	defer reg.Close()
 	reg.SetStreamDefaults(ingest.Policy{MaxPending: *refreshRows, Interval: *refreshInterval})
 	for _, spec := range tables {

@@ -1,0 +1,113 @@
+package serve_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/serve"
+)
+
+// waitForGoroutines polls until the process goroutine count drops back
+// to at most want, failing after two seconds. Polling (rather than a
+// single check) absorbs goroutines that are mid-exit when Close
+// returns.
+func waitForGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines never drained: %d running, want <= %d\n%s",
+				runtime.NumGoroutine(), want, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// The leak audit behind Registry.Close's contract: every goroutine the
+// registry ever started (stream refresh loops) is gone after Close,
+// including streams registered with aggressive tick policies, and Close
+// is idempotent.
+func TestCloseLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	reg := serve.NewRegistry(serve.WithMaxSampleBytes(1 << 20))
+	for i := 0; i < 4; i++ {
+		tbl := salesTable(t)
+		tbl.Name = fmt.Sprintf("live%d", i)
+		cfg := streamCfg(100)
+		cfg.Policy = ingest.Policy{MaxPending: 10, Interval: time.Millisecond}
+		if err := reg.RegisterStreamingTable(tbl, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// drive the refresh loops so they are demonstrably alive pre-Close
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("live%d", i)
+		if _, err := reg.Append(name, streamRows(0, 25)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Refresh(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a static build in flight during Close runs on our goroutine and
+	// simply completes; nothing for Close to reap
+	if err := reg.RegisterTable(salesTable(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.Build(buildReq(150)); err != nil {
+		t.Fatal(err)
+	}
+	reg.Close()
+	reg.Close() // idempotent
+	waitForGoroutines(t, before)
+
+	// the closed registry still answers queries off published state
+	if _, err := reg.Query("SELECT region, AVG(amount) FROM live0 GROUP BY region",
+		serve.QueryOptions{Mode: serve.ModeSample}); err != nil {
+		t.Fatalf("published generations must stay queryable after Close: %v", err)
+	}
+	// but refuses new streaming registrations
+	extra := salesTable(t)
+	extra.Name = "late"
+	if err := reg.RegisterStreamingTable(extra, streamCfg(100)); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("streaming registration after Close: err = %v, want ErrClosed", err)
+	}
+	if err := reg.StreamTable("sales", streamCfg(100)); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("StreamTable after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// Close racing concurrent streaming registrations must strand no
+// refresh loop: whichever side loses the race shuts the stream down.
+func TestCloseRacesStreamingRegistration(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		reg := serve.NewRegistry()
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				tbl := salesTable(t)
+				tbl.Name = fmt.Sprintf("race%d", i)
+				// either outcome is fine; what matters is the goroutine
+				// accounting afterwards
+				_ = reg.RegisterStreamingTable(tbl, streamCfg(80))
+			}(i)
+		}
+		reg.Close()
+		wg.Wait()
+		reg.Close()
+	}
+	waitForGoroutines(t, before)
+}

@@ -1,0 +1,147 @@
+package serve_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/table"
+)
+
+// benchTable builds a small named table: lock overhead, not scan time,
+// should dominate the benchmarked hot path.
+func benchTable(name string, rows int) *table.Table {
+	tbl := table.New(name, table.Schema{
+		{Name: "region", Kind: table.String},
+		{Name: "amount", Kind: table.Float},
+	})
+	regions := []string{"NA", "EU", "APAC", "LATAM"}
+	for i := 0; i < rows; i++ {
+		if err := tbl.AppendRow(regions[i%len(regions)], float64(i%97)); err != nil {
+			panic(err)
+		}
+	}
+	return tbl
+}
+
+// benchRegistry registers n small tables t0..t{n-1}, each with one built
+// region sample.
+func benchRegistry(b *testing.B, n int) *serve.Registry {
+	b.Helper()
+	reg := serve.NewRegistry()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if err := reg.RegisterTable(benchTable(name, 512)); err != nil {
+			b.Fatal(err)
+		}
+		_, _, err := reg.Build(serve.BuildRequest{
+			Table: name,
+			Queries: []core.QuerySpec{{
+				GroupBy: []string{"region"},
+				Aggs:    []core.AggColumn{{Column: "amount"}},
+			}},
+			Budget: 64,
+			Seed:   1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return reg
+}
+
+// BenchmarkFindParallelMixedTables is the pure registry-contention
+// measure: every goroutine resolves samples of its own table, so with a
+// sharded registry the goroutines should never touch the same lock.
+func BenchmarkFindParallelMixedTables(b *testing.B) {
+	const tables = 8
+	reg := benchRegistry(b, tables)
+	defer reg.Close()
+	names := make([]string, tables)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+	groupBy := []string{"region"}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		name := names[int(next.Add(1))%tables]
+		for pb.Next() {
+			if _, ok := reg.Find(name, groupBy); !ok {
+				b.Fail()
+			}
+		}
+	})
+}
+
+// BenchmarkQueryParallelMixedTables is the end-to-end read path (parse +
+// resolve + weighted exec) under mixed-table load.
+func BenchmarkQueryParallelMixedTables(b *testing.B) {
+	const tables = 8
+	reg := benchRegistry(b, tables)
+	defer reg.Close()
+	sqls := make([]string, tables)
+	for i := range sqls {
+		sqls[i] = fmt.Sprintf("SELECT region, AVG(amount) FROM t%d GROUP BY region", i)
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		sql := sqls[int(next.Add(1))%tables]
+		for pb.Next() {
+			if _, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkQueryDuringBuilds hammers queries on one table while fresh
+// sample builds (distinct keys, so no dedup) continuously land on
+// *other* tables. With one registry-wide lock every install stalls the
+// readers; sharded, the builds are invisible to them.
+func BenchmarkQueryDuringBuilds(b *testing.B) {
+	const tables = 8
+	reg := benchRegistry(b, tables)
+	defer reg.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	for t := 1; t < tables; t++ {
+		go func(t int) {
+			name := fmt.Sprintf("t%d", t)
+			for budget := 1; ; budget++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _, err := reg.Build(serve.BuildRequest{
+					Table: name,
+					Queries: []core.QuerySpec{{
+						GroupBy: []string{"region"},
+						Aggs:    []core.AggColumn{{Column: "amount"}},
+					}},
+					Budget: 16 + budget%64,
+					Seed:   int64(budget), // distinct seeds force real builds
+				})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(t)
+	}
+	const sql = "SELECT region, AVG(amount) FROM t0 GROUP BY region"
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -5,8 +5,16 @@
 // workload, budget); building is deduplicated singleflight-style (one
 // goroutine builds, concurrent requesters wait for the same result) and
 // the query path takes only a read lock, so any number of queries
-// answer in parallel off the same shared sample. The HTTP front end
-// lives in server.go; cmd/cvserve is the binary.
+// answer in parallel off the same shared sample.
+//
+// The registry is *sharded* by table name (shard.go): each shard owns
+// the tables, built samples, in-flight builds and streaming state of
+// the tables that hash to it, behind its own RWMutex. A heavy build or
+// stream refresh on one table therefore never contends with queries on
+// a table in another shard. Resident sample memory is bounded by an
+// optional byte budget with hits-informed LRU eviction (evict.go).
+//
+// The HTTP front end lives in server.go; cmd/cvserve is the binary.
 package serve
 
 import (
@@ -108,11 +116,12 @@ func (b BuildRequest) key() string {
 }
 
 // Entry is one immutable built sample held by a Registry. All fields
-// except the Hits counter are read-only after publication; the sample's
-// Rows/Weights slices must not be mutated. Streaming tables replace
-// their entry wholesale on refresh (never mutate it), so a query that
-// picked up an entry keeps a complete, self-consistent generation no
-// matter how many refreshes land while it runs.
+// except the Hits and lastUsed counters are read-only after
+// publication; the sample's Rows/Weights slices must not be mutated.
+// Streaming tables replace their entry wholesale on refresh (never
+// mutate it), so a query that picked up an entry keeps a complete,
+// self-consistent generation no matter how many refreshes land while it
+// runs.
 type Entry struct {
 	// Key is the canonical registry key (table, workload, budget, norm).
 	Key string
@@ -132,16 +141,30 @@ type Entry struct {
 	// Generation is the streaming publication number that produced this
 	// entry (1, 2, 3, ... per streaming table; 0 for static builds).
 	Generation uint64
-	// Hits counts how many times Find selected this entry to answer a
-	// query — the reuse signal eviction policies need. Carried across
-	// streaming refreshes of the same key.
+	// Hits counts the entry's reuses: every time Find selects it to
+	// answer a query and every time Build returns it from the cache —
+	// the reuse signal eviction orders by. Carried across streaming
+	// refreshes of the same key.
 	Hits atomic.Int64
+
+	// lastUsed is the registry's logical LRU clock value at the last
+	// Find selection (stamped once at install, so never-hit entries
+	// order by install time among themselves).
+	lastUsed atomic.Int64
+	// size is the entry's resident-byte estimate (see entrySizeBytes),
+	// fixed at install.
+	size int64
 
 	attrs map[string]bool // union of group-by attributes, for coverage
 	// snapshot is the immutable table cut the sample's row ids index
 	// (streaming entries only; nil means "use the registered table").
 	snapshot *table.Table
 }
+
+// SizeBytes is the entry's resident-memory estimate charged against the
+// registry's sample byte budget: sample rows × row width (see
+// entrySizeBytes in evict.go).
+func (e *Entry) SizeBytes() int64 { return e.size }
 
 // execTable returns the table the entry's sample must be evaluated
 // against: its own snapshot for streaming entries (the sample's row ids
@@ -185,35 +208,87 @@ type buildCall struct {
 	err   error
 }
 
-// Registry is the concurrent sample store: read-only tables plus
-// immutable built samples. The zero value is not usable; call
-// NewRegistry. All methods are safe for concurrent use; reads
-// (Table/Find/Entries/Query) share an RLock while builds are
-// deduplicated so each distinct key is built exactly once no matter how
-// many requesters race.
-type Registry struct {
-	mu       sync.RWMutex
-	tables   map[string]*table.Table
-	entries  map[string]*Entry
-	inflight map[string]*buildCall
-	// streams holds the live ingest state of streaming tables, keyed by
-	// canonical table name (nil value = registration in progress, which
-	// reserves the name). See stream.go.
-	streams        map[string]*streamState
-	streamDefaults ingest.Policy
-	builds         atomic.Int64
-	refreshes      atomic.Int64
-}
+// Option configures a Registry at construction.
+type Option func(*Registry)
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{
-		tables:   make(map[string]*table.Table),
-		entries:  make(map[string]*Entry),
-		inflight: make(map[string]*buildCall),
-		streams:  make(map[string]*streamState),
+// DefaultShards is the shard count NewRegistry uses unless WithShards
+// overrides it. Sixteen keeps per-shard maps tiny while spreading
+// unrelated tables across enough locks that builds and queries on
+// different tables effectively never share one.
+const DefaultShards = 16
+
+// WithShards sets the shard count (minimum 1). More shards mean less
+// cross-table lock sharing; tables land on shards by name hash, so the
+// count is fixed for the registry's lifetime.
+func WithShards(n int) Option {
+	return func(r *Registry) {
+		if n > 0 {
+			r.shards = make([]*shard, n)
+		}
 	}
 }
+
+// WithMaxSampleBytes bounds the registry's resident sample memory:
+// whenever the total estimated size of built samples (Entry.SizeBytes)
+// exceeds max, least-valuable entries are evicted — never-hit entries
+// first, then least-recently-used — until the total is back under
+// budget. Entries pinned by a live streaming table are never evicted.
+// max <= 0 (the default) disables eviction.
+func WithMaxSampleBytes(max int64) Option {
+	return func(r *Registry) { r.maxSampleBytes = max }
+}
+
+// Registry is the concurrent sample store: read-only tables plus
+// immutable built samples, sharded by table name. The zero value is not
+// usable; call NewRegistry. All methods are safe for concurrent use;
+// reads (Table/Find/Entries/Query) share their shard's RLock while
+// builds are deduplicated so each distinct key is built exactly once no
+// matter how many requesters race.
+type Registry struct {
+	shards []*shard
+
+	// maxSampleBytes is the resident sample budget (0 = unbounded);
+	// fixed at construction. residentBytes tracks the current total
+	// across shards; useClock is the logical LRU clock Find advances.
+	maxSampleBytes int64
+	residentBytes  atomic.Int64
+	useClock       atomic.Int64
+	evictMu        sync.Mutex // one evictor at a time
+	evictions      atomic.Int64
+	evictedBytes   atomic.Int64
+
+	// regMu serializes table registrations (static and streaming).
+	// Registration must check the name against *every* shard and then
+	// install into one; doing that with only shard locks would either
+	// race the check against a concurrent registration or acquire shard
+	// locks in name-hash order and deadlock. Under regMu the scan takes
+	// one shard read lock at a time with nothing else held. Ordering:
+	// regMu is always taken before any shard lock, never the reverse.
+	regMu sync.Mutex
+
+	defMu          sync.Mutex
+	streamDefaults ingest.Policy
+
+	builds    atomic.Int64
+	refreshes atomic.Int64
+	closed    atomic.Bool
+}
+
+// NewRegistry returns an empty registry with DefaultShards shards and
+// no sample byte budget; see WithShards and WithMaxSampleBytes.
+func NewRegistry(opts ...Option) *Registry {
+	r := &Registry{shards: make([]*shard, DefaultShards)}
+	for _, o := range opts {
+		o(r)
+	}
+	for i := range r.shards {
+		r.shards[i] = newShard()
+	}
+	return r
+}
+
+// Shards returns the registry's shard count (ops surface).
+func (r *Registry) Shards() int { return len(r.shards) }
 
 // RegisterTable adds a table to the registry. The registry and its
 // queries treat the table as immutable from this point on; registering
@@ -223,29 +298,32 @@ func (r *Registry) RegisterTable(tbl *table.Table) error {
 	if tbl == nil || tbl.Name == "" {
 		return fmt.Errorf("serve: table must be non-nil and named")
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
 	if err := r.checkNameFree(tbl.Name); err != nil {
 		return err
 	}
-	r.tables[tbl.Name] = tbl
+	sh := r.shardFor(tbl.Name)
+	sh.mu.Lock()
+	sh.tables[tbl.Name] = tbl
+	sh.mu.Unlock()
 	return nil
 }
 
 // checkNameFree rejects a table name already taken by a registered
-// table or an in-flight streaming registration. The check is
-// case-insensitive to match resolution: "Sales" and "sales" would
+// table or an in-flight streaming registration, in any shard. The check
+// is case-insensitive to match resolution: "Sales" and "sales" would
 // otherwise register side by side and resolve nondeterministically.
-// Caller holds r.mu.
+// Caller holds r.regMu (which makes the scan-then-install sequence
+// atomic against other registrations) and NO shard lock; the scan takes
+// one shard read lock at a time.
 func (r *Registry) checkNameFree(name string) error {
-	for existing := range r.tables {
-		if strings.EqualFold(existing, name) {
-			return fmt.Errorf("serve: table %q already registered (as %q)", name, existing)
-		}
-	}
-	for existing := range r.streams {
-		if strings.EqualFold(existing, name) {
-			return fmt.Errorf("serve: table %q already registered (as streaming %q)", name, existing)
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		err := sh.checkNameFreeLocked(name)
+		sh.mu.RUnlock()
+		if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -256,19 +334,22 @@ func (r *Registry) checkNameFree(name string) error {
 // table this is the latest published snapshot — queries see the data as
 // of the last refresh, never a half-appended buffer.
 func (r *Registry) Table(name string) (*table.Table, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	t, _ := r.tableLocked(name)
+	sh := r.shardFor(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	t, _ := sh.tableLocked(name)
 	return t, t != nil
 }
 
 // TableNames returns the sorted names of all registered tables.
 func (r *Registry) TableNames() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.tables))
-	for n := range r.tables {
-		out = append(out, n)
+	var out []string
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for n := range sh.tables {
+			out = append(out, n)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -278,7 +359,9 @@ func (r *Registry) TableNames() []string {
 // been built before. The cached result reports whether the sample came
 // from the cache (including waiting on another goroutine's in-flight
 // build of the same key). Concurrent Builds of the same key run the
-// expensive CVOPT pass exactly once.
+// expensive CVOPT pass exactly once. The build runs synchronously on
+// the caller's goroutine — the registry spawns nothing, so Close has no
+// static builds to cancel (see Close).
 func (r *Registry) Build(req BuildRequest) (entry *Entry, cached bool, err error) {
 	if req.Budget <= 0 {
 		return nil, false, fmt.Errorf("serve: budget must be positive, got %d", req.Budget)
@@ -288,37 +371,45 @@ func (r *Registry) Build(req BuildRequest) (entry *Entry, cached bool, err error
 	}
 	// resolve the table first (case-insensitively, like every other
 	// entry point) and canonicalize its name so the cache key cannot
-	// fork on casing
+	// fork on casing — and so the key lands on the table's own shard
 	tbl, ok := r.Table(req.Table)
 	if !ok {
 		return nil, false, fmt.Errorf("serve: unknown table %q", req.Table)
 	}
 	req.Table = tbl.Name
 	key := req.key()
+	sh := r.shardFor(tbl.Name)
 
 	// cache-hit fast path under the read lock: idempotent re-registers
 	// (the steady state of build-once/query-many) must not serialize
-	// against concurrent queries
-	r.mu.RLock()
-	e, ok := r.entries[key]
-	r.mu.RUnlock()
+	// against concurrent queries. Cached returns count as reuse — an
+	// entry kept warm through Build alone must not look idle to the
+	// evictor.
+	sh.mu.RLock()
+	e, ok := sh.entries[key]
+	sh.mu.RUnlock()
 	if ok {
+		r.touch(e)
 		return e, true, nil
 	}
 
-	r.mu.Lock()
-	if e, ok := r.entries[key]; ok {
-		r.mu.Unlock()
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		r.touch(e)
 		return e, true, nil
 	}
-	if c, ok := r.inflight[key]; ok {
-		r.mu.Unlock()
+	if c, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
 		<-c.done
+		if c.err == nil {
+			r.touch(c.entry)
+		}
 		return c.entry, true, c.err
 	}
 	c := &buildCall{done: make(chan struct{})}
-	r.inflight[key] = c
-	r.mu.Unlock()
+	sh.inflight[key] = c
+	sh.mu.Unlock()
 
 	// Cleanup runs deferred so a panicking build still releases its
 	// waiters and un-wedges the key (the panic is converted to the
@@ -328,16 +419,20 @@ func (r *Registry) Build(req BuildRequest) (entry *Entry, cached bool, err error
 			c.entry, c.err = nil, fmt.Errorf("serve: building %s: panic: %v", key, p)
 			entry, err = nil, c.err
 		}
-		r.mu.Lock()
-		delete(r.inflight, key)
+		sh.mu.Lock()
+		delete(sh.inflight, key)
 		if c.err == nil {
-			r.entries[key] = c.entry
+			sh.entries[key] = c.entry
+			r.residentBytes.Add(c.entry.size)
 		}
-		r.mu.Unlock()
+		sh.mu.Unlock()
 		close(c.done)
+		if c.err == nil {
+			r.maybeEvict()
+		}
 	}()
 
-	// The expensive part runs outside the lock: the registry stays
+	// The expensive part runs outside the lock: the shard stays
 	// readable (and other keys buildable) while CVOPT allocates and
 	// draws.
 	c.entry, c.err = r.buildEntry(key, tbl, req)
@@ -366,7 +461,7 @@ func (r *Registry) buildEntry(key string, tbl *table.Table, req BuildRequest) (*
 			attrs[a] = true
 		}
 	}
-	return &Entry{
+	e := &Entry{
 		Key:           key,
 		Table:         tbl.Name,
 		Budget:        req.Budget,
@@ -376,7 +471,10 @@ func (r *Registry) buildEntry(key string, tbl *table.Table, req BuildRequest) (*
 		BuiltAt:       start,
 		BuildDuration: time.Since(start),
 		attrs:         attrs,
-	}, nil
+		size:          entrySizeBytes(rs, tbl.Schema()),
+	}
+	e.lastUsed.Store(r.useClock.Add(1))
+	return e, nil
 }
 
 // Builds returns how many sampler builds have actually executed —
@@ -391,11 +489,13 @@ func (r *Registry) Refreshes() int64 { return r.refreshes.Load() }
 // TotalHits sums the hit counters of all resident entries — the
 // aggregate sample-reuse signal /healthz reports.
 func (r *Registry) TotalHits() int64 {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	var total int64
-	for _, e := range r.entries {
-		total += e.Hits.Load()
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			total += e.Hits.Load()
+		}
+		sh.mu.RUnlock()
 	}
 	return total
 }
@@ -403,18 +503,24 @@ func (r *Registry) TotalHits() int64 {
 // Counts returns the number of registered tables and built samples
 // without materializing snapshots (the /healthz hot path).
 func (r *Registry) Counts() (tables, samples int) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.tables), len(r.entries)
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		tables += len(sh.tables)
+		samples += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return tables, samples
 }
 
 // Entries returns a sorted snapshot of all built samples.
 func (r *Registry) Entries() []*Entry {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*Entry, 0, len(r.entries))
-	for _, e := range r.entries {
-		out = append(out, e)
+	var out []*Entry
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			out = append(out, e)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
@@ -428,11 +534,13 @@ func (r *Registry) Entries() []*Entry {
 // table is frozen at its build-time snapshot and would silently hide
 // appended rows forever), then the largest budget (most rows, lowest
 // error), then key order for determinism. A hit is recorded on the
-// selected entry — the reuse count /v1/samples and /healthz surface
-// for eviction decisions.
+// selected entry — the reuse count /v1/samples and /healthz surface and
+// eviction orders by — and its LRU clock is stamped. Only the table's
+// own shard is touched, so Finds on different tables never contend.
 func (r *Registry) Find(tableName string, groupBy []string) (*Entry, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	sh := r.shardFor(tableName)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	better := func(a, b *Entry) bool { // is a a better answer source than b
 		ea, eb := len(a.attrs)-len(groupBy), len(b.attrs)-len(groupBy)
 		if ea != eb {
@@ -447,7 +555,7 @@ func (r *Registry) Find(tableName string, groupBy []string) (*Entry, bool) {
 		return a.Key < b.Key
 	}
 	var best *Entry
-	for _, e := range r.entries {
+	for _, e := range sh.entries {
 		if !strings.EqualFold(e.Table, tableName) || !e.Covers(groupBy) {
 			continue
 		}
@@ -456,9 +564,17 @@ func (r *Registry) Find(tableName string, groupBy []string) (*Entry, bool) {
 		}
 	}
 	if best != nil {
-		best.Hits.Add(1)
+		r.touch(best)
 	}
 	return best, best != nil
+}
+
+// touch records one reuse of e — a Find selection or a cached Build
+// return — for the eviction signals: the hit counter and the LRU
+// clock.
+func (r *Registry) touch(e *Entry) {
+	e.Hits.Add(1)
+	e.lastUsed.Store(r.useClock.Add(1))
 }
 
 // QueryMode selects how Query answers.
@@ -497,8 +613,9 @@ type QueryAnswer struct {
 // Query parses sql, resolves its FROM table against the registry and
 // answers it — from the best covering sample (amortizing the build over
 // arbitrarily many queries, the paper's build-once/query-many regime)
-// or exactly, per opt.Mode. The read path takes only read locks, so
-// concurrent Queries proceed in parallel.
+// or exactly, per opt.Mode. The read path takes only its table's shard
+// read lock, so concurrent Queries proceed in parallel — across tables,
+// without even a cache line in common.
 func (r *Registry) Query(sql string, opt QueryOptions) (*QueryAnswer, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {

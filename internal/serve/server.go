@@ -143,9 +143,13 @@ type sampleJSON struct {
 	GroupBy []string  `json:"group_by"`
 	BuiltAt time.Time `json:"built_at"`
 	BuildMS float64   `json:"build_ms"`
-	// Hits is how many queries this sample (this key, across streaming
-	// generations) has answered.
+	// Hits is how many times this sample (this key, across streaming
+	// generations) was reused: queries answered plus cached build
+	// fetches.
 	Hits int64 `json:"hits"`
+	// SizeBytes is the sample's resident-memory estimate charged
+	// against the daemon's -max-sample-bytes budget.
+	SizeBytes int64 `json:"size_bytes"`
 	// Generation is the streaming publication number (absent for
 	// static builds).
 	Generation uint64 `json:"generation,omitempty"`
@@ -162,6 +166,7 @@ func sampleToJSON(e *Entry, cached bool) sampleJSON {
 		BuiltAt:    e.BuiltAt,
 		BuildMS:    float64(e.BuildDuration.Microseconds()) / 1000,
 		Hits:       e.Hits.Load(),
+		SizeBytes:  e.SizeBytes(),
 		Generation: e.Generation,
 		Cached:     cached,
 	}
@@ -170,13 +175,17 @@ func sampleToJSON(e *Entry, cached bool) sampleJSON {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	tables, samples := s.reg.Counts()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"tables":      tables,
-		"samples":     samples,
-		"builds":      s.reg.Builds(),
-		"streams":     s.reg.StreamCount(),
-		"refreshes":   s.reg.Refreshes(),
-		"sample_hits": s.reg.TotalHits(),
+		"status":                "ok",
+		"tables":                tables,
+		"samples":               samples,
+		"builds":                s.reg.Builds(),
+		"streams":               s.reg.StreamCount(),
+		"refreshes":             s.reg.Refreshes(),
+		"sample_hits":           s.reg.TotalHits(),
+		"shards":                s.reg.Shards(),
+		"resident_sample_bytes": s.reg.ResidentSampleBytes(),
+		"max_sample_bytes":      s.reg.MaxSampleBytes(),
+		"evictions":             s.reg.Evictions(),
 	})
 }
 
@@ -211,7 +220,12 @@ func (s *Server) handleListSamples(w http.ResponseWriter, r *http.Request) {
 	for i, e := range entries {
 		out[i] = sampleToJSON(e, false)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"samples": out})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"samples":        out,
+		"resident_bytes": s.reg.ResidentSampleBytes(),
+		"max_bytes":      s.reg.MaxSampleBytes(),
+		"evictions":      s.reg.Evictions(),
+	})
 }
 
 func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {

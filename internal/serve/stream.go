@@ -3,12 +3,13 @@ package serve
 // Streaming tables: the registry-side half of the ingest subsystem. A
 // streaming table is owned by an ingest.Stream (private buffer +
 // resident one-pass CVOPT sampler); every publication the stream emits
-// is installed here under one write lock — the registered table pointer
-// and the sample entry swap together, so the read path (Table/Find/
-// Query) always observes a complete (snapshot, sample) pair of the same
-// generation. Queries that already picked up an older entry keep
-// answering from that entry's own snapshot; nothing is ever mutated in
-// place.
+// is installed here under the table's *shard* write lock — the
+// registered table pointer and the sample entry swap together, so the
+// read path (Table/Find/Query) always observes a complete (snapshot,
+// sample) pair of the same generation, and refreshes on one table never
+// stall queries on tables in other shards. Queries that already picked
+// up an older entry keep answering from that entry's own snapshot;
+// nothing is ever mutated in place.
 
 import (
 	"errors"
@@ -34,6 +35,9 @@ var (
 	// ErrUnknownTable reports a streaming operation against a name no
 	// table is registered under.
 	ErrUnknownTable = errors.New("unknown table")
+	// ErrClosed reports a streaming registration against a registry
+	// whose Close has already run.
+	ErrClosed = errors.New("registry is closed")
 )
 
 // streamState is the registry's handle on one streaming table.
@@ -53,8 +57,8 @@ func streamKey(name string, queries []core.QuerySpec) string {
 // registration does not choose its own (cmd/cvserve wires its
 // -refresh-rows / -refresh-interval flags here).
 func (r *Registry) SetStreamDefaults(p ingest.Policy) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.defMu.Lock()
+	defer r.defMu.Unlock()
 	r.streamDefaults = p
 }
 
@@ -68,17 +72,23 @@ func (r *Registry) RegisterStreamingTable(seed *table.Table, cfg ingest.Config) 
 	if seed == nil || seed.Name == "" {
 		return fmt.Errorf("serve: streaming table must be non-nil and named")
 	}
-	r.mu.Lock()
+	if r.closed.Load() {
+		return fmt.Errorf("serve: %w", ErrClosed)
+	}
+	sh := r.shardFor(seed.Name)
+	r.regMu.Lock()
 	if err := r.checkNameFree(seed.Name); err != nil {
-		r.mu.Unlock()
+		r.regMu.Unlock()
 		return err
 	}
 	// reserve the name (nil placeholder) so a racing registration
 	// cannot claim it while the stream spins up outside the lock
-	r.streams[seed.Name] = nil
-	cfg.Policy = r.applyPolicyDefaultsLocked(cfg.Policy)
-	r.mu.Unlock()
-	return r.startStream(seed.Name, seed, cfg)
+	sh.mu.Lock()
+	sh.streams[seed.Name] = nil
+	sh.mu.Unlock()
+	r.regMu.Unlock()
+	cfg.Policy = r.applyPolicyDefaults(cfg.Policy)
+	return r.startStream(sh, seed.Name, seed, cfg)
 }
 
 // StreamTable converts an already-registered static table into a
@@ -87,29 +97,42 @@ func (r *Registry) RegisterStreamingTable(seed *table.Table, cfg ingest.Config) 
 // stream's snapshot. Existing static samples of the table stay valid
 // (their row ids index a prefix of every later snapshot).
 func (r *Registry) StreamTable(name string, cfg ingest.Config) error {
-	r.mu.Lock()
-	seed, canonical := r.tableLocked(name)
+	if r.closed.Load() {
+		return fmt.Errorf("serve: %w", ErrClosed)
+	}
+	// regMu keeps the streaming-state check and the reservation atomic
+	// against concurrent registrations of the same name (same ordering
+	// rule as every registration path: regMu first, then shard locks)
+	r.regMu.Lock()
+	sh := r.shardFor(name)
+	sh.mu.Lock()
+	seed, canonical := sh.tableLocked(name)
 	if seed == nil {
-		r.mu.Unlock()
+		sh.mu.Unlock()
+		r.regMu.Unlock()
 		return fmt.Errorf("serve: %w: %q", ErrUnknownTable, name)
 	}
-	for existing := range r.streams {
+	for existing := range sh.streams {
 		if strings.EqualFold(existing, canonical) {
-			r.mu.Unlock()
+			sh.mu.Unlock()
+			r.regMu.Unlock()
 			return fmt.Errorf("serve: %w: %q", ErrAlreadyStreaming, canonical)
 		}
 	}
-	r.streams[canonical] = nil
-	cfg.Policy = r.applyPolicyDefaultsLocked(cfg.Policy)
-	r.mu.Unlock()
-	return r.startStream(canonical, seed, cfg)
+	sh.streams[canonical] = nil
+	sh.mu.Unlock()
+	r.regMu.Unlock()
+	cfg.Policy = r.applyPolicyDefaults(cfg.Policy)
+	return r.startStream(sh, canonical, seed, cfg)
 }
 
-// applyPolicyDefaultsLocked substitutes the registry defaults into
-// unset (zero) policy fields, per the Policy convention: 0 inherits
-// the default, negative explicitly disables the trigger even when a
-// default exists. Caller holds r.mu.
-func (r *Registry) applyPolicyDefaultsLocked(p ingest.Policy) ingest.Policy {
+// applyPolicyDefaults substitutes the registry defaults into unset
+// (zero) policy fields, per the Policy convention: 0 inherits the
+// default, negative explicitly disables the trigger even when a default
+// exists.
+func (r *Registry) applyPolicyDefaults(p ingest.Policy) ingest.Policy {
+	r.defMu.Lock()
+	defer r.defMu.Unlock()
 	if p.MaxPending == 0 {
 		p.MaxPending = r.streamDefaults.MaxPending
 	}
@@ -119,45 +142,40 @@ func (r *Registry) applyPolicyDefaultsLocked(p ingest.Policy) ingest.Policy {
 	return p
 }
 
-// tableLocked resolves a table name case-insensitively. Caller holds
-// r.mu (either mode).
-func (r *Registry) tableLocked(name string) (*table.Table, string) {
-	if t, ok := r.tables[name]; ok {
-		return t, name
-	}
-	for n, t := range r.tables {
-		if strings.EqualFold(n, name) {
-			return t, n
-		}
-	}
-	return nil, ""
-}
-
 // startStream spins up the ingest.Stream for a reserved name and
-// finalizes (or rolls back) the reservation.
-func (r *Registry) startStream(name string, seed *table.Table, cfg ingest.Config) error {
+// finalizes (or rolls back) the reservation. If Close won the race
+// while the stream was spinning up, the fresh stream — refresh loop
+// included — is shut down before the error returns, so Close never
+// leaks a late-starting goroutine.
+func (r *Registry) startStream(sh *shard, name string, seed *table.Table, cfg ingest.Config) error {
 	key := streamKey(name, cfg.Queries)
 	st, err := ingest.New(seed, cfg, func(pub *ingest.Publication) {
-		r.installPublication(name, key, cfg, pub)
+		r.installPublication(sh, name, key, cfg, pub)
 	})
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	sh.mu.Lock()
 	if err != nil {
-		delete(r.streams, name)
+		delete(sh.streams, name)
+		sh.mu.Unlock()
 		return err
 	}
-	r.streams[name] = &streamState{stream: st, key: key}
+	if r.closed.Load() {
+		delete(sh.streams, name)
+		sh.mu.Unlock()
+		st.Close()
+		return fmt.Errorf("serve: %w", ErrClosed)
+	}
+	sh.streams[name] = &streamState{stream: st, key: key}
+	sh.mu.Unlock()
 	return nil
 }
 
-// installPublication is the stream's publish callback: one write lock
-// swaps the registered table to the new snapshot and the sample entry
-// to the new generation together. The ingest side calls it under the
-// stream's own mutex, so generations arrive strictly in order.
-func (r *Registry) installPublication(name, key string, cfg ingest.Config, pub *ingest.Publication) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.tables[name] = pub.Snapshot
+// installPublication is the stream's publish callback: one shard write
+// lock swaps the registered table to the new snapshot and the sample
+// entry to the new generation together. The ingest side calls it under
+// the stream's own mutex, so generations arrive strictly in order.
+func (r *Registry) installPublication(sh *shard, name, key string, cfg ingest.Config, pub *ingest.Publication) {
+	sh.mu.Lock()
+	sh.tables[name] = pub.Snapshot
 	if pub.Sample != nil {
 		attrs := make(map[string]bool)
 		for _, q := range cfg.Queries {
@@ -177,30 +195,40 @@ func (r *Registry) installPublication(name, key string, cfg ingest.Config, pub *
 			Generation:    pub.Generation,
 			attrs:         attrs,
 			snapshot:      pub.Snapshot,
+			size:          entrySizeBytes(pub.Sample, pub.Snapshot.Schema()),
 		}
+		e.lastUsed.Store(r.useClock.Add(1))
 		// the hit counter is per key, not per generation: eviction
 		// wants to know how hot the streaming sample is overall
-		if old, ok := r.entries[key]; ok {
+		if old, ok := sh.entries[key]; ok {
 			e.Hits.Store(old.Hits.Load())
+			r.residentBytes.Add(-old.size)
 		}
-		r.entries[key] = e
+		sh.entries[key] = e
+		r.residentBytes.Add(e.size)
 	}
+	sh.mu.Unlock()
 	r.refreshes.Add(1)
+	if pub.Sample != nil {
+		r.maybeEvict()
+	}
 }
 
-// streamFor resolves a streaming table case-insensitively.
+// streamFor resolves a streaming table case-insensitively within its
+// shard.
 func (r *Registry) streamFor(name string) (*streamState, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if st, ok := r.streams[name]; ok && st != nil {
+	sh := r.shardFor(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if st, ok := sh.streams[name]; ok && st != nil {
 		return st, nil
 	}
-	for n, st := range r.streams {
+	for n, st := range sh.streams {
 		if st != nil && strings.EqualFold(n, name) {
 			return st, nil
 		}
 	}
-	if t, _ := r.tableLocked(name); t != nil {
+	if t, _ := sh.tableLocked(name); t != nil {
 		return nil, fmt.Errorf("serve: %w: %q", ErrNotStreaming, name)
 	}
 	return nil, fmt.Errorf("serve: %w: %q", ErrUnknownTable, name)
@@ -230,9 +258,10 @@ func (r *Registry) Refresh(name string) (*Entry, error) {
 	if _, err := st.stream.Refresh(); err != nil {
 		return nil, fmt.Errorf("serve: refreshing %q: %w", name, err)
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.entries[st.key]
+	sh := r.shardFor(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.entries[st.key]
 	if !ok {
 		return nil, fmt.Errorf("serve: refreshing %q: publication vanished", name)
 	}
@@ -257,13 +286,15 @@ type StreamStatus struct {
 // StreamCount returns the number of streaming tables without touching
 // any per-stream lock (the /healthz hot path).
 func (r *Registry) StreamCount() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	n := 0
-	for _, st := range r.streams {
-		if st != nil {
-			n++
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, st := range sh.streams {
+			if st != nil {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -271,14 +302,16 @@ func (r *Registry) StreamCount() int {
 // StreamStatuses returns the ops view of every streaming table, sorted
 // by name.
 func (r *Registry) StreamStatuses() []StreamStatus {
-	r.mu.RLock()
-	states := make(map[string]*streamState, len(r.streams))
-	for n, st := range r.streams {
-		if st != nil {
-			states[n] = st
+	states := make(map[string]*streamState)
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for n, st := range sh.streams {
+			if st != nil {
+				states[n] = st
+			}
 		}
+		sh.mu.RUnlock()
 	}
-	r.mu.RUnlock()
 	out := make([]StreamStatus, 0, len(states))
 	for n, st := range states {
 		out = append(out, StreamStatus{
@@ -308,17 +341,30 @@ func (r *Registry) StreamStatus(name string) (StreamStatus, bool) {
 	}, true
 }
 
-// Close stops every streaming table's ingest loop. Published
-// generations stay queryable; nothing refreshes automatically anymore.
+// Close stops every streaming table's ingest loop and waits for each to
+// exit; streaming registrations racing with Close are shut down by
+// whichever side loses the race, so no refresh goroutine outlives this
+// call. Published generations stay queryable; nothing refreshes
+// automatically anymore, and new streaming registrations fail with
+// ErrClosed.
+//
+// Static sample builds are *not* cancelled: Build runs synchronously on
+// its caller's goroutine (the registry spawns no goroutine for it), so
+// an in-flight build simply completes, installs its entry, and returns
+// to its caller — there is nothing to leak. Safe to call more than
+// once.
 func (r *Registry) Close() {
-	r.mu.Lock()
-	states := make([]*streamState, 0, len(r.streams))
-	for _, st := range r.streams {
-		if st != nil {
-			states = append(states, st)
+	r.closed.Store(true)
+	var states []*streamState
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for _, st := range sh.streams {
+			if st != nil {
+				states = append(states, st)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	r.mu.Unlock()
 	for _, st := range states {
 		st.stream.Close()
 	}

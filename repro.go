@@ -157,10 +157,31 @@ func CubeQueries(attrs []string, aggs []AggColumn) []QuerySpec {
 // NewRegistry returns an empty sample-serving registry: register
 // tables (static via RegisterTable, live via RegisterStreamingTable or
 // StreamTable), build samples once, answer queries concurrently off
-// them, and Append/Refresh streaming tables in place. Call Close when
+// them, and Append/Refresh streaming tables in place. The registry is
+// sharded by table name so load on one table never locks out another;
+// options tune the shard count (WithRegistryShards) and bound resident
+// sample memory with LRU eviction (WithMaxSampleBytes). Call Close when
 // done to stop streaming refresh loops.
-func NewRegistry() *Registry {
-	return serve.NewRegistry()
+func NewRegistry(opts ...RegistryOption) *Registry {
+	return serve.NewRegistry(opts...)
+}
+
+// RegistryOption configures a Registry at construction.
+type RegistryOption = serve.Option
+
+// WithMaxSampleBytes bounds the registry's resident sample memory:
+// least-valuable built samples (never-hit first, then
+// least-recently-used) are evicted once the estimated total exceeds the
+// budget; live streaming samples are pinned. 0 disables eviction.
+func WithMaxSampleBytes(max int64) RegistryOption {
+	return serve.WithMaxSampleBytes(max)
+}
+
+// WithRegistryShards sets the registry's shard count (default
+// serve.DefaultShards). Tables hash to shards by name; more shards mean
+// less cross-table lock sharing.
+func WithRegistryShards(n int) RegistryOption {
+	return serve.WithShards(n)
 }
 
 // NewServerHandler exposes a registry over the HTTP/JSON serving API

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Docs freshness gate: the docs layer must exist, and every HTTP route
+# the server registers must be documented in docs/API.md — so the API
+# reference cannot silently rot when a route is added or renamed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+for f in README.md docs/ARCHITECTURE.md docs/API.md; do
+    if [ ! -s "$f" ]; then
+        echo "check_docs: missing or empty: $f" >&2
+        fail=1
+    fi
+done
+
+# Every route string registered in server.go ("GET /healthz",
+# "POST /v1/query", ...) must appear verbatim in docs/API.md.
+routes=$(grep -o '"\(GET\|POST\|PUT\|PATCH\|DELETE\) [^"]*"' internal/serve/server.go | tr -d '"')
+if [ -z "$routes" ]; then
+    echo "check_docs: found no routes in internal/serve/server.go (pattern drift?)" >&2
+    fail=1
+fi
+while IFS=' ' read -r method path; do
+    if ! grep -qF -- "$path" docs/API.md; then
+        echo "check_docs: route '$method $path' is not documented in docs/API.md" >&2
+        fail=1
+    fi
+done <<<"$routes"
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "check_docs: OK ($(wc -l <<<"$routes") routes documented)"
