@@ -5,6 +5,13 @@
 //
 //	cvsample -in data.csv -out sample.csv -groupby region,product -agg amount -rate 0.01
 //	cvsample -in data.csv -out sample.csv -groupby region -agg amount -m 5000 -norm linf
+//
+// Instead of guessing a budget, -target-cv autoscales it: the smallest
+// budget whose predicted worst per-group CV meets the goal is found by
+// search (a-priori error guarantee via Chebyshev) and reported along
+// with the achieved CV:
+//
+//	cvsample -in data.csv -out sample.csv -groupby region -agg amount -target-cv 0.05
 package main
 
 import (
@@ -22,15 +29,17 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input CSV path (header required)")
-		out     = flag.String("out", "", "output CSV path for the weighted sample")
-		groupBy = flag.String("groupby", "", "comma-separated group-by columns (the stratification)")
-		aggs    = flag.String("agg", "", "comma-separated aggregation columns")
-		rate    = flag.Float64("rate", 0, "sample rate, e.g. 0.01 for 1%")
-		m       = flag.Int("m", 0, "absolute row budget (overrides -rate)")
-		norm    = flag.String("norm", "l2", "objective norm: l2, linf, or lp:<p>")
-		seed    = flag.Int64("seed", 1, "RNG seed")
-		method  = flag.String("method", "cvopt", "sampler: cvopt, uniform, senate, cs, rl, sampleseek")
+		in       = flag.String("in", "", "input CSV path (header required)")
+		out      = flag.String("out", "", "output CSV path for the weighted sample")
+		groupBy  = flag.String("groupby", "", "comma-separated group-by columns (the stratification)")
+		aggs     = flag.String("agg", "", "comma-separated aggregation columns")
+		rate     = flag.Float64("rate", 0, "sample rate, e.g. 0.01 for 1%")
+		m        = flag.Int("m", 0, "absolute row budget (overrides -rate)")
+		targetCV = flag.Float64("target-cv", 0, "autoscale the budget: smallest budget whose predicted worst per-group CV meets this goal (cvopt only; mutually exclusive with -m/-rate)")
+		maxM     = flag.Int("max-budget", 0, "hard cap for -target-cv autoscaling (0 = table rows); when it binds the sample is best-effort")
+		norm     = flag.String("norm", "l2", "objective norm: l2, linf, or lp:<p>")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		method   = flag.String("method", "cvopt", "sampler: cvopt, uniform, senate, cs, rl, sampleseek")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" || *groupBy == "" || *aggs == "" {
@@ -44,9 +53,18 @@ func main() {
 	schema := tbl.Schema()
 
 	budget := *m
-	if budget == 0 {
+	switch {
+	case *targetCV < 0:
+		fatalIf(fmt.Errorf("-target-cv must be positive, got %v", *targetCV))
+	case *targetCV > 0 && (budget != 0 || *rate != 0):
+		fatalIf(fmt.Errorf("-target-cv is mutually exclusive with -m and -rate: the autoscaler chooses the budget"))
+	case *maxM < 0:
+		fatalIf(fmt.Errorf("-max-budget must be non-negative, got %d", *maxM))
+	case *maxM != 0 && *targetCV == 0:
+		fatalIf(fmt.Errorf("-max-budget caps -target-cv autoscaling; it requires -target-cv"))
+	case *targetCV == 0 && budget == 0:
 		if *rate <= 0 || *rate > 1 {
-			fatalIf(fmt.Errorf("need -m or -rate in (0,1], got rate %v", *rate))
+			fatalIf(fmt.Errorf("need -m, -rate in (0,1] or -target-cv, got rate %v", *rate))
 		}
 		budget = int(float64(tbl.NumRows()) * *rate)
 		if budget < 1 {
@@ -59,9 +77,7 @@ func main() {
 		spec.Aggs = append(spec.Aggs, core.AggColumn{Column: a})
 	}
 
-	var sampler samplers.Sampler
-	switch strings.ToLower(*method) {
-	case "cvopt":
+	parseOpts := func() core.Options {
 		opts := core.Options{}
 		switch {
 		case *norm == "l2":
@@ -75,24 +91,61 @@ func main() {
 		default:
 			fatalIf(fmt.Errorf("unknown norm %q", *norm))
 		}
-		sampler = &samplers.CVOPT{Opts: opts}
-	case "uniform":
-		sampler = samplers.Uniform{}
-	case "senate":
-		sampler = samplers.Senate{}
-	case "cs":
-		sampler = samplers.Congress{}
-	case "rl":
-		sampler = samplers.RL{}
-	case "sampleseek":
-		sampler = samplers.SampleSeek{}
-	default:
-		fatalIf(fmt.Errorf("unknown method %q", *method))
+		return opts
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
-	rs, err := sampler.Build(tbl, []core.QuerySpec{spec}, budget, rng)
-	fatalIf(err)
+	var rs *samplers.RowSample
+	var methodName string
+	if *targetCV > 0 {
+		// Budget autoscaling: only CVOPT carries the CV predictor the
+		// search evaluates, so the competitor methods keep requiring
+		// -m/-rate. One plan serves both the search and the draw — the
+		// statistics pass over the input runs once.
+		if strings.ToLower(*method) != "cvopt" {
+			fatalIf(fmt.Errorf("-target-cv requires -method cvopt (only CVOPT predicts per-group CVs a-priori)"))
+		}
+		opts := parseOpts()
+		plan, err := core.NewPlan(tbl, []core.QuerySpec{spec})
+		fatalIf(err)
+		res, err := plan.Autoscale(core.AutoscaleParams{TargetCV: *targetCV, MaxBudget: *maxM, Opts: opts})
+		fatalIf(err)
+		budget = res.Budget
+		if res.Met {
+			fmt.Printf("cvsample: autoscaled to budget %d (target CV %g, achieved %.4g, %d probes)\n",
+				res.Budget, *targetCV, res.AchievedCV, res.Evaluations)
+		} else {
+			fmt.Printf("cvsample: target CV %g not reachable under cap %d; best effort achieved CV %.4g\n",
+				*targetCV, res.Budget, res.AchievedCV)
+		}
+		ss, _, err := plan.Sample(res.Budget, opts, rng)
+		fatalIf(err)
+		rows, weights := core.RowWeights(ss)
+		rs = &samplers.RowSample{Rows: rows, Weights: weights}
+		methodName = (&samplers.CVOPT{Opts: opts}).Name()
+	} else {
+		var sampler samplers.Sampler
+		switch strings.ToLower(*method) {
+		case "cvopt":
+			sampler = &samplers.CVOPT{Opts: parseOpts()}
+		case "uniform":
+			sampler = samplers.Uniform{}
+		case "senate":
+			sampler = samplers.Senate{}
+		case "cs":
+			sampler = samplers.Congress{}
+		case "rl":
+			sampler = samplers.RL{}
+		case "sampleseek":
+			sampler = samplers.SampleSeek{}
+		default:
+			fatalIf(fmt.Errorf("unknown method %q", *method))
+		}
+		var err error
+		rs, err = sampler.Build(tbl, []core.QuerySpec{spec}, budget, rng)
+		fatalIf(err)
+		methodName = sampler.Name()
+	}
 
 	// materialize: original schema + _weight
 	outSchema := append(append(table.Schema{}, schema...), table.ColumnSpec{Name: "_weight", Kind: table.Float})
@@ -114,7 +167,7 @@ func main() {
 	}
 	fatalIf(outTbl.SaveCSV(*out))
 	fmt.Printf("cvsample: %s: wrote %d of %d rows (budget %d) to %s\n",
-		sampler.Name(), outTbl.NumRows(), tbl.NumRows(), budget, *out)
+		methodName, outTbl.NumRows(), tbl.NumRows(), budget, *out)
 }
 
 func splitList(s string) []string {

@@ -19,6 +19,12 @@
 // refresh policy (-refresh-rows / -refresh-interval set the daemon-wide
 // defaults; POST /v1/tables/{name}/refresh flushes explicitly).
 //
+// Callers that know the accuracy they need instead of a budget send
+// "target_cv" (POST /v1/samples or /v1/query): the daemon autoscales to
+// the smallest budget whose predicted worst per-group CV meets it.
+// -default-target-cv applies that goal to /v1/samples requests that
+// name no sizing at all.
+//
 // The registry behind the API is sharded by table name (-shards), so
 // heavy builds or refreshes on one table never stall queries on
 // another, and -max-sample-bytes bounds resident sample memory with
@@ -67,6 +73,7 @@ func main() {
 		refreshInterval = flag.Duration("refresh-interval", 0, "default streaming refresh period: republish a live table's sample this often while rows are pending (0 = off)")
 		maxSampleBytes  = flag.Int64("max-sample-bytes", 0, "resident sample memory budget in bytes: least-recently-used samples are evicted once built samples exceed it (0 = unbounded)")
 		shards          = flag.Int("shards", 0, "registry shard count; tables hash to shards so load on one table never locks out another (0 = default)")
+		defaultTargetCV = flag.Float64("default-target-cv", 0, "autoscale POST /v1/samples requests that name no budget, rate or target_cv to this per-group CV goal (0 = sizing stays mandatory)")
 		tables          tableFlags
 	)
 	flag.Var(&tables, "table", "table to serve, as name=path.csv (repeatable)")
@@ -87,6 +94,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cvserve: -max-sample-bytes and -shards must be non-negative")
 		os.Exit(2)
 	}
+	if *defaultTargetCV < 0 {
+		fmt.Fprintln(os.Stderr, "cvserve: -default-target-cv must be non-negative")
+		os.Exit(2)
+	}
 
 	reg := serve.NewRegistry(serve.WithMaxSampleBytes(*maxSampleBytes), serve.WithShards(*shards))
 	defer reg.Close()
@@ -103,7 +114,7 @@ func main() {
 	ln, err := net.Listen("tcp", *addr)
 	fatalIf(err)
 	srv := &http.Server{
-		Handler: logRequests(serve.NewServer(reg)),
+		Handler: logRequests(serve.NewServer(reg, serve.WithDefaultTargetCV(*defaultTargetCV))),
 		// slow-client protection for a resident daemon: bodies are
 		// size-bounded by the handler (1 MiB), these bound duration so
 		// a dripping client cannot pin a connection forever

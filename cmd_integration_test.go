@@ -118,13 +118,32 @@ func TestCmdCvsampleMethodsAndErrors(t *testing.T) {
 			t.Fatalf("norm %s: %v\n%s", norm, err, o)
 		}
 	}
-	// error cases: missing flags, bad method, bad norm, bad rate
+	// budget autoscaling: -target-cv picks the budget and reports the
+	// achieved CV
+	autoOut := filepath.Join(dir, "auto.csv")
+	cmd := exec.Command(bin, "-in", in, "-out", autoOut, "-groupby", "region", "-agg", "amount", "-target-cv", "0.05")
+	o, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("-target-cv: %v\n%s", err, o)
+	}
+	if !strings.Contains(string(o), "autoscaled to budget") || !strings.Contains(string(o), "achieved") {
+		t.Fatalf("-target-cv output should report the chosen budget and achieved CV:\n%s", o)
+	}
+	if _, err := os.Stat(autoOut); err != nil {
+		t.Fatalf("-target-cv wrote nothing")
+	}
+
+	// error cases: missing flags, bad method, bad norm, bad rate, and
+	// -target-cv misuse (with -m; with a non-CVOPT method)
 	bad := [][]string{
 		{},
 		{"-in", in, "-out", filepath.Join(dir, "x.csv"), "-groupby", "region", "-agg", "amount", "-method", "nope", "-m", "10"},
 		{"-in", in, "-out", filepath.Join(dir, "x.csv"), "-groupby", "region", "-agg", "amount", "-norm", "l7", "-m", "10"},
 		{"-in", in, "-out", filepath.Join(dir, "x.csv"), "-groupby", "region", "-agg", "amount", "-rate", "7"},
 		{"-in", filepath.Join(dir, "missing.csv"), "-out", filepath.Join(dir, "x.csv"), "-groupby", "region", "-agg", "amount", "-m", "10"},
+		{"-in", in, "-out", filepath.Join(dir, "x.csv"), "-groupby", "region", "-agg", "amount", "-target-cv", "0.05", "-m", "10"},
+		{"-in", in, "-out", filepath.Join(dir, "x.csv"), "-groupby", "region", "-agg", "amount", "-target-cv", "0.05", "-method", "uniform"},
+		{"-in", in, "-out", filepath.Join(dir, "x.csv"), "-groupby", "region", "-agg", "amount", "-max-budget", "100", "-m", "10"},
 	}
 	for i, args := range bad {
 		cmd := exec.Command(bin, args...)
@@ -318,6 +337,52 @@ func TestCmdCvserveEndToEnd(t *testing.T) {
 		if !regions[want] {
 			t.Fatalf("region %s missing: %s", want, body)
 		}
+	}
+
+	// autoscaled round trip: ask for an accuracy instead of a budget and
+	// check the daemon picked the budget and met the goal, then answer a
+	// query off the autoscaled sample
+	code, body = post("/v1/samples", `{
+		"table": "sales",
+		"queries": [{"group_by": ["region"], "aggs": [{"column": "qty"}]}],
+		"target_cv": 0.05
+	}`)
+	if code != http.StatusCreated {
+		t.Fatalf("autoscaled sample: %d %s", code, body)
+	}
+	var auto struct {
+		Budget       int      `json:"budget"`
+		ChosenBudget int      `json:"chosen_budget"`
+		TargetCV     float64  `json:"target_cv"`
+		AchievedCV   *float64 `json:"achieved_cv"`
+		TargetMet    *bool    `json:"target_met"`
+	}
+	if err := json.Unmarshal(body, &auto); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if auto.TargetCV != 0.05 || auto.ChosenBudget <= 0 || auto.ChosenBudget != auto.Budget {
+		t.Fatalf("autoscale fields wrong: %s", body)
+	}
+	if auto.AchievedCV == nil || *auto.AchievedCV > 0.05 || auto.TargetMet == nil || !*auto.TargetMet {
+		t.Fatalf("autoscaled sample must meet its target: %s", body)
+	}
+	code, body = post("/v1/query", `{
+		"sql": "SELECT region, SUM(qty) FROM sales GROUP BY region",
+		"target_cv": 0.05
+	}`)
+	if code != http.StatusOK {
+		t.Fatalf("autoscaled query: %d %s", code, body)
+	}
+	var aq struct {
+		Exact        bool     `json:"exact"`
+		ChosenBudget int      `json:"chosen_budget"`
+		AchievedCV   *float64 `json:"achieved_cv"`
+	}
+	if err := json.Unmarshal(body, &aq); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if aq.Exact || aq.ChosenBudget != auto.ChosenBudget || aq.AchievedCV == nil {
+		t.Fatalf("autoscaled query should reuse the autoscaled sample: %s", body)
 	}
 
 	// streaming ingest over the socket: make the table live, append a

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// End-to-end statistical check of the autoscaler's a-priori guarantee:
+// autoscale at target_cv ∈ {0.02, 0.05, 0.1} on synthetic OpenAQ data,
+// draw the sample, and verify the realized per-group relative errors are
+// consistent with the Chebyshev bound the predicted CVs promise —
+// P(|rel err| > k·CV) ≤ 1/k² — across 100 deterministic trials.
+func TestAutoscaleRealizedErrorsWithinChebyshev(t *testing.T) {
+	trials := 100
+	rows := 20000
+	if testing.Short() {
+		trials, rows = 25, 8000
+	}
+	tbl, err := datagen.OpenAQ(datagen.OpenAQConfig{Rows: rows, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(tbl, []QuerySpec{{GroupBy: []string{"country"}, Aggs: []AggColumn{{Column: "value"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// exact per-country mean and population, for realized errors and the
+	// n_a in the paper's combined estimator
+	country := tbl.Column("country")
+	value := tbl.Column("value")
+	exactSum := map[string]float64{}
+	exactN := map[string]float64{}
+	for r := 0; r < tbl.NumRows(); r++ {
+		c := country.StringAt(r)
+		exactSum[c] += value.Float[r]
+		exactN[c]++
+	}
+
+	for _, target := range []float64{0.02, 0.05, 0.1} {
+		res, err := p.Autoscale(AutoscaleParams{TargetCV: target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Met || res.AchievedCV > target {
+			t.Fatalf("target %v: autoscale did not meet it: %+v", target, res)
+		}
+
+		// predicted per-group CV at the chosen allocation — the
+		// estimator-specific bound each realized error is checked against
+		alloc, err := p.Allocate(res.Budget, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		predCV := map[string]float64{}
+		for _, e := range p.PredictedCVs(alloc) {
+			predCV[e.Group] = e.CV
+		}
+
+		// trials × groups realized relative errors of the weighted
+		// estimator y_a = (1/n_a) Σ w_i v_i
+		type tail struct{ k, viol, obs float64 }
+		tails := []tail{{k: 2}, {k: 3}}
+		for trial := 0; trial < trials; trial++ {
+			ss, _, err := p.Sample(res.Budget, Options{}, rand.New(rand.NewSource(int64(1000*target)+int64(trial))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rws, weights := RowWeights(ss)
+			estSum := map[string]float64{}
+			for i, r := range rws {
+				estSum[country.StringAt(int(r))] += weights[i] * value.Float[int(r)]
+			}
+			for c, n := range exactN {
+				mean := exactSum[c] / n
+				if mean == 0 || predCV[c] == 0 || math.IsInf(predCV[c], 1) {
+					continue
+				}
+				rel := math.Abs(estSum[c]/n-mean) / math.Abs(mean)
+				for i := range tails {
+					tails[i].obs++
+					if rel > tails[i].k*predCV[c] {
+						tails[i].viol++
+					}
+				}
+			}
+		}
+		for _, tl := range tails {
+			if tl.obs == 0 {
+				t.Fatalf("target %v: no observations", target)
+			}
+			rate, bound := tl.viol/tl.obs, 1/(tl.k*tl.k)
+			if rate > bound {
+				t.Fatalf("target %v: P(|rel err| > %g·CV) = %v over %v observations violates Chebyshev bound %v",
+					target, tl.k, rate, tl.obs, bound)
+			}
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package serve_test
+
+// Budget autoscaling through the serving layer: registry-level build
+// and query behavior, the singleflight guarantee for concurrent
+// target_cv queries, and the HTTP contract of the new fields.
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func targetReq(target float64, maxBudget int) serve.BuildRequest {
+	return serve.BuildRequest{
+		Table: "sales",
+		Queries: []core.QuerySpec{{
+			GroupBy: []string{"region"},
+			Aggs:    []core.AggColumn{{Column: "amount"}},
+		}},
+		TargetCV:  target,
+		MaxBudget: maxBudget,
+	}
+}
+
+func TestBuildTargetCV(t *testing.T) {
+	reg := newSalesRegistry(t)
+	e, cached, err := reg.Build(targetReq(0.05, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first build cannot be cached")
+	}
+	if e.TargetCV != 0.05 || !e.TargetMet {
+		t.Fatalf("autoscale metadata wrong: %+v", e)
+	}
+	if e.AchievedCV > 0.05 || e.AchievedCV < 0 {
+		t.Fatalf("achieved CV %v outside (0, target]", e.AchievedCV)
+	}
+	if e.Budget <= 0 || e.Budget > salesTable(t).NumRows() {
+		t.Fatalf("chosen budget %d out of range", e.Budget)
+	}
+	if e.Sample.Len() == 0 {
+		t.Fatal("autoscaled entry has no sample rows")
+	}
+	if !strings.Contains(e.Key, "tcv=0.05") {
+		t.Fatalf("canonical key must record the target, got %q", e.Key)
+	}
+	if strings.Contains(e.Key, "m="+fmt.Sprint(e.Budget)) {
+		t.Fatalf("canonical key must not depend on the chosen budget (an output): %q", e.Key)
+	}
+
+	// an equal request — same accuracy ask — shares the entry
+	e2, cached, err := reg.Build(targetReq(0.05, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || e2 != e {
+		t.Fatal("equal target_cv requests must share one cached entry")
+	}
+	if got := reg.Builds(); got != 1 {
+		t.Fatalf("builds = %d, want 1", got)
+	}
+
+	// a different target is a different sample
+	e3, _, err := reg.Build(targetReq(0.01, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 == e || e3.Budget < e.Budget {
+		t.Fatalf("tighter target must build its own, larger entry (%d vs %d)", e3.Budget, e.Budget)
+	}
+}
+
+func TestBuildTargetCVValidation(t *testing.T) {
+	reg := newSalesRegistry(t)
+	bad := []serve.BuildRequest{
+		func() serve.BuildRequest { r := targetReq(0.05, 0); r.Budget = 100; return r }(), // both
+		targetReq(-0.05, 0),       // negative target
+		targetReq(math.NaN(), 0),  // NaN target
+		targetReq(math.Inf(1), 0), // infinite target
+		targetReq(0.05, -1),       // negative cap
+		func() serve.BuildRequest { r := buildReq(100); r.MaxBudget = 50; return r }(), // cap without target
+	}
+	for i, req := range bad {
+		if _, _, err := reg.Build(req); err == nil {
+			t.Fatalf("bad request %d should fail: %+v", i, req)
+		}
+	}
+	if got := reg.Builds(); got != 0 {
+		t.Fatalf("validation failures must not build, got %d builds", got)
+	}
+}
+
+// A cap below the stratum count cannot sample every group: the entry is
+// built best-effort at the cap and says so.
+func TestBuildTargetCVCapBestEffort(t *testing.T) {
+	reg := newSalesRegistry(t)
+	e, _, err := reg.Build(targetReq(0.05, 2)) // 3 region strata, cap 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TargetMet {
+		t.Fatalf("2 rows cannot cover 3 strata, yet TargetMet: %+v", e)
+	}
+	if e.Budget != 2 {
+		t.Fatalf("best effort should sit at the cap, got %d", e.Budget)
+	}
+	if !math.IsInf(e.AchievedCV, 1) {
+		t.Fatalf("achieved CV should be infinite with an unsampled stratum, got %v", e.AchievedCV)
+	}
+}
+
+func TestQueryTargetCV(t *testing.T) {
+	reg := newSalesRegistry(t)
+	ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+		serve.QueryOptions{TargetCV: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Entry == nil || ans.Entry.TargetCV != 0.05 || !ans.Entry.TargetMet {
+		t.Fatalf("answer should come from an autoscaled entry: %+v", ans.Entry)
+	}
+	if len(ans.Result.Rows) != 3 {
+		t.Fatalf("want 3 region groups, got %d", len(ans.Result.Rows))
+	}
+	// the second identical query reuses the cached entry
+	ans2, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+		serve.QueryOptions{TargetCV: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans2.Entry != ans.Entry || reg.Builds() != 1 {
+		t.Fatalf("repeat query must hit the cache (builds = %d)", reg.Builds())
+	}
+}
+
+func TestQueryTargetCVRejections(t *testing.T) {
+	reg := newSalesRegistry(t)
+	cases := []struct {
+		sql  string
+		opt  serve.QueryOptions
+		want string
+	}{
+		{"SELECT region, AVG(amount) FROM sales GROUP BY region",
+			serve.QueryOptions{TargetCV: 0.05, Mode: serve.ModeExact}, "exact"},
+		{"SELECT region, COUNT(*) FROM sales GROUP BY region",
+			serve.QueryOptions{TargetCV: 0.05}, "aggregated column"},
+		{"SELECT AVG(amount) FROM sales",
+			serve.QueryOptions{TargetCV: 0.05}, "GROUP BY"},
+		{"SELECT region, MAX(amount) FROM sales GROUP BY region",
+			serve.QueryOptions{TargetCV: 0.05}, "no CV guarantee"},
+		// a WHERE filter shrinks the effective per-group sample by its
+		// selectivity; the predicted CV would overpromise
+		{"SELECT region, AVG(amount) FROM sales WHERE product = 'widget' GROUP BY region",
+			serve.QueryOptions{TargetCV: 0.05}, "WHERE"},
+	}
+	for _, c := range cases {
+		_, err := reg.Query(c.sql, c.opt)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s with %+v: error %v should mention %q", c.sql, c.opt, err, c.want)
+		}
+	}
+	if got := reg.Builds(); got != 0 {
+		t.Fatalf("rejected queries must not build, got %d", got)
+	}
+}
+
+// Satellite guarantee: concurrent target_cv queries for one (table,
+// workload, target) singleflight into ONE autoscale search + build and
+// share the cached entry. Run under -race.
+func TestQueryTargetCVSingleflight(t *testing.T) {
+	reg := newSalesRegistry(t)
+	const goroutines = 24
+	var wg sync.WaitGroup
+	entries := make([]*serve.Entry, goroutines)
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+				serve.QueryOptions{TargetCV: 0.08})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			entries[i] = ans.Entry
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	for i := 1; i < goroutines; i++ {
+		if entries[i] != entries[0] {
+			t.Fatalf("goroutines %d and 0 got different entries", i)
+		}
+	}
+	if got := reg.Builds(); got != 1 {
+		t.Fatalf("%d concurrent identical target_cv queries ran %d builds, want 1", goroutines, got)
+	}
+}
+
+// sampleWire mirrors the autoscale fields of sample responses.
+type sampleWire struct {
+	Budget       int      `json:"budget"`
+	Rows         int      `json:"rows"`
+	Cached       bool     `json:"cached"`
+	TargetCV     float64  `json:"target_cv"`
+	ChosenBudget int      `json:"chosen_budget"`
+	AchievedCV   *float64 `json:"achieved_cv"`
+	TargetMet    *bool    `json:"target_met"`
+}
+
+// HTTP contract of the new fields on POST /v1/samples.
+func TestHTTPSamplesTargetCV(t *testing.T) {
+	ts, _ := startServer(t)
+
+	// target_cv plus any explicit sizing is a 400
+	for _, body := range []string{
+		`{"table": "sales", "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}], "target_cv": 0.05, "budget": 100}`,
+		`{"table": "sales", "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}], "target_cv": 0.05, "rate": 0.1}`,
+		`{"table": "sales", "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}], "target_cv": -1}`,
+		`{"table": "sales", "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}], "max_budget": 100, "budget": 10}`,
+	} {
+		if code := post(t, ts.URL+"/v1/samples", body, nil); code != http.StatusBadRequest {
+			t.Fatalf("%s: code %d, want 400", body, code)
+		}
+	}
+
+	// target_cv alone autoscales: 201 with achieved_cv/chosen_budget
+	var s sampleWire
+	body := `{"table": "sales", "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}], "target_cv": 0.05}`
+	if code := post(t, ts.URL+"/v1/samples", body, &s); code != http.StatusCreated {
+		t.Fatalf("autoscaled build: code %d", code)
+	}
+	if s.TargetCV != 0.05 || s.ChosenBudget <= 0 || s.ChosenBudget != s.Budget {
+		t.Fatalf("autoscale fields wrong: %+v", s)
+	}
+	if s.AchievedCV == nil || *s.AchievedCV > 0.05 {
+		t.Fatalf("achieved_cv must be reported and meet the target: %+v", s)
+	}
+	if s.TargetMet == nil || !*s.TargetMet {
+		t.Fatalf("target_met must be true: %+v", s)
+	}
+
+	// the same ask again is a cache hit (200, cached)
+	var s2 sampleWire
+	if code := post(t, ts.URL+"/v1/samples", body, &s2); code != http.StatusOK || !s2.Cached {
+		t.Fatalf("repeat autoscaled build should be cached: %+v", s2)
+	}
+
+	// cap-bound request: best-effort payload — target_met false,
+	// achieved_cv absent (the predicted CV is infinite: a stratum is
+	// unsampleable under the cap)
+	var be sampleWire
+	capBody := `{"table": "sales", "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}], "target_cv": 0.05, "max_budget": 2}`
+	if code := post(t, ts.URL+"/v1/samples", capBody, &be); code != http.StatusCreated {
+		t.Fatalf("cap-bound build: code %d", code)
+	}
+	if be.TargetMet == nil || *be.TargetMet {
+		t.Fatalf("cap-bound build must report target_met false: %+v", be)
+	}
+	if be.ChosenBudget != 2 || be.AchievedCV != nil {
+		t.Fatalf("cap-bound payload wrong (want chosen_budget 2, absent achieved_cv): %+v", be)
+	}
+
+	// autoscaled entries appear in GET /v1/samples with their fields
+	var list struct {
+		Samples []sampleWire `json:"samples"`
+	}
+	if code := get(t, ts.URL+"/v1/samples", &list); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	autoscaled := 0
+	for _, e := range list.Samples {
+		if e.TargetCV > 0 {
+			autoscaled++
+		}
+	}
+	if autoscaled != 2 {
+		t.Fatalf("want 2 autoscaled entries listed, got %d", autoscaled)
+	}
+}
+
+// HTTP contract of target_cv on POST /v1/query.
+func TestHTTPQueryTargetCV(t *testing.T) {
+	ts, reg := startServer(t)
+
+	for _, body := range []string{
+		`{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region", "target_cv": 0.05, "mode": "exact"}`,
+		`{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region", "target_cv": -0.05}`,
+		`{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region", "max_budget": 50}`,
+	} {
+		if code := post(t, ts.URL+"/v1/query", body, nil); code != http.StatusBadRequest {
+			t.Fatalf("%s: code %d, want 400", body, code)
+		}
+	}
+
+	var resp struct {
+		queryResponse
+		TargetCV     float64  `json:"target_cv"`
+		ChosenBudget int      `json:"chosen_budget"`
+		AchievedCV   *float64 `json:"achieved_cv"`
+		TargetMet    *bool    `json:"target_met"`
+	}
+	body := `{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region", "target_cv": 0.05}`
+	if code := post(t, ts.URL+"/v1/query", body, &resp); code != http.StatusOK {
+		t.Fatalf("query: %d", code)
+	}
+	if resp.Exact || len(resp.Groups) != 3 {
+		t.Fatalf("want 3 sampled groups: %+v", resp)
+	}
+	if resp.TargetCV != 0.05 || resp.ChosenBudget <= 0 {
+		t.Fatalf("autoscale fields missing from query response: %+v", resp)
+	}
+	if resp.AchievedCV == nil || *resp.AchievedCV > 0.05 {
+		t.Fatalf("achieved_cv must meet the target: %+v", resp)
+	}
+	if resp.TargetMet == nil || !*resp.TargetMet {
+		t.Fatalf("target_met must be true: %+v", resp)
+	}
+	if reg.Builds() != 1 {
+		t.Fatalf("query-driven autoscale should have built once, got %d", reg.Builds())
+	}
+}
+
+// The operator's -default-target-cv: a sizing-free build request
+// autoscales to the configured goal instead of failing.
+func TestHTTPDefaultTargetCV(t *testing.T) {
+	reg := newSalesRegistry(t)
+	ts := httptest.NewServer(serve.NewServer(reg, serve.WithDefaultTargetCV(0.1)))
+	t.Cleanup(ts.Close)
+
+	var s sampleWire
+	body := `{"table": "sales", "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`
+	if code := post(t, ts.URL+"/v1/samples", body, &s); code != http.StatusCreated {
+		t.Fatalf("sizing-free build with default target: code %d", code)
+	}
+	if s.TargetCV != 0.1 || s.AchievedCV == nil || *s.AchievedCV > 0.1 {
+		t.Fatalf("default target not applied: %+v", s)
+	}
+
+	// without the option the same request stays a 400 (covered here to
+	// pin the pair of behaviors side by side)
+	ts2, _ := startServer(t)
+	if code := post(t, ts2.URL+"/v1/samples", body, nil); code != http.StatusBadRequest {
+		t.Fatalf("sizing-free build without default must 400")
+	}
+}

@@ -20,6 +20,7 @@ package serve
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -45,8 +46,20 @@ type BuildRequest struct {
 	Table string
 	// Queries is the workload the sample must serve (Section 4.3).
 	Queries []core.QuerySpec
-	// Budget is the row budget M.
+	// Budget is the row budget M. Exactly one of Budget and TargetCV
+	// must be set.
 	Budget int
+	// TargetCV, when positive, autoscales the budget instead: the
+	// registry searches for the smallest budget whose predicted worst
+	// per-group CV meets the target (core.Plan.Autoscale) and builds at
+	// that budget. Mutually exclusive with Budget.
+	TargetCV float64
+	// MaxBudget caps an autoscaled search (0 = the table's row count).
+	// When the cap cannot meet the target the entry is built best-effort
+	// at the cap, with Entry.TargetMet false and Entry.AchievedCV
+	// reporting the guarantee actually obtained. Only meaningful with
+	// TargetCV.
+	MaxBudget int
 	// Opts selects the norm and allocation repair (zero value = ℓ2).
 	Opts core.Options
 	// Seed seeds the sampling RNG; 0 derives a deterministic seed from
@@ -110,8 +123,17 @@ func (b BuildRequest) key() string {
 	if b.Opts.Norm == core.Lp {
 		p = b.Opts.P
 	}
-	return fmt.Sprintf("%q/m=%d/norm=%d,p=%g,min=%d,seed=%d/%s",
-		b.Table, b.Budget, b.Opts.Norm, p, min,
+	// autoscaled requests key on the *target* (and its cap), not the
+	// budget the search will choose: the chosen budget is an output, and
+	// two callers asking for the same accuracy must share one sample —
+	// including while the first build is still in flight (singleflight
+	// dedups on this key)
+	sizing := fmt.Sprintf("m=%d", b.Budget)
+	if b.TargetCV > 0 {
+		sizing = fmt.Sprintf("tcv=%g,maxm=%d", b.TargetCV, b.MaxBudget)
+	}
+	return fmt.Sprintf("%q/%s/norm=%d,p=%g,min=%d,seed=%d/%s",
+		b.Table, sizing, b.Opts.Norm, p, min,
 		b.Seed, canonQueries(b.Queries))
 }
 
@@ -127,8 +149,19 @@ type Entry struct {
 	Key string
 	// Table is the source table name.
 	Table string
-	// Budget is the requested row budget M.
+	// Budget is the row budget M the sample was built at — the caller's
+	// for explicit builds, the autoscaler's choice for TargetCV builds.
 	Budget int
+	// TargetCV is the per-group CV goal of an autoscaled build (0 for
+	// explicit-budget builds).
+	TargetCV float64
+	// AchievedCV is the predicted worst per-group CV at Budget
+	// (autoscaled builds only; +Inf when even MaxBudget leaves a needed
+	// stratum unsampled).
+	AchievedCV float64
+	// TargetMet reports whether AchievedCV met TargetCV; false means
+	// MaxBudget bound the search and the entry is best-effort.
+	TargetMet bool
 	// Queries is the workload the sample was optimized for.
 	Queries []core.QuerySpec
 	// Opts are the build options.
@@ -363,8 +396,16 @@ func (r *Registry) TableNames() []string {
 // the caller's goroutine — the registry spawns nothing, so Close has no
 // static builds to cancel (see Close).
 func (r *Registry) Build(req BuildRequest) (entry *Entry, cached bool, err error) {
-	if req.Budget <= 0 {
+	switch {
+	case req.TargetCV > 0 && req.Budget != 0:
+		return nil, false, fmt.Errorf("serve: target CV and budget are mutually exclusive (got target %g and budget %d)",
+			req.TargetCV, req.Budget)
+	case req.TargetCV < 0 || math.IsNaN(req.TargetCV) || math.IsInf(req.TargetCV, 1):
+		return nil, false, fmt.Errorf("serve: target CV must be positive and finite, got %v", req.TargetCV)
+	case req.TargetCV == 0 && req.Budget <= 0:
 		return nil, false, fmt.Errorf("serve: budget must be positive, got %d", req.Budget)
+	case req.MaxBudget < 0 || (req.MaxBudget > 0 && req.TargetCV == 0):
+		return nil, false, fmt.Errorf("serve: max budget is the autoscale cap; it requires a target CV")
 	}
 	if len(req.Queries) == 0 {
 		return nil, false, fmt.Errorf("serve: build request has no queries")
@@ -439,8 +480,9 @@ func (r *Registry) Build(req BuildRequest) (entry *Entry, cached bool, err error
 	return c.entry, false, c.err
 }
 
-// buildEntry runs the actual sampler. Failed builds are not cached, so
-// a later corrected request retries.
+// buildEntry runs the actual sampler — for autoscaled requests, after
+// the budget search has chosen the smallest sufficient budget. Failed
+// builds are not cached, so a later corrected request retries.
 func (r *Registry) buildEntry(key string, tbl *table.Table, req BuildRequest) (*Entry, error) {
 	seed := req.Seed
 	if seed == 0 {
@@ -450,10 +492,40 @@ func (r *Registry) buildEntry(key string, tbl *table.Table, req BuildRequest) (*
 	}
 	r.builds.Add(1)
 	start := time.Now()
-	s := &samplers.CVOPT{Opts: req.Opts}
-	rs, err := s.Build(tbl, req.Queries, req.Budget, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return nil, fmt.Errorf("serve: building %s: %w", key, err)
+	var (
+		rs  *samplers.RowSample
+		e   = &Entry{Key: key, Table: tbl.Name, Budget: req.Budget, Queries: req.Queries, Opts: req.Opts}
+		err error
+	)
+	if req.TargetCV > 0 {
+		// one plan serves both the budget search and the draw: the
+		// statistics pass runs once, the search is pure evaluation
+		plan, perr := core.NewPlan(tbl, req.Queries)
+		if perr != nil {
+			return nil, fmt.Errorf("serve: building %s: %w", key, perr)
+		}
+		res, aerr := plan.Autoscale(core.AutoscaleParams{
+			TargetCV:  req.TargetCV,
+			MaxBudget: req.MaxBudget,
+			Opts:      req.Opts,
+		})
+		if aerr != nil {
+			return nil, fmt.Errorf("serve: building %s: %w", key, aerr)
+		}
+		ss, _, serr := plan.Sample(res.Budget, req.Opts, rand.New(rand.NewSource(seed)))
+		if serr != nil {
+			return nil, fmt.Errorf("serve: building %s: %w", key, serr)
+		}
+		rows, weights := core.RowWeights(ss)
+		rs = &samplers.RowSample{Rows: rows, Weights: weights}
+		e.Budget = res.Budget
+		e.TargetCV, e.AchievedCV, e.TargetMet = req.TargetCV, res.AchievedCV, res.Met
+	} else {
+		s := &samplers.CVOPT{Opts: req.Opts}
+		rs, err = s.Build(tbl, req.Queries, req.Budget, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, fmt.Errorf("serve: building %s: %w", key, err)
+		}
 	}
 	attrs := make(map[string]bool)
 	for _, q := range req.Queries {
@@ -461,18 +533,11 @@ func (r *Registry) buildEntry(key string, tbl *table.Table, req BuildRequest) (*
 			attrs[a] = true
 		}
 	}
-	e := &Entry{
-		Key:           key,
-		Table:         tbl.Name,
-		Budget:        req.Budget,
-		Queries:       req.Queries,
-		Opts:          req.Opts,
-		Sample:        rs,
-		BuiltAt:       start,
-		BuildDuration: time.Since(start),
-		attrs:         attrs,
-		size:          entrySizeBytes(rs, tbl.Schema()),
-	}
+	e.Sample = rs
+	e.BuiltAt = start
+	e.BuildDuration = time.Since(start)
+	e.attrs = attrs
+	e.size = entrySizeBytes(rs, tbl.Schema())
 	e.lastUsed.Store(r.useClock.Add(1))
 	return e, nil
 }
@@ -595,6 +660,16 @@ type QueryOptions struct {
 	// true per-group errors next to the estimates. Ignored when the
 	// answer is already exact.
 	Compare bool
+	// TargetCV, when positive, answers from an *autoscaled* sample: the
+	// query's own group-by and aggregated columns become the workload of
+	// a TargetCV build (cached and singleflighted like any build, so
+	// concurrent queries for the same table, workload and target share
+	// one search), and the answer carries that entry's AchievedCV and
+	// chosen Budget. Incompatible with ModeExact.
+	TargetCV float64
+	// MaxBudget caps the autoscale search (0 = table rows); only
+	// meaningful with TargetCV.
+	MaxBudget int
 }
 
 // QueryAnswer is the outcome of one Query.
@@ -654,25 +729,23 @@ func (r *Registry) Query(sql string, opt QueryOptions) (*QueryAnswer, error) {
 		}
 	}
 
+	if opt.TargetCV > 0 {
+		if opt.Mode == ModeExact {
+			return nil, fmt.Errorf("serve: a target CV asks for an autoscaled sample; it cannot be combined with exact mode")
+		}
+		if !sampleable {
+			return nil, fmt.Errorf("serve: no CV guarantee exists for MIN/MAX/VAR/STDDEV; drop target_cv to answer exactly")
+		}
+		e, err := r.buildForQuery(tbl.Name, q, opt)
+		if err != nil {
+			return nil, err
+		}
+		return r.answerFromEntry(ans, tbl, e, q, opt)
+	}
+
 	if opt.Mode == ModeSample || (opt.Mode == ModeAuto && sampleable) {
 		if e, ok := r.Find(tbl.Name, q.GroupBy); ok {
-			// streaming entries carry the immutable snapshot their row
-			// ids index; evaluating against it keeps the answer
-			// self-consistent even while newer generations publish
-			execTbl := e.execTable(tbl)
-			res, err := exec.RunWeighted(execTbl, q, e.Sample.Rows, e.Sample.Weights)
-			if err != nil {
-				return nil, err
-			}
-			ans.Result, ans.Entry = res, e
-			if opt.Compare {
-				exact, err := exec.Run(execTbl, q)
-				if err != nil {
-					return nil, err
-				}
-				ans.ExactResult = exact
-			}
-			return ans, nil
+			return r.answerFromEntry(ans, tbl, e, q, opt)
 		}
 		if opt.Mode == ModeSample {
 			return nil, fmt.Errorf("serve: no built sample of %q covers GROUP BY %s (register one via Build)",
@@ -685,4 +758,77 @@ func (r *Registry) Query(sql string, opt QueryOptions) (*QueryAnswer, error) {
 	}
 	ans.Result = res
 	return ans, nil
+}
+
+// answerFromEntry evaluates q over one built sample. Streaming entries
+// carry the immutable snapshot their row ids index; evaluating against
+// it keeps the answer self-consistent even while newer generations
+// publish.
+func (r *Registry) answerFromEntry(ans *QueryAnswer, tbl *table.Table, e *Entry, q *sqlparse.Query, opt QueryOptions) (*QueryAnswer, error) {
+	execTbl := e.execTable(tbl)
+	res, err := exec.RunWeighted(execTbl, q, e.Sample.Rows, e.Sample.Weights)
+	if err != nil {
+		return nil, err
+	}
+	ans.Result, ans.Entry = res, e
+	if opt.Compare {
+		exact, err := exec.Run(execTbl, q)
+		if err != nil {
+			return nil, err
+		}
+		ans.ExactResult = exact
+	}
+	return ans, nil
+}
+
+// buildForQuery turns a submitted query into the workload of an
+// autoscaled build — its GROUP BY becomes the stratification, the
+// columns inside its aggregate calls become the aggregation columns —
+// and returns the (cached, singleflighted) entry built for
+// opt.TargetCV. Repeat queries for the same (table, workload, target)
+// hit the cache; concurrent first queries share one search and build.
+func (r *Registry) buildForQuery(tableName string, q *sqlparse.Query, opt QueryOptions) (*Entry, error) {
+	if len(q.GroupBy) == 0 {
+		return nil, fmt.Errorf("serve: a target CV needs a GROUP BY to stratify on")
+	}
+	// A WHERE filter shrinks each group's effective sample by the
+	// predicate's selectivity, but the CV prediction sizes strata for
+	// the unfiltered table — the reported guarantee would not hold.
+	// Honest refusal, like the MIN/MAX rejection above. (HAVING is fine:
+	// it filters whole groups after estimation, leaving each reported
+	// estimate's CV intact.)
+	if q.Where != nil {
+		return nil, fmt.Errorf("serve: a target CV cannot be guaranteed under a WHERE filter (the sample is sized for the unfiltered table); drop target_cv or the filter")
+	}
+	var cols []string
+	seen := map[string]bool{}
+	exprs := make([]sqlparse.Expr, 0, len(q.Select)+1)
+	for _, item := range q.Select {
+		exprs = append(exprs, item.Expr)
+	}
+	if q.Having != nil {
+		exprs = append(exprs, q.Having)
+	}
+	for _, e := range exprs {
+		for _, c := range sqlparse.AggColumnArgs(e) {
+			if !seen[c] {
+				seen[c] = true
+				cols = append(cols, c)
+			}
+		}
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("serve: a target CV needs at least one aggregated column (COUNT(*) alone carries no measure to bound)")
+	}
+	spec := core.QuerySpec{GroupBy: q.GroupBy}
+	for _, c := range cols {
+		spec.Aggs = append(spec.Aggs, core.AggColumn{Column: c})
+	}
+	e, _, err := r.Build(BuildRequest{
+		Table:     tableName,
+		Queries:   []core.QuerySpec{spec},
+		TargetCV:  opt.TargetCV,
+		MaxBudget: opt.MaxBudget,
+	})
+	return e, err
 }

@@ -25,16 +25,34 @@ import (
 //	POST /v1/tables/{name}/rows     — batch-append rows to a live table
 //	POST /v1/tables/{name}/refresh  — publish a fresh sample generation now
 //
-// A Server is safe for concurrent use; it holds no state of its own
-// beyond the registry.
+// A Server is safe for concurrent use; it holds no mutable state of its
+// own beyond the registry.
 type Server struct {
 	reg *Registry
 	mux *http.ServeMux
+	// defaultTargetCV, when positive, autoscales POST /v1/samples
+	// requests that specify none of budget/rate/target_cv (the daemon
+	// operator's accuracy default, cvserve -default-target-cv).
+	defaultTargetCV float64
+}
+
+// ServerOption configures a Server at construction.
+type ServerOption func(*Server)
+
+// WithDefaultTargetCV sets the per-group CV goal applied when a POST
+// /v1/samples request names no budget, rate or target_cv of its own:
+// instead of a 400, the sample is autoscaled to this target. cv <= 0
+// (the default) keeps sizing mandatory.
+func WithDefaultTargetCV(cv float64) ServerOption {
+	return func(s *Server) { s.defaultTargetCV = cv }
 }
 
 // NewServer wraps a registry in its HTTP API.
-func NewServer(reg *Registry) *Server {
+func NewServer(reg *Registry, opts ...ServerOption) *Server {
 	s := &Server{reg: reg, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
 	s.mux.HandleFunc("GET /v1/samples", s.handleListSamples)
@@ -126,12 +144,21 @@ type buildJSON struct {
 	Table   string          `json:"table"`
 	Queries []querySpecJSON `json:"queries"`
 	// Budget is the absolute row budget; Rate (in (0, 1]) is the
-	// fractional alternative. Exactly one must be set.
-	Budget int     `json:"budget,omitempty"`
-	Rate   float64 `json:"rate,omitempty"`
-	Norm   string  `json:"norm,omitempty"` // "l2" (default), "linf", "lp"
-	P      float64 `json:"p,omitempty"`    // exponent for norm "lp"
-	Seed   int64   `json:"seed,omitempty"`
+	// fractional alternative; TargetCV asks the server to *autoscale*
+	// the budget instead — find the smallest one whose predicted worst
+	// per-group CV meets the target. Exactly one of the three must be
+	// set (or none, when the daemon has a -default-target-cv).
+	Budget   int     `json:"budget,omitempty"`
+	Rate     float64 `json:"rate,omitempty"`
+	TargetCV float64 `json:"target_cv,omitempty"`
+	// MaxBudget caps an autoscaled search (0 = table rows); requires
+	// target_cv. When the cap cannot meet the target the response is
+	// best-effort: target_met false, achieved_cv reporting the
+	// guarantee actually obtained.
+	MaxBudget int     `json:"max_budget,omitempty"`
+	Norm      string  `json:"norm,omitempty"` // "l2" (default), "linf", "lp"
+	P         float64 `json:"p,omitempty"`    // exponent for norm "lp"
+	Seed      int64   `json:"seed,omitempty"`
 }
 
 // sampleJSON describes one built sample in responses.
@@ -154,10 +181,19 @@ type sampleJSON struct {
 	// static builds).
 	Generation uint64 `json:"generation,omitempty"`
 	Cached     bool   `json:"cached,omitempty"`
+	// Autoscaled builds only: the requested CV goal, the budget the
+	// search chose (== budget, surfaced under the name callers look
+	// for), the predicted worst per-group CV at that budget (absent when
+	// it is infinite — an unsampleable stratum), and whether the target
+	// was met (false = max_budget bound the search, best-effort sample).
+	TargetCV     float64  `json:"target_cv,omitempty"`
+	ChosenBudget int      `json:"chosen_budget,omitempty"`
+	AchievedCV   *float64 `json:"achieved_cv,omitempty"`
+	TargetMet    *bool    `json:"target_met,omitempty"`
 }
 
 func sampleToJSON(e *Entry, cached bool) sampleJSON {
-	return sampleJSON{
+	out := sampleJSON{
 		Key:        e.Key,
 		Table:      e.Table,
 		Budget:     e.Budget,
@@ -170,6 +206,14 @@ func sampleToJSON(e *Entry, cached bool) sampleJSON {
 		Generation: e.Generation,
 		Cached:     cached,
 	}
+	if e.TargetCV > 0 {
+		met := e.TargetMet
+		out.TargetCV = e.TargetCV
+		out.ChosenBudget = e.Budget
+		out.AchievedCV = jsonFloat(e.AchievedCV)
+		out.TargetMet = &met
+	}
+	return out
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -247,16 +291,34 @@ func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown table %q", req.Table)
 		return
 	}
-	budget := req.Budget
+	budget, targetCV := req.Budget, req.TargetCV
 	switch {
 	case budget < 0:
 		writeError(w, http.StatusBadRequest, "budget must be positive, got %d", budget)
 		return
+	case targetCV < 0:
+		writeError(w, http.StatusBadRequest, "target_cv must be positive, got %g", targetCV)
+		return
+	case req.MaxBudget < 0:
+		writeError(w, http.StatusBadRequest, "max_budget must be non-negative, got %d", req.MaxBudget)
+		return
+	case targetCV != 0 && (budget != 0 || req.Rate != 0):
+		writeError(w, http.StatusBadRequest, "target_cv is mutually exclusive with budget and rate: the server chooses the budget")
+		return
+	case req.MaxBudget != 0 && targetCV == 0:
+		writeError(w, http.StatusBadRequest, "max_budget caps an autoscaled build; it requires target_cv")
+		return
 	case budget != 0 && req.Rate != 0:
 		writeError(w, http.StatusBadRequest, "set budget or rate, not both")
 		return
-	case budget == 0 && req.Rate == 0:
-		writeError(w, http.StatusBadRequest, "one of budget or rate is required")
+	case budget == 0 && req.Rate == 0 && targetCV == 0:
+		if s.defaultTargetCV > 0 {
+			// the operator configured an accuracy default: size-free
+			// requests autoscale to it
+			targetCV = s.defaultTargetCV
+			break
+		}
+		writeError(w, http.StatusBadRequest, "one of budget, rate or target_cv is required")
 		return
 	case req.Rate != 0:
 		if req.Rate < 0 || req.Rate > 1 {
@@ -279,11 +341,13 @@ func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entry, cached, err := s.reg.Build(BuildRequest{
-		Table:   tbl.Name,
-		Queries: specs,
-		Budget:  budget,
-		Opts:    opts,
-		Seed:    req.Seed,
+		Table:     tbl.Name,
+		Queries:   specs,
+		Budget:    budget,
+		TargetCV:  targetCV,
+		MaxBudget: req.MaxBudget,
+		Opts:      opts,
+		Seed:      req.Seed,
 	})
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
@@ -496,6 +560,13 @@ type queryJSON struct {
 	// Compare also runs the exact query and reports each group's true
 	// relative error next to its estimate (ops/debugging aid).
 	Compare bool `json:"compare,omitempty"`
+	// TargetCV answers from an autoscaled sample built for this query's
+	// own workload: the smallest budget whose predicted worst per-group
+	// CV meets the target. Cached per (table, workload, target), so
+	// repeat and concurrent queries share one build. Incompatible with
+	// mode "exact". MaxBudget caps the search (0 = table rows).
+	TargetCV  float64 `json:"target_cv,omitempty"`
+	MaxBudget int     `json:"max_budget,omitempty"`
 }
 
 // groupJSON is one output group of a query response.
@@ -519,10 +590,17 @@ type queryResponseJSON struct {
 	SampleRows int    `json:"sample_rows,omitempty"`
 	// Generation is the streaming publication the answer came from
 	// (absent for static samples and exact answers).
-	Generation uint64      `json:"generation,omitempty"`
-	Sets       [][]string  `json:"sets"`
-	AggLabels  []string    `json:"agg_labels"`
-	Groups     []groupJSON `json:"groups"`
+	Generation uint64 `json:"generation,omitempty"`
+	// Autoscaled answers only: the CV goal of the sample that answered,
+	// the budget the search chose, the predicted worst per-group CV at
+	// that budget (absent when infinite) and whether the goal was met.
+	TargetCV     float64     `json:"target_cv,omitempty"`
+	ChosenBudget int         `json:"chosen_budget,omitempty"`
+	AchievedCV   *float64    `json:"achieved_cv,omitempty"`
+	TargetMet    *bool       `json:"target_met,omitempty"`
+	Sets         [][]string  `json:"sets"`
+	AggLabels    []string    `json:"agg_labels"`
+	Groups       []groupJSON `json:"groups"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -549,7 +627,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown mode %q (want auto, sample or exact)", req.Mode)
 		return
 	}
+	switch {
+	case req.TargetCV < 0:
+		writeError(w, http.StatusBadRequest, "target_cv must be positive, got %g", req.TargetCV)
+		return
+	case req.MaxBudget < 0:
+		writeError(w, http.StatusBadRequest, "max_budget must be non-negative, got %d", req.MaxBudget)
+		return
+	case req.MaxBudget != 0 && req.TargetCV == 0:
+		writeError(w, http.StatusBadRequest, "max_budget caps an autoscaled query; it requires target_cv")
+		return
+	case req.TargetCV > 0 && opt.Mode == ModeExact:
+		writeError(w, http.StatusBadRequest, "target_cv asks for an autoscaled sample; it cannot be combined with mode \"exact\"")
+		return
+	}
 	opt.Compare = req.Compare
+	opt.TargetCV, opt.MaxBudget = req.TargetCV, req.MaxBudget
 	ans, err := s.reg.Query(req.SQL, opt)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
@@ -566,6 +659,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.SampleKey = ans.Entry.Key
 		resp.SampleRows = ans.Entry.Sample.Len()
 		resp.Generation = ans.Entry.Generation
+		if ans.Entry.TargetCV > 0 {
+			met := ans.Entry.TargetMet
+			resp.TargetCV = ans.Entry.TargetCV
+			resp.ChosenBudget = ans.Entry.Budget
+			resp.AchievedCV = jsonFloat(ans.Entry.AchievedCV)
+			resp.TargetMet = &met
+		}
 	}
 	// compare mode: index the exact answer once (O(G)), then O(1) per
 	// served group — never the per-group Lookup scan.

@@ -1,0 +1,41 @@
+package sqlparse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAggColumnArgs(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want []string
+	}{
+		{"SELECT g, AVG(v) FROM t GROUP BY g", []string{"v"}},
+		{"SELECT g, COUNT(*) FROM t GROUP BY g", nil},
+		{"SELECT g, SUM(v), AVG(u), SUM(v) FROM t GROUP BY g", []string{"v", "u"}},
+		// column arithmetic inside the call, calls inside arithmetic
+		{"SELECT g, SUM(v * u) / COUNT(*) FROM t GROUP BY g", []string{"v", "u"}},
+		// non-aggregate references (group keys, WHERE-ish exprs in
+		// select) contribute nothing
+		{"SELECT g, g, AVG(v) FROM t GROUP BY g", []string{"v"}},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		var got []string
+		seen := map[string]bool{}
+		for _, item := range q.Select {
+			for _, col := range AggColumnArgs(item.Expr) {
+				if !seen[col] {
+					seen[col] = true
+					got = append(got, col)
+				}
+			}
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("%s: agg columns %v, want %v", c.sql, got, c.want)
+		}
+	}
+}

@@ -211,37 +211,72 @@ func HasAggregate(e Expr) bool {
 	return false
 }
 
+// walkExpr visits e and its descendants in preorder — the ONE place
+// that knows every Expr variant's children, so the inspectors below
+// cannot drift apart when a node type is added. visit returning false
+// prunes the node's children.
+func walkExpr(e Expr, visit func(Expr) bool) {
+	if e == nil || !visit(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *BinaryExpr:
+		walkExpr(n.Left, visit)
+		walkExpr(n.Right, visit)
+	case *UnaryExpr:
+		walkExpr(n.Expr, visit)
+	case *FuncCall:
+		for _, a := range n.Args {
+			walkExpr(a, visit)
+		}
+	case *BetweenExpr:
+		walkExpr(n.Expr, visit)
+		walkExpr(n.Lo, visit)
+		walkExpr(n.Hi, visit)
+	case *InExpr:
+		walkExpr(n.Expr, visit)
+		for _, it := range n.Items {
+			walkExpr(it, visit)
+		}
+	}
+}
+
 // AggCalls returns the names of the aggregate functions called in e,
 // in first-appearance order (duplicates included).
 func AggCalls(e Expr) []string {
 	var out []string
-	var walk func(Expr)
-	walk = func(x Expr) {
-		switch n := x.(type) {
-		case *FuncCall:
-			if AggFuncs[n.Name] {
-				out = append(out, n.Name)
-			}
-			for _, a := range n.Args {
-				walk(a)
-			}
-		case *BinaryExpr:
-			walk(n.Left)
-			walk(n.Right)
-		case *UnaryExpr:
-			walk(n.Expr)
-		case *BetweenExpr:
-			walk(n.Expr)
-			walk(n.Lo)
-			walk(n.Hi)
-		case *InExpr:
-			walk(n.Expr)
-			for _, it := range n.Items {
-				walk(it)
+	walkExpr(e, func(x Expr) bool {
+		if n, ok := x.(*FuncCall); ok && AggFuncs[n.Name] {
+			out = append(out, n.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// AggColumnArgs returns the distinct column names referenced inside
+// aggregate function calls in e, in first-appearance order. COUNT(*)
+// contributes nothing (no column). Used to derive the workload a sample
+// must serve from a submitted query (e.g. budget autoscaling's
+// query-driven builds).
+func AggColumnArgs(e Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	walkExpr(e, func(x Expr) bool {
+		n, ok := x.(*FuncCall)
+		if !ok || !AggFuncs[n.Name] {
+			return true
+		}
+		for _, a := range n.Args {
+			for _, c := range Columns(a) {
+				if !seen[c] {
+					seen[c] = true
+					out = append(out, c)
+				}
 			}
 		}
-	}
-	walk(e)
+		return false // the call's columns are collected; don't re-walk
+	})
 	return out
 }
 
@@ -250,34 +285,12 @@ func AggCalls(e Expr) []string {
 func Columns(e Expr) []string {
 	var out []string
 	seen := map[string]bool{}
-	var walk func(Expr)
-	walk = func(x Expr) {
-		switch n := x.(type) {
-		case *ColumnRef:
-			if !seen[n.Name] {
-				seen[n.Name] = true
-				out = append(out, n.Name)
-			}
-		case *BinaryExpr:
-			walk(n.Left)
-			walk(n.Right)
-		case *UnaryExpr:
-			walk(n.Expr)
-		case *FuncCall:
-			for _, a := range n.Args {
-				walk(a)
-			}
-		case *BetweenExpr:
-			walk(n.Expr)
-			walk(n.Lo)
-			walk(n.Hi)
-		case *InExpr:
-			walk(n.Expr)
-			for _, it := range n.Items {
-				walk(it)
-			}
+	walkExpr(e, func(x Expr) bool {
+		if n, ok := x.(*ColumnRef); ok && !seen[n.Name] {
+			seen[n.Name] = true
+			out = append(out, n.Name)
 		}
-	}
-	walk(e)
+		return true
+	})
 	return out
 }

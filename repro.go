@@ -79,10 +79,17 @@ type (
 	AppendStatus = ingest.AppendStatus
 	// StreamStatus is the ops view of one streaming table.
 	StreamStatus = serve.StreamStatus
-	// QueryOptions tunes one Registry.Query call (mode, compare).
+	// QueryOptions tunes one Registry.Query call (mode, compare,
+	// autoscaling target CV).
 	QueryOptions = serve.QueryOptions
 	// QueryAnswer is the outcome of one Registry.Query call.
 	QueryAnswer = serve.QueryAnswer
+	// AutoscaleParams configures a budget autoscale search: the
+	// per-group CV goal, the hard budget cap and the allocation options.
+	AutoscaleParams = core.AutoscaleParams
+	// AutoscaleResult reports the chosen budget and the a-priori CV
+	// guarantee it carries.
+	AutoscaleResult = core.AutoscaleResult
 )
 
 // Query modes for QueryOptions.Mode.
@@ -122,6 +129,21 @@ func BudgetRate(tbl *table.Table, rate float64) int {
 		m = 1
 	}
 	return m
+}
+
+// Autoscale searches for the smallest row budget whose predicted worst
+// per-group CV meets params.TargetCV (budget autoscaling: state the
+// accuracy, let the system pick the cheapest sufficient budget). The
+// returned budget feeds Build unchanged; AchievedCV is the a-priori CV
+// bound — via Chebyshev, an error guarantee fixed before any row is
+// drawn. When even params.MaxBudget cannot meet the target the result
+// is best-effort at the cap with Met == false.
+func Autoscale(tbl *table.Table, queries []QuerySpec, params AutoscaleParams) (*AutoscaleResult, error) {
+	p, err := core.NewPlan(tbl, queries)
+	if err != nil {
+		return nil, err
+	}
+	return p.Autoscale(params)
 }
 
 // Answer evaluates sql approximately over a sample of tbl.
@@ -187,9 +209,19 @@ func WithRegistryShards(n int) RegistryOption {
 // NewServerHandler exposes a registry over the HTTP/JSON serving API
 // (POST /v1/query, POST /v1/samples, GET /v1/samples, the streaming
 // POST /v1/tables/{name}/stream|rows|refresh endpoints, GET /healthz);
-// cmd/cvserve is the ready-made daemon around it.
-func NewServerHandler(reg *Registry) http.Handler {
-	return serve.NewServer(reg)
+// cmd/cvserve is the ready-made daemon around it. Options tune the
+// server (WithDefaultTargetCV).
+func NewServerHandler(reg *Registry, opts ...ServerOption) http.Handler {
+	return serve.NewServer(reg, opts...)
+}
+
+// ServerOption configures the HTTP serving layer at construction.
+type ServerOption = serve.ServerOption
+
+// WithDefaultTargetCV autoscales POST /v1/samples requests that name no
+// budget, rate or target_cv of their own to this per-group CV goal.
+func WithDefaultTargetCV(cv float64) ServerOption {
+	return serve.WithDefaultTargetCV(cv)
 }
 
 // NewStream creates a standalone streaming sampler for a table: seed's
