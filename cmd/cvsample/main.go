@@ -12,9 +12,19 @@
 // with the achieved CV:
 //
 //	cvsample -in data.csv -out sample.csv -groupby region -agg amount -target-cv 0.05
+//
+// With -server the sample is registered *remotely* on a live cvserve
+// daemon through its typed Go client: -table names a table the daemon
+// serves, the build runs (or is fetched from the daemon's cache)
+// server-side, and queries sent to the daemon answer off it — no CSV
+// is read or written locally:
+//
+//	cvsample -server http://localhost:8080 -table sales -groupby region -agg amount -rate 0.01
+//	cvsample -server http://localhost:8080 -table sales -groupby region -agg amount -target-cv 0.05
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -22,6 +32,8 @@ import (
 	"strconv"
 	"strings"
 
+	apiv1 "repro/internal/api/v1"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/samplers"
 	"repro/internal/table"
@@ -40,8 +52,17 @@ func main() {
 		norm     = flag.String("norm", "l2", "objective norm: l2, linf, or lp:<p>")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		method   = flag.String("method", "cvopt", "sampler: cvopt, uniform, senate, cs, rl, sampleseek")
+		server   = flag.String("server", "", "cvserve base URL (e.g. http://localhost:8080): register the sample remotely on the daemon (-table names the served table) instead of reading/writing CSVs")
+		tableN   = flag.String("table", "", "remote mode: the daemon-registered table to sample")
 	)
 	flag.Parse()
+	if *server != "" {
+		runRemote(*server, *tableN, *groupBy, *aggs, *norm, *method, *in, *out, *m, *rate, *targetCV, *maxM, *seed)
+		return
+	}
+	if *tableN != "" {
+		fatalIf(fmt.Errorf("-table is a remote-mode flag; it requires -server"))
+	}
 	if *in == "" || *out == "" || *groupBy == "" || *aggs == "" {
 		fmt.Fprintln(os.Stderr, "cvsample: -in, -out, -groupby and -agg are required")
 		flag.Usage()
@@ -77,19 +98,18 @@ func main() {
 		spec.Aggs = append(spec.Aggs, core.AggColumn{Column: a})
 	}
 
+	// one parse of the CLI norm spelling serves both modes: local maps
+	// the (kind, p) pair onto core.Options here, remote sends it as the
+	// wire fields — the spelling cannot diverge between the two
 	parseOpts := func() core.Options {
+		kind, p, err := wireNorm(*norm)
+		fatalIf(err)
 		opts := core.Options{}
-		switch {
-		case *norm == "l2":
-		case *norm == "linf":
+		switch kind {
+		case apiv1.NormLInf:
 			opts.Norm = core.LInf
-		case strings.HasPrefix(*norm, "lp:"):
-			p, err := strconv.ParseFloat(strings.TrimPrefix(*norm, "lp:"), 64)
-			fatalIf(err)
-			opts.Norm = core.Lp
-			opts.P = p
-		default:
-			fatalIf(fmt.Errorf("unknown norm %q", *norm))
+		case apiv1.NormLp:
+			opts.Norm, opts.P = core.Lp, p
 		}
 		return opts
 	}
@@ -168,6 +188,82 @@ func main() {
 	fatalIf(outTbl.SaveCSV(*out))
 	fmt.Printf("cvsample: %s: wrote %d of %d rows (budget %d) to %s\n",
 		methodName, outTbl.NumRows(), tbl.NumRows(), budget, *out)
+}
+
+// runRemote registers the sample on a running cvserve daemon through
+// the typed client. Sizing semantics mirror the local mode — -m, -rate
+// or -target-cv (+ -max-budget) — but the build runs server-side and
+// is deduplicated against the daemon's cache: re-running the same
+// command is an idempotent fetch. With no sizing at all the daemon's
+// -default-target-cv applies, if configured.
+func runRemote(server, tableName, groupBy, aggs, norm, method, in, out string, m int, rate, targetCV float64, maxM int, seed int64) {
+	if tableName == "" || groupBy == "" || aggs == "" {
+		fmt.Fprintln(os.Stderr, "cvsample: -server mode requires -table, -groupby and -agg")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if in != "" || out != "" {
+		fatalIf(fmt.Errorf("-in and -out do not apply with -server: the daemon owns the table and keeps the sample resident"))
+	}
+	if strings.ToLower(method) != "cvopt" {
+		fatalIf(fmt.Errorf("the serving daemon builds CVOPT samples only; -method %s requires local mode", method))
+	}
+	wireNorm, p, err := wireNorm(norm)
+	fatalIf(err)
+
+	spec := apiv1.QuerySpec{GroupBy: splitList(groupBy)}
+	for _, a := range splitList(aggs) {
+		spec.Aggs = append(spec.Aggs, apiv1.Agg{Column: a})
+	}
+	c, err := client.New(server, nil)
+	fatalIf(err)
+	s, err := c.BuildSample(context.Background(), apiv1.BuildRequest{
+		Table:     tableName,
+		Queries:   []apiv1.QuerySpec{spec},
+		Budget:    m,
+		Rate:      rate,
+		TargetCV:  targetCV,
+		MaxBudget: maxM,
+		Norm:      wireNorm,
+		P:         p,
+		Seed:      seed,
+	})
+	fatalIf(err)
+	if s.TargetCV > 0 {
+		achieved := "inf"
+		if s.AchievedCV != nil {
+			achieved = fmt.Sprintf("%.4g", *s.AchievedCV)
+		}
+		if s.TargetMet != nil && *s.TargetMet {
+			fmt.Printf("cvsample: autoscaled to budget %d (target CV %g, achieved %s)\n", s.Budget, s.TargetCV, achieved)
+		} else {
+			fmt.Printf("cvsample: target CV %g not reachable under cap %d; best effort achieved CV %s\n", s.TargetCV, s.Budget, achieved)
+		}
+	}
+	state := "registered"
+	if s.Cached {
+		state = "reusing cached"
+	}
+	fmt.Printf("cvsample: %s sample of %q on %s: %d rows (budget %d)\n  key %s\n",
+		state, s.Table, c.BaseURL(), s.Rows, s.Budget, s.Key)
+}
+
+// wireNorm translates the CLI norm spelling (l2, linf, lp:<p>) to the
+// wire fields of the contract package.
+func wireNorm(norm string) (string, float64, error) {
+	switch {
+	case norm == "l2":
+		return apiv1.NormL2, 0, nil
+	case norm == "linf":
+		return apiv1.NormLInf, 0, nil
+	case strings.HasPrefix(norm, "lp:"):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(norm, "lp:"), 64)
+		if err != nil {
+			return "", 0, fmt.Errorf("bad -norm %q: %v", norm, err)
+		}
+		return apiv1.NormLp, p, nil
+	}
+	return "", 0, fmt.Errorf("unknown norm %q", norm)
 }
 
 func splitList(s string) []string {

@@ -5,11 +5,11 @@
 //
 //	cvserve -addr :8080 -load sales=sales.csv -load events=events.csv
 //
-//	curl -s localhost:8080/v1/samples -d '{
+//	curl -s localhost:8080/v1/samples -H 'content-type: application/json' -d '{
 //	  "table": "sales", "rate": 0.01,
 //	  "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]
 //	}'
-//	curl -s localhost:8080/v1/query -d '{
+//	curl -s localhost:8080/v1/query -H 'content-type: application/json' -d '{
 //	  "sql": "SELECT region, AVG(amount) FROM sales GROUP BY region"
 //	}'
 //
@@ -44,6 +44,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -98,6 +99,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cvserve: -default-target-cv must be non-negative")
 		os.Exit(2)
 	}
+
+	// serve.Version is a link-time stamp: build releases with
+	//   go build -ldflags "-X repro/internal/serve.Version=v1.2.3" ./cmd/cvserve
+	// and /healthz (plus this line) reports it to fleet operators.
+	log.Printf("cvserve: version %s (%s)", serve.Version, runtime.Version())
 
 	reg := serve.NewRegistry(serve.WithMaxSampleBytes(*maxSampleBytes), serve.WithShards(*shards))
 	defer reg.Close()

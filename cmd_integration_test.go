@@ -441,6 +441,165 @@ func TestCmdCvserveEndToEnd(t *testing.T) {
 	}
 }
 
+// startCvserve launches the daemon on a free port and returns its base
+// URL; the process is killed at test cleanup.
+func startCvserve(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill(); _ = cmd.Wait() })
+	addrCh := make(chan string, 1)
+	go func() {
+		scanner := bufio.NewScanner(stdout)
+		for scanner.Scan() {
+			if _, addr, ok := strings.Cut(scanner.Text(), "listening on "); ok {
+				addrCh <- strings.TrimSpace(addr)
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case base := <-addrCh:
+		if base == "" {
+			t.Fatal("cvserve never reported its address")
+		}
+		return base
+	case <-time.After(10 * time.Second):
+		t.Fatal("cvserve never reported its address")
+	}
+	return ""
+}
+
+// The remote scenario end to end: cvsample -server registers a sample
+// on a live cvserve through the typed client, cvquery -server answers
+// off it, autoscale flags forward as target_cv/max_budget, and typed
+// error codes reach the user on failure.
+func TestCmdRemoteCLIsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	serveBin := buildTool(t, "cvserve")
+	sampleBin := buildTool(t, "cvsample")
+	queryBin := buildTool(t, "cvquery")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "sales.csv")
+	writeSalesCSV(t, in)
+	base := startCvserve(t, serveBin, "-load", "sales="+in)
+
+	// cvsample -server: build-or-fetch on the daemon; the second run
+	// must hit the daemon's cache (idempotent registration)
+	args := []string{"-server", base, "-table", "sales", "-groupby", "region", "-agg", "amount", "-rate", "0.05"}
+	out, err := exec.Command(sampleBin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cvsample -server: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "registered sample") || !strings.Contains(string(out), "key ") {
+		t.Fatalf("cvsample -server output incomplete:\n%s", out)
+	}
+	out, err = exec.Command(sampleBin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("cvsample -server rerun: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "reusing cached") {
+		t.Fatalf("rerun should fetch the cached sample:\n%s", out)
+	}
+
+	// cvquery -server answers off the registered sample: approximate,
+	// all regions, ± standard errors
+	out, err = exec.Command(queryBin, "-server", base,
+		"-sql", "SELECT region, AVG(amount) FROM sales GROUP BY region").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cvquery -server: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "remote approximate") || !strings.Contains(text, "±") {
+		t.Fatalf("cvquery -server should answer from the sample:\n%s", text)
+	}
+	for _, region := range []string{"NA", "EU", "APAC"} {
+		if !strings.Contains(text, region) {
+			t.Fatalf("region %s missing:\n%s", region, text)
+		}
+	}
+
+	// build-if-missing: a workload no sample covers yet (qty), built on
+	// the daemon at -rate, then answered approximately
+	out, err = exec.Command(queryBin, "-server", base, "-rate", "0.1",
+		"-sql", "SELECT region, SUM(qty) FROM sales GROUP BY region").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cvquery -server -rate: %v\n%s", err, out)
+	}
+	text = string(out)
+	if !strings.Contains(text, "built sample") || !strings.Contains(text, "remote approximate") {
+		t.Fatalf("build-if-missing flow incomplete:\n%s", text)
+	}
+
+	// autoscale flags forward as target_cv/max_budget: the daemon picks
+	// the budget and the CLI reports the a-priori guarantee
+	out, err = exec.Command(queryBin, "-server", base, "-target-cv", "0.05",
+		"-sql", "SELECT region, AVG(amount) FROM sales GROUP BY region").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cvquery -server -target-cv: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "autoscaled to budget") {
+		t.Fatalf("autoscale report missing:\n%s", out)
+	}
+	out, err = exec.Command(sampleBin, "-server", base, "-table", "sales",
+		"-groupby", "region", "-agg", "qty", "-target-cv", "0.05").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cvsample -server -target-cv: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "autoscaled to budget") {
+		t.Fatalf("cvsample autoscale report missing:\n%s", out)
+	}
+
+	// typed error codes reach the user: unknown FROM table → the
+	// contract code, not just prose
+	cmd := exec.Command(queryBin, "-server", base,
+		"-sql", "SELECT region, AVG(amount) FROM nope GROUP BY region")
+	out, err = cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown remote table should fail:\n%s", out)
+	}
+	if !strings.Contains(string(out), "table_not_found") {
+		t.Fatalf("error should surface the contract code:\n%s", out)
+	}
+	cmd = exec.Command(sampleBin, "-server", base, "-table", "nope",
+		"-groupby", "region", "-agg", "amount", "-rate", "0.05")
+	out, err = cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown remote table should fail:\n%s", out)
+	}
+	if !strings.Contains(string(out), "table_not_found") {
+		t.Fatalf("error should surface the contract code:\n%s", out)
+	}
+
+	// remote-flag misuse fails fast, locally
+	bad := [][]string{
+		{"-target-cv", "0.05", "-sql", "SELECT COUNT(*) FROM x", "-in", in},                           // remote flag without -server
+		{"-server", base, "-sql", "SELECT region, AVG(amount) FROM sales GROUP BY region", "-in", in}, // -in with -server
+		{"-server", base, "-rate", "0.1", "-target-cv", "0.05", "-sql", "SELECT COUNT(*) FROM sales"}, // both sizings
+		{"-server", base, "-rate", "0.1", "-max-budget", "500", "-sql", "SELECT COUNT(*) FROM sales"}, // cap without -target-cv
+		{"-server", base}, // no -sql
+	}
+	for i, args := range bad {
+		if err := exec.Command(queryBin, args...).Run(); err == nil {
+			t.Fatalf("bad remote invocation %d should fail", i)
+		}
+	}
+	if err := exec.Command(sampleBin, "-server", base, "-table", "sales",
+		"-groupby", "region", "-agg", "amount", "-m", "100", "-method", "uniform").Run(); err == nil {
+		t.Fatal("remote -method uniform should fail (daemon builds CVOPT only)")
+	}
+}
+
 func TestCmdCvbenchListAndSingle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a binary")

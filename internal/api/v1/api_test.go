@@ -1,0 +1,75 @@
+package v1
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+)
+
+// Every listed code must map to a real (non-500) status — a code whose
+// status falls through to 500 is a contract bug — and codes must be
+// unique, since clients branch on them.
+func TestCodesAreExhaustiveAndUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, code := range Codes {
+		if seen[code] {
+			t.Errorf("duplicate code %q", code)
+		}
+		seen[code] = true
+		if got := StatusOf(code); got == http.StatusInternalServerError {
+			t.Errorf("code %q has no status mapping", code)
+		}
+	}
+	if got := StatusOf("no_such_code"); got != http.StatusInternalServerError {
+		t.Errorf("unknown code mapped to %d, want 500", got)
+	}
+}
+
+func TestRoutesListMatchesConstants(t *testing.T) {
+	want := map[string]bool{
+		RouteHealthz: true, RouteTables: true, RouteListSamples: true,
+		RouteBuildSample: true, RouteQuery: true, RouteStreamTable: true,
+		RouteAppendRows: true, RouteRefreshTable: true,
+	}
+	if len(Routes) != len(want) {
+		t.Fatalf("Routes has %d entries, want %d", len(Routes), len(want))
+	}
+	for _, r := range Routes {
+		if !want[r] {
+			t.Errorf("Routes carries unexpected entry %q", r)
+		}
+	}
+}
+
+// The error envelope must keep the "error" JSON key (the pre-versioned
+// wire name every existing client decodes) alongside the new "code".
+func TestErrorEnvelopeWireFormat(t *testing.T) {
+	data, err := json.Marshal(Error{Code: CodeTableNotFound, Message: "unknown table"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["error"] != "unknown table" || m["code"] != CodeTableNotFound {
+		t.Fatalf("envelope = %s", data)
+	}
+}
+
+func TestFloat64NullsNonFinite(t *testing.T) {
+	if Float64(math.NaN()) != nil || Float64(math.Inf(1)) != nil || Float64(math.Inf(-1)) != nil {
+		t.Fatal("non-finite floats must render as null")
+	}
+	if v := Float64(1.5); v == nil || *v != 1.5 {
+		t.Fatalf("Float64(1.5) = %v", v)
+	}
+	if Float64s(nil) != nil {
+		t.Fatal("Float64s(nil) must stay nil")
+	}
+	out := Float64s([]float64{1, math.NaN()})
+	if len(out) != 2 || out[0] == nil || out[1] != nil {
+		t.Fatalf("Float64s = %v", out)
+	}
+}

@@ -1,0 +1,101 @@
+package v1
+
+import "net/http"
+
+// Error is the envelope of every non-2xx response body. Message is the
+// human-readable diagnosis (historically the only field, kept under the
+// "error" JSON key); Code is the machine-readable category a client
+// branches on — string matching response prose is never necessary.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"error"`
+}
+
+// Error codes. Each code maps to exactly one HTTP status (StatusOf);
+// several codes can share a status, which is why clients branch on the
+// code rather than the status. Adding a code here requires documenting
+// it in docs/API.md (scripts/check_docs.sh enforces this).
+const (
+	// CodeInvalidBody — 400: the request body is not well-formed JSON
+	// for the route (syntax error, wrong types, unknown field — the
+	// strict decoder treats typos like "buget" as errors).
+	CodeInvalidBody = "invalid_body"
+	// CodeInvalidRequest — 400: the body parsed but a field value is
+	// invalid (missing table/sql/rows, bad norm or mode, rate out of
+	// range, negative budget, bad refresh_interval, ...).
+	CodeInvalidRequest = "invalid_request"
+	// CodeBudgetConflict — 400: the sizing fields contradict each
+	// other — budget and rate both set, target_cv combined with
+	// budget/rate (or with mode "exact" on a query), max_budget without
+	// target_cv, or no sizing at all on a daemon without a default
+	// target CV.
+	CodeBudgetConflict = "budget_conflict"
+	// CodeTableNotFound — 404: no table is registered under the name —
+	// POST /v1/samples, any /v1/tables/{name}/... route, or the FROM
+	// table of a POST /v1/query.
+	CodeTableNotFound = "table_not_found"
+	// CodeNotStreaming — 409: rows/refresh on a table that is
+	// registered but not live.
+	CodeNotStreaming = "not_streaming"
+	// CodeAlreadyStreaming — 409: a second stream registration of one
+	// table.
+	CodeAlreadyStreaming = "already_streaming"
+	// CodeBodyTooLarge — 413: the request body exceeds the 1 MiB cap.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeUnsupportedMedia — 415: a POST carried a Content-Type other
+	// than application/json. (A missing Content-Type is accepted and
+	// treated as JSON.)
+	CodeUnsupportedMedia = "unsupported_media_type"
+	// CodeBuildFailed — 422: the build request was well-formed but the
+	// sampler could not serve it (unknown aggregation column, no
+	// sampleable stratum, ...). Not cached; a corrected request
+	// retries.
+	CodeBuildFailed = "build_failed"
+	// CodeQueryFailed — 422: the query was well-formed JSON but could
+	// not be answered (SQL parse error, no covering sample in mode
+	// "sample", target_cv under a WHERE filter or on
+	// MIN/MAX/VAR/STDDEV, ...).
+	CodeQueryFailed = "query_failed"
+	// CodeAppendFailed — 422: a row batch was rejected (wrong arity, a
+	// value that does not coerce to its column's type). The batch is
+	// atomic: nothing was appended.
+	CodeAppendFailed = "append_failed"
+)
+
+// Codes lists every error code, for exhaustiveness checks (the client
+// error-mapping test and scripts/check_docs.sh iterate it).
+var Codes = []string{
+	CodeInvalidBody,
+	CodeInvalidRequest,
+	CodeBudgetConflict,
+	CodeTableNotFound,
+	CodeNotStreaming,
+	CodeAlreadyStreaming,
+	CodeBodyTooLarge,
+	CodeUnsupportedMedia,
+	CodeBuildFailed,
+	CodeQueryFailed,
+	CodeAppendFailed,
+}
+
+// StatusOf returns the HTTP status a code is served under — the
+// server derives every non-2xx status from the code, so the two can
+// never disagree on the wire. Unknown codes map to 500 (a server bug
+// by construction).
+func StatusOf(code string) int {
+	switch code {
+	case CodeInvalidBody, CodeInvalidRequest, CodeBudgetConflict:
+		return http.StatusBadRequest
+	case CodeTableNotFound:
+		return http.StatusNotFound
+	case CodeNotStreaming, CodeAlreadyStreaming:
+		return http.StatusConflict
+	case CodeBodyTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeUnsupportedMedia:
+		return http.StatusUnsupportedMediaType
+	case CodeBuildFailed, CodeQueryFailed, CodeAppendFailed:
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}

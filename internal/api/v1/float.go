@@ -1,0 +1,26 @@
+package v1
+
+import "math"
+
+// Float64 renders a float for the wire: NaN and ±Inf (legal
+// aggregates, illegal JSON) become null. Both the server's encoders
+// and any client synthesizing responses use this, so the convention
+// cannot fork.
+func Float64(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// Float64s maps Float64 over a slice, preserving nil.
+func Float64s(vs []float64) []*float64 {
+	if vs == nil {
+		return nil
+	}
+	out := make([]*float64, len(vs))
+	for i, v := range vs {
+		out[i] = Float64(v)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package v1
+
+import "strings"
+
+// Route patterns, in net/http "METHOD /path" mux form. The server
+// registers exactly these; the client builds its URLs from the same
+// strings. scripts/check_docs.sh greps this file, so every route must
+// be documented in docs/API.md.
+const (
+	RouteHealthz      = "GET /healthz"
+	RouteTables       = "GET /v1/tables"
+	RouteListSamples  = "GET /v1/samples"
+	RouteBuildSample  = "POST /v1/samples"
+	RouteQuery        = "POST /v1/query"
+	RouteStreamTable  = "POST /v1/tables/{name}/stream"
+	RouteAppendRows   = "POST /v1/tables/{name}/rows"
+	RouteRefreshTable = "POST /v1/tables/{name}/refresh"
+)
+
+// Routes lists every route pattern, for exhaustiveness checks.
+var Routes = []string{
+	RouteHealthz,
+	RouteTables,
+	RouteListSamples,
+	RouteBuildSample,
+	RouteQuery,
+	RouteStreamTable,
+	RouteAppendRows,
+	RouteRefreshTable,
+}
+
+// Path returns a route constant's URL path — the pattern with its
+// method prefix stripped ("POST /v1/query" → "/v1/query"). The client
+// builds its request URLs through this, so a renamed route moves both
+// sides of the contract at once.
+func Path(route string) string {
+	_, path, _ := strings.Cut(route, " ")
+	return path
+}

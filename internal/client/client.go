@@ -1,0 +1,200 @@
+// Package client is the typed Go client for the cvserve HTTP API. It
+// compiles against the same versioned contract package as the server
+// (internal/api/v1), so client and server cannot drift apart on the
+// wire format, and it decodes every non-2xx response into an *APIError
+// whose contract code resolves to a sentinel (errors.go) — callers
+// branch with errors.Is, never by string-matching messages.
+//
+//	c, _ := client.New("http://localhost:8080", nil)
+//	sample, err := c.BuildSample(ctx, apiv1.BuildRequest{
+//	    Table:   "sales",
+//	    Queries: []apiv1.QuerySpec{{GroupBy: []string{"region"}, Aggs: []apiv1.Agg{{Column: "amount"}}}},
+//	    Rate:    0.01,
+//	})
+//	if errors.Is(err, client.ErrTableNotFound) { ... }
+//
+// Every method takes a context and honors its cancellation/deadline.
+// cmd/cvquery and cmd/cvsample use this package for their -server
+// (remote) mode; the facade re-exports it as repro.Client.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	apiv1 "repro/internal/api/v1"
+)
+
+// Client talks to one cvserve daemon. It is safe for concurrent use;
+// all state is the base URL and the underlying *http.Client.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at baseURL (scheme + host
+// [+ port], e.g. "http://localhost:8080"; a path prefix is kept, for
+// daemons behind a routing proxy). hc == nil uses http.DefaultClient.
+// Builds and autoscale searches can run long, so callers wanting
+// timeouts should set them per call via context rather than a blanket
+// http.Client.Timeout.
+func New(baseURL string, hc *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad server URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: server URL %q must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("client: server URL %q has no host", baseURL)
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(u.String(), "/"), hc: hc}, nil
+}
+
+// BaseURL returns the normalized server base URL.
+func (c *Client) BaseURL() string { return c.base }
+
+// do sends one request and decodes the response: into out on 2xx, into
+// an *APIError otherwise. in == nil sends no body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *APIError. A body that
+// is not the contract envelope (a proxy's error page, a truncated
+// response) still yields an APIError carrying the status and the raw
+// text, so the caller always gets the status to branch on.
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env apiv1.Error
+	if err := json.Unmarshal(data, &env); err == nil && env.Message != "" {
+		return &APIError{Status: resp.StatusCode, Code: env.Code, Message: env.Message}
+	}
+	return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+}
+
+// tablePath resolves a /v1/tables/{name}/... route constant against a
+// concrete table, escaping the name so a table called "a/b" cannot
+// traverse the route space.
+func tablePath(route, name string) string {
+	return strings.Replace(apiv1.Path(route), "{name}", url.PathEscape(name), 1)
+}
+
+// Healthz reports the daemon's liveness, build identity (version, Go
+// runtime) and registry/latency counters.
+func (c *Client) Healthz(ctx context.Context) (*apiv1.Health, error) {
+	var out apiv1.Health
+	if err := c.do(ctx, http.MethodGet, apiv1.Path(apiv1.RouteHealthz), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Tables lists the registered tables; live ones carry stream state.
+func (c *Client) Tables(ctx context.Context) ([]apiv1.Table, error) {
+	var out apiv1.TablesList
+	if err := c.do(ctx, http.MethodGet, apiv1.Path(apiv1.RouteTables), nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Tables, nil
+}
+
+// Samples lists the built samples plus the daemon's sample-memory
+// counters.
+func (c *Client) Samples(ctx context.Context) (*apiv1.SamplesList, error) {
+	var out apiv1.SamplesList
+	if err := c.do(ctx, http.MethodGet, apiv1.Path(apiv1.RouteListSamples), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BuildSample registers a sample for a table + workload + sizing
+// (budget, rate or autoscaled target_cv), or fetches the cached one an
+// equal request built before; Sample.Cached distinguishes the two.
+func (c *Client) BuildSample(ctx context.Context, req apiv1.BuildRequest) (*apiv1.Sample, error) {
+	var out apiv1.Sample
+	if err := c.do(ctx, http.MethodPost, apiv1.Path(apiv1.RouteBuildSample), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Query answers a SQL group-by query — from the best covering sample,
+// exactly, or from an autoscaled sample when req.TargetCV is set.
+func (c *Client) Query(ctx context.Context, req apiv1.QueryRequest) (*apiv1.QueryResponse, error) {
+	var out apiv1.QueryResponse
+	if err := c.do(ctx, http.MethodPost, apiv1.Path(apiv1.RouteQuery), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MakeStreaming converts a registered table into a live (streaming)
+// one; generation 1 publishes before it returns.
+func (c *Client) MakeStreaming(ctx context.Context, table string, req apiv1.StreamRequest) (*apiv1.StreamState, error) {
+	var out apiv1.StreamState
+	if err := c.do(ctx, http.MethodPost, tablePath(apiv1.RouteStreamTable, table), req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AppendRows batch-appends rows (schema order, loosely typed) to a
+// streaming table. The batch is atomic: on ErrAppendFailed nothing was
+// appended.
+func (c *Client) AppendRows(ctx context.Context, table string, rows [][]any) (*apiv1.AppendResponse, error) {
+	var out apiv1.AppendResponse
+	if err := c.do(ctx, http.MethodPost, tablePath(apiv1.RouteAppendRows, table), apiv1.AppendRequest{Rows: rows}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Refresh forces a streaming table to publish a fresh sample
+// generation now and returns the freshly installed sample.
+func (c *Client) Refresh(ctx context.Context, table string) (*apiv1.Sample, error) {
+	var out apiv1.Sample
+	if err := c.do(ctx, http.MethodPost, tablePath(apiv1.RouteRefreshTable, table), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

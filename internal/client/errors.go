@@ -1,0 +1,103 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	apiv1 "repro/internal/api/v1"
+)
+
+// Sentinel errors, one per contract error code (apiv1.Codes). Every
+// *APIError unwraps to the sentinel matching its code, so callers
+// branch with errors.Is instead of string-matching messages:
+//
+//	_, err := c.BuildSample(ctx, req)
+//	switch {
+//	case errors.Is(err, client.ErrTableNotFound):
+//	    // load the table first
+//	case errors.Is(err, client.ErrBudgetConflict):
+//	    // fix the sizing fields
+//	}
+var (
+	// ErrInvalidBody: the request body was not well-formed JSON for the
+	// route (400, invalid_body).
+	ErrInvalidBody = errors.New("invalid request body")
+	// ErrInvalidRequest: a field value is invalid (400, invalid_request).
+	ErrInvalidRequest = errors.New("invalid request")
+	// ErrBudgetConflict: the sizing fields contradict each other —
+	// budget and rate both set, target_cv with budget/rate or exact
+	// mode, max_budget without target_cv, or no sizing at all (400,
+	// budget_conflict).
+	ErrBudgetConflict = errors.New("budget conflict")
+	// ErrTableNotFound: no table is registered under the name —
+	// including the FROM table of a query (404, table_not_found).
+	ErrTableNotFound = errors.New("table not found")
+	// ErrNotStreaming: append/refresh on a table that is not live (409,
+	// not_streaming).
+	ErrNotStreaming = errors.New("table is not streaming")
+	// ErrAlreadyStreaming: a second stream registration of one table
+	// (409, already_streaming).
+	ErrAlreadyStreaming = errors.New("table is already streaming")
+	// ErrBodyTooLarge: the request body exceeds the server's 1 MiB cap
+	// (413, body_too_large).
+	ErrBodyTooLarge = errors.New("request body too large")
+	// ErrUnsupportedMedia: the request declared a non-JSON Content-Type
+	// (415, unsupported_media_type).
+	ErrUnsupportedMedia = errors.New("unsupported media type")
+	// ErrBuildFailed: the sampler could not serve a well-formed build or
+	// stream registration (422, build_failed).
+	ErrBuildFailed = errors.New("build failed")
+	// ErrQueryFailed: a well-formed query could not be answered (422,
+	// query_failed).
+	ErrQueryFailed = errors.New("query failed")
+	// ErrAppendFailed: a row batch was rejected atomically (422,
+	// append_failed).
+	ErrAppendFailed = errors.New("append failed")
+)
+
+// sentinels maps each contract code to its sentinel; APIError.Unwrap
+// resolves through it. An unlisted code (a newer server) unwraps to
+// nil — the *APIError itself still carries Code and Status.
+var sentinels = map[string]error{
+	apiv1.CodeInvalidBody:      ErrInvalidBody,
+	apiv1.CodeInvalidRequest:   ErrInvalidRequest,
+	apiv1.CodeBudgetConflict:   ErrBudgetConflict,
+	apiv1.CodeTableNotFound:    ErrTableNotFound,
+	apiv1.CodeNotStreaming:     ErrNotStreaming,
+	apiv1.CodeAlreadyStreaming: ErrAlreadyStreaming,
+	apiv1.CodeBodyTooLarge:     ErrBodyTooLarge,
+	apiv1.CodeUnsupportedMedia: ErrUnsupportedMedia,
+	apiv1.CodeBuildFailed:      ErrBuildFailed,
+	apiv1.CodeQueryFailed:      ErrQueryFailed,
+	apiv1.CodeAppendFailed:     ErrAppendFailed,
+}
+
+// SentinelFor returns the sentinel error for a contract code, or nil
+// for codes this client version does not know. Exposed for tests that
+// iterate apiv1.Codes.
+func SentinelFor(code string) error { return sentinels[code] }
+
+// APIError is a non-2xx response decoded into a Go error: the HTTP
+// status, the machine-readable contract code and the server's
+// human-readable message. It unwraps to the sentinel for its code, so
+// errors.Is(err, client.ErrTableNotFound) works across wrapping.
+type APIError struct {
+	// Status is the HTTP status code of the response.
+	Status int
+	// Code is the contract error code (apiv1.Code*); empty when the
+	// server's error body carried none (e.g. a proxy's HTML error page).
+	Code string
+	// Message is the server's human-readable diagnosis.
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	if e.Code == "" {
+		return fmt.Sprintf("server returned %d: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("server returned %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// Unwrap resolves the error to its code's sentinel.
+func (e *APIError) Unwrap() error { return sentinels[e.Code] }

@@ -1,0 +1,8 @@
+package client
+
+import "net/http"
+
+// DecodeErrorForTest exposes the non-2xx decode path to the external
+// test package, so raw responses the typed client cannot produce (415,
+// malformed JSON bodies) still exercise the real mapping.
+func DecodeErrorForTest(resp *http.Response) error { return decodeError(resp) }

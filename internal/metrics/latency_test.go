@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 90 fast observations in one bucket, 10 slow ones well above:
+	// p50 must sit in the fast bucket, p99 in the slow one
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond) // bucket (64µs, 128µs]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond) // bucket (64ms, 128ms]
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 <= 64*time.Microsecond || p50 > 128*time.Microsecond {
+		t.Fatalf("p50 = %v, want within (64µs, 128µs]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 <= 64*time.Millisecond || p99 > 128*time.Millisecond {
+		t.Fatalf("p99 = %v, want within (64ms, 128ms]", p99)
+	}
+	if p95 := h.Quantile(0.95); p95 < p50 || p95 > p99 {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	// out-of-range q clamps instead of panicking
+	if lo, hi := h.Quantile(-1), h.Quantile(2); lo > hi {
+		t.Fatalf("clamped quantiles inverted: %v > %v", lo, hi)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	// sub-microsecond and zero land in bucket 0; absurdly large
+	// durations land in the last bucket instead of indexing past it
+	var h Histogram
+	h.Observe(0)
+	h.Observe(time.Nanosecond)
+	h.Observe(1000 * time.Hour)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if q := h.Quantile(1); q <= 0 {
+		t.Fatalf("max quantile = %v, want > 0", q)
+	}
+}
+
+func TestLatencySetSnapshot(t *testing.T) {
+	s := NewLatencySet()
+	if snap := s.Snapshot(); len(snap) != 0 {
+		t.Fatalf("empty set snapshot = %v", snap)
+	}
+	s.Observe("POST /v1/query", 2*time.Millisecond)
+	s.Observe("POST /v1/query", 3*time.Millisecond)
+	s.Observe("GET /healthz", 50*time.Microsecond)
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d labels, want 2: %v", len(snap), snap)
+	}
+	q := snap["POST /v1/query"]
+	if q.Count != 2 || q.P50 <= 0 || q.P99 < q.P50 {
+		t.Fatalf("query summary implausible: %+v", q)
+	}
+	if h := snap["GET /healthz"]; h.Count != 1 {
+		t.Fatalf("healthz count = %d, want 1", h.Count)
+	}
+}
+
+// Concurrent observers on one label must not race (run with -race) and
+// must not lose counts.
+func TestLatencySetConcurrent(t *testing.T) {
+	s := NewLatencySet()
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Observe("route", time.Duration(1+i%1000)*time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Snapshot()["route"].Count; got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}

@@ -701,7 +701,9 @@ func (r *Registry) Query(sql string, opt QueryOptions) (*QueryAnswer, error) {
 	}
 	tbl, ok := r.Table(q.From)
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown table %q", q.From)
+		// wraps the sentinel so the HTTP layer can map this to
+		// table_not_found like every other route's unknown-table case
+		return nil, fmt.Errorf("serve: %w: %q", ErrUnknownTable, q.From)
 	}
 	ans := &QueryAnswer{Table: tbl.Name}
 
@@ -800,23 +802,7 @@ func (r *Registry) buildForQuery(tableName string, q *sqlparse.Query, opt QueryO
 	if q.Where != nil {
 		return nil, fmt.Errorf("serve: a target CV cannot be guaranteed under a WHERE filter (the sample is sized for the unfiltered table); drop target_cv or the filter")
 	}
-	var cols []string
-	seen := map[string]bool{}
-	exprs := make([]sqlparse.Expr, 0, len(q.Select)+1)
-	for _, item := range q.Select {
-		exprs = append(exprs, item.Expr)
-	}
-	if q.Having != nil {
-		exprs = append(exprs, q.Having)
-	}
-	for _, e := range exprs {
-		for _, c := range sqlparse.AggColumnArgs(e) {
-			if !seen[c] {
-				seen[c] = true
-				cols = append(cols, c)
-			}
-		}
-	}
+	cols := sqlparse.QueryAggColumns(q)
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("serve: a target CV needs at least one aggregated column (COUNT(*) alone carries no measure to bound)")
 	}

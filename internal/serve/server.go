@@ -4,19 +4,31 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
+	"mime"
 	"net/http"
+	"runtime"
 	"time"
 
+	apiv1 "repro/internal/api/v1"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/ingest"
 	"repro/internal/metrics"
 )
 
-// Server is the HTTP/JSON front end of a Registry:
+// Version identifies the daemon build in /healthz; override it at link
+// time ("dev" otherwise):
 //
-//	GET  /healthz                   — liveness plus table/sample/build/stream counters
+//	go build -ldflags "-X repro/internal/serve.Version=v1.2.3" ./cmd/cvserve
+var Version = "dev"
+
+// Server is the HTTP/JSON front end of a Registry. Every request,
+// response and error body on the wire is a type from the versioned
+// contract package internal/api/v1 — this file maps HTTP onto the
+// registry and declares no wire structs of its own. The routes
+// (apiv1.Routes):
+//
+//	GET  /healthz                   — liveness, build identity, counters, per-route latency
 //	GET  /v1/tables                 — registered tables (live ones carry stream state)
 //	GET  /v1/samples                — built samples with per-entry hit counts
 //	POST /v1/samples                — register (build or fetch cached) a sample
@@ -25,11 +37,14 @@ import (
 //	POST /v1/tables/{name}/rows     — batch-append rows to a live table
 //	POST /v1/tables/{name}/refresh  — publish a fresh sample generation now
 //
-// A Server is safe for concurrent use; it holds no mutable state of its
-// own beyond the registry.
+// A Server is safe for concurrent use; beyond the registry it holds
+// only monotone latency counters.
 type Server struct {
 	reg *Registry
 	mux *http.ServeMux
+	// latency feeds the per-route p50/p95/p99 digests /healthz reports;
+	// every route is timed by the instrument wrapper.
+	latency *metrics.LatencySet
 	// defaultTargetCV, when positive, autoscales POST /v1/samples
 	// requests that specify none of budget/rate/target_cv (the daemon
 	// operator's accuracy default, cvserve -default-target-cv).
@@ -49,27 +64,59 @@ func WithDefaultTargetCV(cv float64) ServerOption {
 
 // NewServer wraps a registry in its HTTP API.
 func NewServer(reg *Registry, opts ...ServerOption) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s := &Server{reg: reg, mux: http.NewServeMux(), latency: metrics.NewLatencySet()}
 	for _, o := range opts {
 		o(s)
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /v1/tables", s.handleTables)
-	s.mux.HandleFunc("GET /v1/samples", s.handleListSamples)
-	s.mux.HandleFunc("POST /v1/samples", s.handleBuildSample)
-	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
-	s.mux.HandleFunc("POST /v1/tables/{name}/stream", s.handleStreamTable)
-	s.mux.HandleFunc("POST /v1/tables/{name}/rows", s.handleAppendRows)
-	s.mux.HandleFunc("POST /v1/tables/{name}/refresh", s.handleRefreshTable)
+	s.route(apiv1.RouteHealthz, s.handleHealthz)
+	s.route(apiv1.RouteTables, s.handleTables)
+	s.route(apiv1.RouteListSamples, s.handleListSamples)
+	s.route(apiv1.RouteBuildSample, s.handleBuildSample)
+	s.route(apiv1.RouteQuery, s.handleQuery)
+	s.route(apiv1.RouteStreamTable, s.handleStreamTable)
+	s.route(apiv1.RouteAppendRows, s.handleAppendRows)
+	s.route(apiv1.RouteRefreshTable, s.handleRefreshTable)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// route registers a handler under its contract pattern, wrapped in the
+// latency instrument: one Observe per served request, keyed by the
+// pattern (not the concrete URL, so /v1/tables/{name}/rows is one
+// series no matter how many tables exist).
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.latency.Observe(pattern, time.Since(start))
+	})
+}
 
-// errorJSON is every non-2xx body.
-type errorJSON struct {
-	Error string `json:"error"`
+// latencyGateLabel is the synthetic latency-series key for requests
+// the Content-Type gate rejects before routing: a fleet of
+// misconfigured clients flooding 415s must show up in /healthz, not
+// vanish because no route ever ran.
+const latencyGateLabel = "POST (unsupported_media_type)"
+
+// ServeHTTP implements http.Handler. The POST Content-Type gate lives
+// here — one check shared by every POST handler: a body declared as
+// anything other than JSON is a 415 before any handler runs (counted
+// under latencyGateLabel in the /healthz latency map). A missing
+// Content-Type is accepted and treated as JSON (bare scripted clients;
+// the strict decoder still 400s non-JSON payloads), so only an
+// affirmatively wrong declaration is rejected.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != "application/json" {
+				start := time.Now()
+				writeError(w, apiv1.CodeUnsupportedMedia,
+					"unsupported Content-Type %q: request bodies must be application/json", ct)
+				s.latency.Observe(latencyGateLabel, time.Since(start))
+				return
+			}
+		}
+	}
+	s.mux.ServeHTTP(w, r)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -78,8 +125,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+// writeError sends the apiv1.Error envelope; the HTTP status is
+// derived from the code (apiv1.StatusOf), so status and code cannot
+// disagree on the wire.
+func writeError(w http.ResponseWriter, code string, format string, args ...any) {
+	writeJSON(w, apiv1.StatusOf(code), apiv1.Error{Code: code, Message: fmt.Sprintf(format, args...)})
 }
 
 // maxBodyBytes caps request bodies: the largest legitimate request is
@@ -90,110 +140,26 @@ const maxBodyBytes = 1 << 20
 // decodeJSON decodes a request body strictly (unknown fields are
 // errors, catching typos like "buget" before they silently build the
 // wrong sample) and bounded by maxBodyBytes. On failure it writes the
-// error response (413 for oversized bodies, 400 otherwise) and returns
-// false.
+// error response (body_too_large for oversized bodies, invalid_body
+// otherwise) and returns false.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			writeError(w, apiv1.CodeBodyTooLarge, "request body exceeds %d bytes", tooBig.Limit)
 		} else {
-			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			writeError(w, apiv1.CodeInvalidBody, "bad request body: %v", err)
 		}
 		return false
 	}
 	return true
 }
 
-// jsonFloat renders a float for JSON: NaN and ±Inf (legal aggregates,
-// illegal JSON) become null.
-func jsonFloat(v float64) *float64 {
-	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return nil
-	}
-	return &v
-}
-
-func jsonFloats(vs []float64) []*float64 {
-	if vs == nil {
-		return nil
-	}
-	out := make([]*float64, len(vs))
-	for i, v := range vs {
-		out[i] = jsonFloat(v)
-	}
-	return out
-}
-
-// aggJSON is one aggregation column of a build request.
-type aggJSON struct {
-	Column string  `json:"column"`
-	Weight float64 `json:"weight,omitempty"`
-}
-
-// querySpecJSON is one workload query of a build request.
-type querySpecJSON struct {
-	GroupBy []string  `json:"group_by"`
-	Aggs    []aggJSON `json:"aggs"`
-}
-
-// buildJSON is the POST /v1/samples request body.
-type buildJSON struct {
-	Table   string          `json:"table"`
-	Queries []querySpecJSON `json:"queries"`
-	// Budget is the absolute row budget; Rate (in (0, 1]) is the
-	// fractional alternative; TargetCV asks the server to *autoscale*
-	// the budget instead — find the smallest one whose predicted worst
-	// per-group CV meets the target. Exactly one of the three must be
-	// set (or none, when the daemon has a -default-target-cv).
-	Budget   int     `json:"budget,omitempty"`
-	Rate     float64 `json:"rate,omitempty"`
-	TargetCV float64 `json:"target_cv,omitempty"`
-	// MaxBudget caps an autoscaled search (0 = table rows); requires
-	// target_cv. When the cap cannot meet the target the response is
-	// best-effort: target_met false, achieved_cv reporting the
-	// guarantee actually obtained.
-	MaxBudget int     `json:"max_budget,omitempty"`
-	Norm      string  `json:"norm,omitempty"` // "l2" (default), "linf", "lp"
-	P         float64 `json:"p,omitempty"`    // exponent for norm "lp"
-	Seed      int64   `json:"seed,omitempty"`
-}
-
-// sampleJSON describes one built sample in responses.
-type sampleJSON struct {
-	Key     string    `json:"key"`
-	Table   string    `json:"table"`
-	Budget  int       `json:"budget"`
-	Rows    int       `json:"rows"`
-	GroupBy []string  `json:"group_by"`
-	BuiltAt time.Time `json:"built_at"`
-	BuildMS float64   `json:"build_ms"`
-	// Hits is how many times this sample (this key, across streaming
-	// generations) was reused: queries answered plus cached build
-	// fetches.
-	Hits int64 `json:"hits"`
-	// SizeBytes is the sample's resident-memory estimate charged
-	// against the daemon's -max-sample-bytes budget.
-	SizeBytes int64 `json:"size_bytes"`
-	// Generation is the streaming publication number (absent for
-	// static builds).
-	Generation uint64 `json:"generation,omitempty"`
-	Cached     bool   `json:"cached,omitempty"`
-	// Autoscaled builds only: the requested CV goal, the budget the
-	// search chose (== budget, surfaced under the name callers look
-	// for), the predicted worst per-group CV at that budget (absent when
-	// it is infinite — an unsampleable stratum), and whether the target
-	// was met (false = max_budget bound the search, best-effort sample).
-	TargetCV     float64  `json:"target_cv,omitempty"`
-	ChosenBudget int      `json:"chosen_budget,omitempty"`
-	AchievedCV   *float64 `json:"achieved_cv,omitempty"`
-	TargetMet    *bool    `json:"target_met,omitempty"`
-}
-
-func sampleToJSON(e *Entry, cached bool) sampleJSON {
-	out := sampleJSON{
+// toWireSample renders one registry entry as its contract type.
+func toWireSample(e *Entry, cached bool) apiv1.Sample {
+	out := apiv1.Sample{
 		Key:        e.Key,
 		Table:      e.Table,
 		Budget:     e.Budget,
@@ -210,7 +176,7 @@ func sampleToJSON(e *Entry, cached bool) sampleJSON {
 		met := e.TargetMet
 		out.TargetCV = e.TargetCV
 		out.ChosenBudget = e.Budget
-		out.AchievedCV = jsonFloat(e.AchievedCV)
+		out.AchievedCV = apiv1.Float64(e.AchievedCV)
 		out.TargetMet = &met
 	}
 	return out
@@ -218,62 +184,68 @@ func sampleToJSON(e *Entry, cached bool) sampleJSON {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	tables, samples := s.reg.Counts()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":                "ok",
-		"tables":                tables,
-		"samples":               samples,
-		"builds":                s.reg.Builds(),
-		"streams":               s.reg.StreamCount(),
-		"refreshes":             s.reg.Refreshes(),
-		"sample_hits":           s.reg.TotalHits(),
-		"shards":                s.reg.Shards(),
-		"resident_sample_bytes": s.reg.ResidentSampleBytes(),
-		"max_sample_bytes":      s.reg.MaxSampleBytes(),
-		"evictions":             s.reg.Evictions(),
-	})
+	h := apiv1.Health{
+		Status:              "ok",
+		Version:             Version,
+		Go:                  runtime.Version(),
+		Tables:              tables,
+		Samples:             samples,
+		Builds:              s.reg.Builds(),
+		Streams:             s.reg.StreamCount(),
+		Refreshes:           s.reg.Refreshes(),
+		SampleHits:          s.reg.TotalHits(),
+		Shards:              s.reg.Shards(),
+		ResidentSampleBytes: s.reg.ResidentSampleBytes(),
+		MaxSampleBytes:      s.reg.MaxSampleBytes(),
+		Evictions:           s.reg.Evictions(),
+	}
+	if snap := s.latency.Snapshot(); len(snap) > 0 {
+		h.Latency = make(map[string]apiv1.LatencySummary, len(snap))
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		for route, sum := range snap {
+			h.Latency[route] = apiv1.LatencySummary{
+				Count: sum.Count,
+				P50MS: ms(sum.P50),
+				P95MS: ms(sum.P95),
+				P99MS: ms(sum.P99),
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
-	type tableJSON struct {
-		Name string `json:"name"`
-		Rows int    `json:"rows"`
-		Cols int    `json:"cols"`
-		// streaming tables additionally report their live state
-		Streaming  bool   `json:"streaming,omitempty"`
-		Generation uint64 `json:"generation,omitempty"`
-		Pending    int    `json:"pending,omitempty"`
-	}
-	out := []tableJSON{}
+	out := apiv1.TablesList{Tables: []apiv1.Table{}}
 	for _, name := range s.reg.TableNames() {
 		tbl, _ := s.reg.Table(name)
-		tj := tableJSON{Name: name, Rows: tbl.NumRows(), Cols: tbl.NumCols()}
+		tj := apiv1.Table{Name: name, Rows: tbl.NumRows(), Cols: tbl.NumCols()}
 		if st, ok := s.reg.StreamStatus(name); ok {
 			tj.Streaming = true
 			tj.Generation = st.Generation
 			tj.Pending = st.Pending
 			tj.Rows = st.Rows
 		}
-		out = append(out, tj)
+		out.Tables = append(out.Tables, tj)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"tables": out})
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleListSamples(w http.ResponseWriter, r *http.Request) {
 	entries := s.reg.Entries()
-	out := make([]sampleJSON, len(entries))
-	for i, e := range entries {
-		out[i] = sampleToJSON(e, false)
+	out := apiv1.SamplesList{
+		Samples:       make([]apiv1.Sample, len(entries)),
+		ResidentBytes: s.reg.ResidentSampleBytes(),
+		MaxBytes:      s.reg.MaxSampleBytes(),
+		Evictions:     s.reg.Evictions(),
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"samples":        out,
-		"resident_bytes": s.reg.ResidentSampleBytes(),
-		"max_bytes":      s.reg.MaxSampleBytes(),
-		"evictions":      s.reg.Evictions(),
-	})
+	for i, e := range entries {
+		out.Samples[i] = toWireSample(e, false)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
-	var req buildJSON
+	var req apiv1.BuildRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
@@ -283,33 +255,33 @@ func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
 	// ResponseWriter supports it)
 	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	if req.Table == "" {
-		writeError(w, http.StatusBadRequest, "table is required")
+		writeError(w, apiv1.CodeInvalidRequest, "table is required")
 		return
 	}
 	tbl, ok := s.reg.Table(req.Table)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown table %q", req.Table)
+		writeError(w, apiv1.CodeTableNotFound, "unknown table %q", req.Table)
 		return
 	}
 	budget, targetCV := req.Budget, req.TargetCV
 	switch {
 	case budget < 0:
-		writeError(w, http.StatusBadRequest, "budget must be positive, got %d", budget)
+		writeError(w, apiv1.CodeInvalidRequest, "budget must be positive, got %d", budget)
 		return
 	case targetCV < 0:
-		writeError(w, http.StatusBadRequest, "target_cv must be positive, got %g", targetCV)
+		writeError(w, apiv1.CodeInvalidRequest, "target_cv must be positive, got %g", targetCV)
 		return
 	case req.MaxBudget < 0:
-		writeError(w, http.StatusBadRequest, "max_budget must be non-negative, got %d", req.MaxBudget)
+		writeError(w, apiv1.CodeInvalidRequest, "max_budget must be non-negative, got %d", req.MaxBudget)
 		return
 	case targetCV != 0 && (budget != 0 || req.Rate != 0):
-		writeError(w, http.StatusBadRequest, "target_cv is mutually exclusive with budget and rate: the server chooses the budget")
+		writeError(w, apiv1.CodeBudgetConflict, "target_cv is mutually exclusive with budget and rate: the server chooses the budget")
 		return
 	case req.MaxBudget != 0 && targetCV == 0:
-		writeError(w, http.StatusBadRequest, "max_budget caps an autoscaled build; it requires target_cv")
+		writeError(w, apiv1.CodeBudgetConflict, "max_budget caps an autoscaled build; it requires target_cv")
 		return
 	case budget != 0 && req.Rate != 0:
-		writeError(w, http.StatusBadRequest, "set budget or rate, not both")
+		writeError(w, apiv1.CodeBudgetConflict, "set budget or rate, not both")
 		return
 	case budget == 0 && req.Rate == 0 && targetCV == 0:
 		if s.defaultTargetCV > 0 {
@@ -318,11 +290,11 @@ func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
 			targetCV = s.defaultTargetCV
 			break
 		}
-		writeError(w, http.StatusBadRequest, "one of budget, rate or target_cv is required")
+		writeError(w, apiv1.CodeBudgetConflict, "one of budget, rate or target_cv is required")
 		return
 	case req.Rate != 0:
 		if req.Rate < 0 || req.Rate > 1 {
-			writeError(w, http.StatusBadRequest, "rate must be in (0, 1], got %g", req.Rate)
+			writeError(w, apiv1.CodeInvalidRequest, "rate must be in (0, 1], got %g", req.Rate)
 			return
 		}
 		budget = int(float64(tbl.NumRows()) * req.Rate)
@@ -332,12 +304,12 @@ func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
 	}
 	opts, err := parseNorm(req.Norm, req.P)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, apiv1.CodeInvalidRequest, "%v", err)
 		return
 	}
 	specs, err := parseSpecs(req.Queries)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, apiv1.CodeInvalidRequest, "%v", err)
 		return
 	}
 	entry, cached, err := s.reg.Build(BuildRequest{
@@ -350,25 +322,25 @@ func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
 		Seed:      req.Seed,
 	})
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, apiv1.CodeBuildFailed, "%v", err)
 		return
 	}
 	code := http.StatusCreated
 	if cached {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, sampleToJSON(entry, cached))
+	writeJSON(w, code, toWireSample(entry, cached))
 }
 
-// parseNorm maps the wire norm ("l2" default, "linf", "lp" + p) onto
+// parseNorm maps the wire norm (l2 default, linf, lp + p) onto
 // core.Options.
 func parseNorm(norm string, p float64) (core.Options, error) {
 	var opts core.Options
 	switch norm {
-	case "", "l2":
-	case "linf":
+	case "", apiv1.NormL2:
+	case apiv1.NormLInf:
 		opts.Norm = core.LInf
-	case "lp":
+	case apiv1.NormLp:
 		if p < 1 {
 			return opts, fmt.Errorf("norm lp requires p >= 1, got %g", p)
 		}
@@ -380,7 +352,7 @@ func parseNorm(norm string, p float64) (core.Options, error) {
 }
 
 // parseSpecs converts and validates wire query specs.
-func parseSpecs(queries []querySpecJSON) ([]core.QuerySpec, error) {
+func parseSpecs(queries []apiv1.QuerySpec) ([]core.QuerySpec, error) {
 	specs := make([]core.QuerySpec, len(queries))
 	for i, q := range queries {
 		specs[i] = core.QuerySpec{GroupBy: q.GroupBy}
@@ -394,46 +366,8 @@ func parseSpecs(queries []querySpecJSON) ([]core.QuerySpec, error) {
 	return specs, nil
 }
 
-// streamRequestJSON is the POST /v1/tables/{name}/stream request body:
-// the workload and budget the live sample must serve plus the refresh
-// policy. Omitted policy fields fall back to the daemon's
-// -refresh-rows / -refresh-interval defaults.
-type streamRequestJSON struct {
-	Queries []querySpecJSON `json:"queries"`
-	// Budget is the absolute per-generation row budget; Rate (in
-	// (0, 1]) spends a fraction of the current rows instead, so the
-	// sample grows with the stream. Exactly one must be set.
-	Budget int     `json:"budget,omitempty"`
-	Rate   float64 `json:"rate,omitempty"`
-	Norm   string  `json:"norm,omitempty"`
-	P      float64 `json:"p,omitempty"`
-	Seed   int64   `json:"seed,omitempty"`
-	// Capacity is the per-stratum reservoir capacity (the streaming
-	// memory/accuracy knob; 0 = server default).
-	Capacity int `json:"capacity,omitempty"`
-	// RefreshRows republishes after this many appended rows. 0 (or
-	// omitted) inherits the daemon's -refresh-rows default; a negative
-	// value explicitly disables the threshold even when a default is
-	// set.
-	RefreshRows int `json:"refresh_rows,omitempty"`
-	// RefreshInterval republishes periodically, as a Go duration
-	// string like "30s". "" inherits the daemon's -refresh-interval
-	// default; a negative duration like "-1s" explicitly disables the
-	// ticker.
-	RefreshInterval string `json:"refresh_interval,omitempty"`
-}
-
-// streamStateJSON describes a live table in responses.
-type streamStateJSON struct {
-	Table      string `json:"table"`
-	Streaming  bool   `json:"streaming"`
-	Generation uint64 `json:"generation"`
-	Rows       int    `json:"rows"`
-	Pending    int    `json:"pending"`
-}
-
-func (s *Server) streamStateToJSON(name string) streamStateJSON {
-	out := streamStateJSON{Table: name}
+func (s *Server) streamStateToWire(name string) apiv1.StreamState {
+	out := apiv1.StreamState{Table: name}
 	if st, ok := s.reg.StreamStatus(name); ok {
 		out.Table = st.Table
 		out.Streaming = true
@@ -447,7 +381,7 @@ func (s *Server) streamStateToJSON(name string) streamStateJSON {
 // handleStreamTable converts a registered table into a streaming one.
 func (s *Server) handleStreamTable(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	var req streamRequestJSON
+	var req apiv1.StreamRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
@@ -455,24 +389,24 @@ func (s *Server) handleStreamTable(w http.ResponseWriter, r *http.Request) {
 	// from the daemon's write deadline like any other build
 	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	if _, ok := s.reg.Table(name); !ok {
-		writeError(w, http.StatusNotFound, "unknown table %q", name)
+		writeError(w, apiv1.CodeTableNotFound, "unknown table %q", name)
 		return
 	}
 	opts, err := parseNorm(req.Norm, req.P)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, apiv1.CodeInvalidRequest, "%v", err)
 		return
 	}
 	specs, err := parseSpecs(req.Queries)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, apiv1.CodeInvalidRequest, "%v", err)
 		return
 	}
 	var interval time.Duration
 	if req.RefreshInterval != "" {
 		interval, err = time.ParseDuration(req.RefreshInterval)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad refresh_interval: %v", err)
+			writeError(w, apiv1.CodeInvalidRequest, "bad refresh_interval: %v", err)
 			return
 		}
 	}
@@ -486,41 +420,34 @@ func (s *Server) handleStreamTable(w http.ResponseWriter, r *http.Request) {
 		Policy:   ingest.Policy{MaxPending: req.RefreshRows, Interval: interval},
 	}
 	if err := s.reg.StreamTable(name, cfg); err != nil {
-		writeError(w, streamErrorCode(err), "%v", err)
+		writeError(w, streamErrorCode(err, apiv1.CodeBuildFailed), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, s.streamStateToJSON(name))
-}
-
-// appendRowsJSON is the POST /v1/tables/{name}/rows request body: a
-// batch of rows in schema order, loosely typed (JSON numbers for both
-// float and int columns, strings for dictionary columns).
-type appendRowsJSON struct {
-	Rows [][]any `json:"rows"`
+	writeJSON(w, http.StatusCreated, s.streamStateToWire(name))
 }
 
 // handleAppendRows batch-appends rows to a streaming table.
 func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	var req appendRowsJSON
+	var req apiv1.AppendRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Rows) == 0 {
-		writeError(w, http.StatusBadRequest, "rows is required")
+		writeError(w, apiv1.CodeInvalidRequest, "rows is required")
 		return
 	}
 	st, err := s.reg.Append(name, req.Rows)
 	if err != nil {
-		writeError(w, streamErrorCode(err), "%v", err)
+		writeError(w, streamErrorCode(err, apiv1.CodeAppendFailed), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"table":      name,
-		"appended":   st.Appended,
-		"pending":    st.Pending,
-		"rows":       st.Rows,
-		"generation": st.Generation,
+	writeJSON(w, http.StatusOK, apiv1.AppendResponse{
+		Table:      name,
+		Appended:   st.Appended,
+		Pending:    st.Pending,
+		Rows:       st.Rows,
+		Generation: st.Generation,
 	})
 }
 
@@ -533,78 +460,29 @@ func (s *Server) handleRefreshTable(w http.ResponseWriter, r *http.Request) {
 	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	e, err := s.reg.Refresh(name)
 	if err != nil {
-		writeError(w, streamErrorCode(err), "%v", err)
+		writeError(w, streamErrorCode(err, apiv1.CodeBuildFailed), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, sampleToJSON(e, false))
+	writeJSON(w, http.StatusOK, toWireSample(e, false))
 }
 
-// streamErrorCode maps streaming registry errors to HTTP statuses:
-// unknown table 404, streaming-state conflicts 409, anything else 422.
-func streamErrorCode(err error) int {
+// streamErrorCode maps streaming registry errors to contract error
+// codes: unknown table, streaming-state conflicts, else the caller's
+// fallback (the route-appropriate 422 code).
+func streamErrorCode(err error, fallback string) string {
 	switch {
-	case errors.Is(err, ErrNotStreaming), errors.Is(err, ErrAlreadyStreaming):
-		return http.StatusConflict
+	case errors.Is(err, ErrNotStreaming):
+		return apiv1.CodeNotStreaming
+	case errors.Is(err, ErrAlreadyStreaming):
+		return apiv1.CodeAlreadyStreaming
 	case errors.Is(err, ErrUnknownTable):
-		return http.StatusNotFound
+		return apiv1.CodeTableNotFound
 	}
-	return http.StatusUnprocessableEntity
-}
-
-// queryJSON is the POST /v1/query request body.
-type queryJSON struct {
-	SQL string `json:"sql"`
-	// Mode: "auto" (default — covering sample if built, exact
-	// otherwise), "sample" (fail without one), "exact".
-	Mode string `json:"mode,omitempty"`
-	// Compare also runs the exact query and reports each group's true
-	// relative error next to its estimate (ops/debugging aid).
-	Compare bool `json:"compare,omitempty"`
-	// TargetCV answers from an autoscaled sample built for this query's
-	// own workload: the smallest budget whose predicted worst per-group
-	// CV meets the target. Cached per (table, workload, target), so
-	// repeat and concurrent queries share one build. Incompatible with
-	// mode "exact". MaxBudget caps the search (0 = table rows).
-	TargetCV  float64 `json:"target_cv,omitempty"`
-	MaxBudget int     `json:"max_budget,omitempty"`
-}
-
-// groupJSON is one output group of a query response.
-type groupJSON struct {
-	Set  int        `json:"set"`
-	Key  []string   `json:"key"`
-	Aggs []*float64 `json:"aggs"`
-	// SE are the per-aggregate standard errors (approximate answers
-	// only; null where no estimator applies).
-	SE []*float64 `json:"se,omitempty"`
-	// RelErr are the true per-aggregate relative errors (compare mode
-	// only).
-	RelErr []*float64 `json:"rel_err,omitempty"`
-}
-
-// queryResponseJSON is the POST /v1/query response body.
-type queryResponseJSON struct {
-	Table      string `json:"table"`
-	Exact      bool   `json:"exact"`
-	SampleKey  string `json:"sample_key,omitempty"`
-	SampleRows int    `json:"sample_rows,omitempty"`
-	// Generation is the streaming publication the answer came from
-	// (absent for static samples and exact answers).
-	Generation uint64 `json:"generation,omitempty"`
-	// Autoscaled answers only: the CV goal of the sample that answered,
-	// the budget the search chose, the predicted worst per-group CV at
-	// that budget (absent when infinite) and whether the goal was met.
-	TargetCV     float64     `json:"target_cv,omitempty"`
-	ChosenBudget int         `json:"chosen_budget,omitempty"`
-	AchievedCV   *float64    `json:"achieved_cv,omitempty"`
-	TargetMet    *bool       `json:"target_met,omitempty"`
-	Sets         [][]string  `json:"sets"`
-	AggLabels    []string    `json:"agg_labels"`
-	Groups       []groupJSON `json:"groups"`
+	return fallback
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryJSON
+	var req apiv1.QueryRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
@@ -612,48 +490,51 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// a server-wide WriteTimeout just like a sample build; best-effort
 	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	if req.SQL == "" {
-		writeError(w, http.StatusBadRequest, "sql is required")
+		writeError(w, apiv1.CodeInvalidRequest, "sql is required")
 		return
 	}
 	var opt QueryOptions
 	switch req.Mode {
-	case "", "auto":
+	case "", apiv1.ModeAuto:
 		opt.Mode = ModeAuto
-	case "sample":
+	case apiv1.ModeSample:
 		opt.Mode = ModeSample
-	case "exact":
+	case apiv1.ModeExact:
 		opt.Mode = ModeExact
 	default:
-		writeError(w, http.StatusBadRequest, "unknown mode %q (want auto, sample or exact)", req.Mode)
+		writeError(w, apiv1.CodeInvalidRequest, "unknown mode %q (want auto, sample or exact)", req.Mode)
 		return
 	}
 	switch {
 	case req.TargetCV < 0:
-		writeError(w, http.StatusBadRequest, "target_cv must be positive, got %g", req.TargetCV)
+		writeError(w, apiv1.CodeInvalidRequest, "target_cv must be positive, got %g", req.TargetCV)
 		return
 	case req.MaxBudget < 0:
-		writeError(w, http.StatusBadRequest, "max_budget must be non-negative, got %d", req.MaxBudget)
+		writeError(w, apiv1.CodeInvalidRequest, "max_budget must be non-negative, got %d", req.MaxBudget)
 		return
 	case req.MaxBudget != 0 && req.TargetCV == 0:
-		writeError(w, http.StatusBadRequest, "max_budget caps an autoscaled query; it requires target_cv")
+		writeError(w, apiv1.CodeBudgetConflict, "max_budget caps an autoscaled query; it requires target_cv")
 		return
 	case req.TargetCV > 0 && opt.Mode == ModeExact:
-		writeError(w, http.StatusBadRequest, "target_cv asks for an autoscaled sample; it cannot be combined with mode \"exact\"")
+		writeError(w, apiv1.CodeBudgetConflict, "target_cv asks for an autoscaled sample; it cannot be combined with mode \"exact\"")
 		return
 	}
 	opt.Compare = req.Compare
 	opt.TargetCV, opt.MaxBudget = req.TargetCV, req.MaxBudget
 	ans, err := s.reg.Query(req.SQL, opt)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		// an unknown FROM table is table_not_found/404, consistent with
+		// every other route; anything else the query could not serve is
+		// query_failed/422
+		writeError(w, streamErrorCode(err, apiv1.CodeQueryFailed), "%v", err)
 		return
 	}
-	resp := queryResponseJSON{
+	resp := apiv1.QueryResponse{
 		Table:     ans.Table,
 		Exact:     ans.Entry == nil,
 		Sets:      ans.Result.Sets,
 		AggLabels: ans.Result.AggLabels,
-		Groups:    make([]groupJSON, len(ans.Result.Rows)),
+		Groups:    make([]apiv1.Group, len(ans.Result.Rows)),
 	}
 	if ans.Entry != nil {
 		resp.SampleKey = ans.Entry.Key
@@ -663,7 +544,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			met := ans.Entry.TargetMet
 			resp.TargetCV = ans.Entry.TargetCV
 			resp.ChosenBudget = ans.Entry.Budget
-			resp.AchievedCV = jsonFloat(ans.Entry.AchievedCV)
+			resp.AchievedCV = apiv1.Float64(ans.Entry.AchievedCV)
 			resp.TargetMet = &met
 		}
 	}
@@ -674,16 +555,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		exactIdx = ans.ExactResult.Index()
 	}
 	for i, row := range ans.Result.Rows {
-		g := groupJSON{Set: row.Set, Key: row.Key, Aggs: jsonFloats(row.Aggs)}
+		g := apiv1.Group{Set: row.Set, Key: row.Key, Aggs: apiv1.Float64s(row.Aggs)}
 		if row.SE != nil {
-			g.SE = jsonFloats(row.SE)
+			g.SE = apiv1.Float64s(row.SE)
 		}
 		if exactIdx != nil {
 			want, ok := exactIdx[exec.KeyOf(row.Set, row.Key)]
 			rel := make([]*float64, len(row.Aggs))
 			for j, got := range row.Aggs {
 				if ok && j < len(want) {
-					rel[j] = jsonFloat(metrics.RelativeError(want[j], got))
+					rel[j] = apiv1.Float64(metrics.RelativeError(want[j], got))
 				}
 			}
 			g.RelErr = rel

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	apiv1 "repro/internal/api/v1"
 	"repro/internal/serve"
 )
 
@@ -86,6 +87,8 @@ func TestServerEndToEnd(t *testing.T) {
 
 	var health struct {
 		Status  string `json:"status"`
+		Version string `json:"version"`
+		Go      string `json:"go"`
 		Tables  int    `json:"tables"`
 		Samples int    `json:"samples"`
 	}
@@ -94,6 +97,11 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 	if health.Status != "ok" || health.Tables != 1 || health.Samples != 0 {
 		t.Fatalf("healthz: %+v", health)
+	}
+	// build identity: the ldflags version stamp ("dev" unstamped) and
+	// the Go runtime, so fleet operators can tell daemons apart
+	if health.Version != "dev" || !strings.HasPrefix(health.Go, "go") {
+		t.Fatalf("healthz build identity: %+v", health)
 	}
 
 	var tables struct {
@@ -184,37 +192,48 @@ func TestServerEndToEnd(t *testing.T) {
 
 func TestServerErrors(t *testing.T) {
 	ts, _ := startServer(t)
+	// every non-2xx body is the apiv1.Error envelope: the status is
+	// derived from the machine-readable code, so both are asserted
 	cases := []struct {
 		name, path, body string
 		wantCode         int
+		wantAPICode      string
 	}{
-		{"bad json", "/v1/samples", `{`, http.StatusBadRequest},
-		{"unknown field", "/v1/samples", `{"buget": 3}`, http.StatusBadRequest},
-		{"missing table", "/v1/samples", `{"queries": [], "budget": 10}`, http.StatusBadRequest},
-		{"unknown table", "/v1/samples", `{"table": "nope", "queries": [{"group_by": ["x"], "aggs": [{"column": "y"}]}], "budget": 10}`, http.StatusNotFound},
-		{"no budget", "/v1/samples", `{"table": "sales", "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest},
-		{"both budgets", "/v1/samples", `{"table": "sales", "budget": 10, "rate": 0.1, "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest},
-		{"negative budget", "/v1/samples", `{"table": "sales", "budget": -5, "rate": 0.1, "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest},
-		{"bad rate", "/v1/samples", `{"table": "sales", "rate": 1.5, "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest},
-		{"bad norm", "/v1/samples", `{"table": "sales", "budget": 10, "norm": "l7", "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest},
-		{"lp without p", "/v1/samples", `{"table": "sales", "budget": 10, "norm": "lp", "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest},
-		{"invalid spec", "/v1/samples", `{"table": "sales", "budget": 10, "queries": [{"group_by": [], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest},
-		{"bad agg column", "/v1/samples", `{"table": "sales", "budget": 10, "queries": [{"group_by": ["region"], "aggs": [{"column": "nope"}]}]}`, http.StatusUnprocessableEntity},
-		{"query bad json", "/v1/query", `{`, http.StatusBadRequest},
-		{"query no sql", "/v1/query", `{}`, http.StatusBadRequest},
-		{"query bad mode", "/v1/query", `{"sql": "SELECT COUNT(*) FROM sales", "mode": "psychic"}`, http.StatusBadRequest},
-		{"query bad sql", "/v1/query", `{"sql": "not sql"}`, http.StatusUnprocessableEntity},
-		{"query unknown table", "/v1/query", `{"sql": "SELECT region, AVG(amount) FROM nope GROUP BY region"}`, http.StatusUnprocessableEntity},
-		{"query no covering sample", "/v1/query", `{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region", "mode": "sample"}`, http.StatusUnprocessableEntity},
+		{"bad json", "/v1/samples", `{`, http.StatusBadRequest, apiv1.CodeInvalidBody},
+		{"unknown field", "/v1/samples", `{"buget": 3}`, http.StatusBadRequest, apiv1.CodeInvalidBody},
+		{"missing table", "/v1/samples", `{"queries": [], "budget": 10}`, http.StatusBadRequest, apiv1.CodeInvalidRequest},
+		{"unknown table", "/v1/samples", `{"table": "nope", "queries": [{"group_by": ["x"], "aggs": [{"column": "y"}]}], "budget": 10}`, http.StatusNotFound, apiv1.CodeTableNotFound},
+		{"no budget", "/v1/samples", `{"table": "sales", "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest, apiv1.CodeBudgetConflict},
+		{"both budgets", "/v1/samples", `{"table": "sales", "budget": 10, "rate": 0.1, "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest, apiv1.CodeBudgetConflict},
+		{"negative budget", "/v1/samples", `{"table": "sales", "budget": -5, "rate": 0.1, "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest, apiv1.CodeInvalidRequest},
+		{"bad rate", "/v1/samples", `{"table": "sales", "rate": 1.5, "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest, apiv1.CodeInvalidRequest},
+		{"bad norm", "/v1/samples", `{"table": "sales", "budget": 10, "norm": "l7", "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest, apiv1.CodeInvalidRequest},
+		{"lp without p", "/v1/samples", `{"table": "sales", "budget": 10, "norm": "lp", "queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest, apiv1.CodeInvalidRequest},
+		{"invalid spec", "/v1/samples", `{"table": "sales", "budget": 10, "queries": [{"group_by": [], "aggs": [{"column": "amount"}]}]}`, http.StatusBadRequest, apiv1.CodeInvalidRequest},
+		{"bad agg column", "/v1/samples", `{"table": "sales", "budget": 10, "queries": [{"group_by": ["region"], "aggs": [{"column": "nope"}]}]}`, http.StatusUnprocessableEntity, apiv1.CodeBuildFailed},
+		{"query bad json", "/v1/query", `{`, http.StatusBadRequest, apiv1.CodeInvalidBody},
+		{"query no sql", "/v1/query", `{}`, http.StatusBadRequest, apiv1.CodeInvalidRequest},
+		{"query bad mode", "/v1/query", `{"sql": "SELECT COUNT(*) FROM sales", "mode": "psychic"}`, http.StatusBadRequest, apiv1.CodeInvalidRequest},
+		{"query max_budget alone", "/v1/query", `{"sql": "SELECT COUNT(*) FROM sales", "max_budget": 50}`, http.StatusBadRequest, apiv1.CodeBudgetConflict},
+		{"query bad sql", "/v1/query", `{"sql": "not sql"}`, http.StatusUnprocessableEntity, apiv1.CodeQueryFailed},
+		{"query unknown table", "/v1/query", `{"sql": "SELECT region, AVG(amount) FROM nope GROUP BY region"}`, http.StatusNotFound, apiv1.CodeTableNotFound},
+		{"query no covering sample", "/v1/query", `{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region", "mode": "sample"}`, http.StatusUnprocessableEntity, apiv1.CodeQueryFailed},
+		{"stream unknown table", "/v1/tables/nope/stream", `{"queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}], "rate": 0.1}`, http.StatusNotFound, apiv1.CodeTableNotFound},
+		{"rows not streaming", "/v1/tables/sales/rows", `{"rows": [["NA", "widget", 1.5]]}`, http.StatusConflict, apiv1.CodeNotStreaming},
 	}
 	for _, c := range cases {
 		var e struct {
 			Error string `json:"error"`
+			Code  string `json:"code"`
 		}
 		if code := post(t, ts.URL+c.path, c.body, &e); code != c.wantCode {
 			t.Errorf("%s: got %d, want %d", c.name, code, c.wantCode)
 		} else if e.Error == "" {
 			t.Errorf("%s: error body missing", c.name)
+		} else if e.Code != c.wantAPICode {
+			t.Errorf("%s: code %q, want %q", c.name, e.Code, c.wantAPICode)
+		} else if apiv1.StatusOf(e.Code) != code {
+			t.Errorf("%s: status %d disagrees with code %q", c.name, code, e.Code)
 		}
 	}
 	// wrong method → 405 from the method-scoped mux patterns
@@ -225,6 +244,113 @@ func TestServerErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/query: got %d, want 405", resp.StatusCode)
+	}
+}
+
+// The POST Content-Type gate: a body affirmatively declared as
+// something other than JSON is a 415 before any handler runs; a
+// missing Content-Type is accepted (bare scripted clients) and decoded
+// as JSON.
+func TestServerContentTypeGate(t *testing.T) {
+	ts, _ := startServer(t)
+	for _, ct := range []string{"text/plain", "application/x-www-form-urlencoded", "application/xml; charset=utf-8"} {
+		resp, err := http.Post(ts.URL+"/v1/query", ct, strings.NewReader(`{"sql": "SELECT COUNT(*) FROM sales"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnsupportedMediaType || e.Code != apiv1.CodeUnsupportedMedia {
+			t.Fatalf("%s: got %d code %q, want 415 %q", ct, resp.StatusCode, e.Code, apiv1.CodeUnsupportedMedia)
+		}
+	}
+	// gate rejections are visible in /healthz under the synthetic
+	// latency label (they never reach a routed handler)
+	var health struct {
+		Latency map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"latency"`
+	}
+	if code := get(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if g, ok := health.Latency["POST (unsupported_media_type)"]; !ok || g.Count != 3 {
+		t.Fatalf("415s missing from latency digests: %+v", health.Latency)
+	}
+	// no Content-Type at all: accepted and treated as JSON
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", strings.NewReader(`{"sql": "SELECT COUNT(*) FROM sales"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bare POST: got %d, want 200", resp.StatusCode)
+	}
+	// GETs are exempt: the gate is for request bodies
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: %d", resp.StatusCode)
+	}
+}
+
+// Per-route latency digests: after traffic on distinct routes,
+// /healthz reports one plausible p50/p95/p99 series per route pattern.
+func TestServerLatencyDigests(t *testing.T) {
+	ts, _ := startServer(t)
+	if code := post(t, ts.URL+"/v1/samples", buildBody, nil); code != http.StatusCreated {
+		t.Fatalf("build: %d", code)
+	}
+	for i := 0; i < 5; i++ {
+		if code := post(t, ts.URL+"/v1/query",
+			`{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region"}`, nil); code != http.StatusOK {
+			t.Fatalf("query: %d", code)
+		}
+	}
+	var health struct {
+		Latency map[string]struct {
+			Count int64   `json:"count"`
+			P50   float64 `json:"p50_ms"`
+			P95   float64 `json:"p95_ms"`
+			P99   float64 `json:"p99_ms"`
+		} `json:"latency"`
+	}
+	if code := get(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	q, ok := health.Latency[apiv1.RouteQuery]
+	if !ok {
+		t.Fatalf("no latency series for %s: %+v", apiv1.RouteQuery, health.Latency)
+	}
+	if q.Count != 5 || q.P50 <= 0 || q.P95 < q.P50 || q.P99 < q.P95 {
+		t.Fatalf("query latency implausible: %+v", q)
+	}
+	if b, ok := health.Latency[apiv1.RouteBuildSample]; !ok || b.Count != 1 {
+		t.Fatalf("build latency: %+v", health.Latency)
+	}
+	// failed requests are timed too (the digest is per served request,
+	// not per success), and the latency keys are route *patterns*, so
+	// per-table URLs do not fan out into per-table series
+	post(t, ts.URL+"/v1/tables/nope/rows", `{"rows": [["x"]]}`, nil)
+	post(t, ts.URL+"/v1/tables/also-nope/rows", `{"rows": [["x"]]}`, nil)
+	if code := get(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if r, ok := health.Latency[apiv1.RouteAppendRows]; !ok || r.Count != 2 {
+		t.Fatalf("append latency should aggregate by pattern: %+v", health.Latency)
 	}
 }
 

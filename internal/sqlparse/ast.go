@@ -280,6 +280,34 @@ func AggColumnArgs(e Expr) []string {
 	return out
 }
 
+// QueryAggColumns returns the distinct column names referenced inside
+// aggregate calls anywhere estimates are produced — the SELECT list
+// and, because the executor accepts new aggregate calls there, HAVING
+// — in first-appearance order. This is *the* workload derivation for
+// query-driven sample builds: the serving registry's autoscaled builds
+// and cvquery's remote build-if-missing must agree on it, so both call
+// here.
+func QueryAggColumns(q *Query) []string {
+	var out []string
+	seen := map[string]bool{}
+	exprs := make([]Expr, 0, len(q.Select)+1)
+	for _, item := range q.Select {
+		exprs = append(exprs, item.Expr)
+	}
+	if q.Having != nil {
+		exprs = append(exprs, q.Having)
+	}
+	for _, e := range exprs {
+		for _, c := range AggColumnArgs(e) {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
 // Columns returns the distinct column names referenced by e, in first-
 // appearance order.
 func Columns(e Expr) []string {

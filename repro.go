@@ -27,6 +27,8 @@ import (
 	"math/rand"
 	"net/http"
 
+	apiv1 "repro/internal/api/v1"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/ingest"
@@ -223,6 +225,72 @@ type ServerOption = serve.ServerOption
 func WithDefaultTargetCV(cv float64) ServerOption {
 	return serve.WithDefaultTargetCV(cv)
 }
+
+// Wire-contract types of the versioned HTTP API (internal/api/v1),
+// aliased so external callers can construct requests for Client. The
+// server marshals exactly these types; see docs/API.md.
+type (
+	// APIBuildRequest is the POST /v1/samples request body.
+	APIBuildRequest = apiv1.BuildRequest
+	// APIQuerySpec is one workload query of a build or stream request.
+	APIQuerySpec = apiv1.QuerySpec
+	// APIAgg is one aggregation column of an APIQuerySpec.
+	APIAgg = apiv1.Agg
+	// APISample describes one built sample in responses.
+	APISample = apiv1.Sample
+	// APISamplesList is the GET /v1/samples response body.
+	APISamplesList = apiv1.SamplesList
+	// APITable describes one registered table in GET /v1/tables.
+	APITable = apiv1.Table
+	// APIQueryRequest is the POST /v1/query request body.
+	APIQueryRequest = apiv1.QueryRequest
+	// APIQueryResponse is the POST /v1/query response body.
+	APIQueryResponse = apiv1.QueryResponse
+	// APIStreamRequest is the POST /v1/tables/{name}/stream request body.
+	APIStreamRequest = apiv1.StreamRequest
+	// APIStreamState is its response body.
+	APIStreamState = apiv1.StreamState
+	// APIAppendResponse is the POST /v1/tables/{name}/rows response body.
+	APIAppendResponse = apiv1.AppendResponse
+	// APIHealth is the GET /healthz response body.
+	APIHealth = apiv1.Health
+)
+
+// Client is the typed Go client for the cvserve HTTP API: one method
+// per route (BuildSample, Query, Tables, Samples, MakeStreaming,
+// AppendRows, Refresh, Healthz), context-aware, with every non-2xx
+// response decoded into an *APIError whose contract code resolves to a
+// typed sentinel — branch with errors.Is(err, repro.ErrTableNotFound),
+// never by matching message strings. See internal/client.
+type Client = client.Client
+
+// APIError is a non-2xx server response as a Go error: HTTP status,
+// machine-readable contract code and the server's message.
+type APIError = client.APIError
+
+// NewClient returns a client for the daemon at baseURL, e.g.
+// "http://localhost:8080". hc == nil uses http.DefaultClient; builds
+// can run long, so prefer per-call context deadlines over a blanket
+// http.Client.Timeout.
+func NewClient(baseURL string, hc *http.Client) (*Client, error) {
+	return client.New(baseURL, hc)
+}
+
+// Typed sentinels for the API's contract error codes; every APIError
+// unwraps to the one matching its code.
+var (
+	ErrTableNotFound    = client.ErrTableNotFound
+	ErrBudgetConflict   = client.ErrBudgetConflict
+	ErrNotStreaming     = client.ErrNotStreaming
+	ErrAlreadyStreaming = client.ErrAlreadyStreaming
+	ErrInvalidBody      = client.ErrInvalidBody
+	ErrInvalidRequest   = client.ErrInvalidRequest
+	ErrBodyTooLarge     = client.ErrBodyTooLarge
+	ErrUnsupportedMedia = client.ErrUnsupportedMedia
+	ErrBuildFailed      = client.ErrBuildFailed
+	ErrQueryFailed      = client.ErrQueryFailed
+	ErrAppendFailed     = client.ErrAppendFailed
+)
 
 // NewStream creates a standalone streaming sampler for a table: seed's
 // rows are copied in, publish receives every finalized generation. Most

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Docs freshness gate: the docs layer must exist, and every HTTP route
-# the server registers must be documented in docs/API.md — so the API
-# reference cannot silently rot when a route is added or renamed.
+# Docs freshness gate: the docs layer must exist, and the versioned API
+# contract (internal/api/v1) must be fully documented — every HTTP
+# route *and* every machine-readable error code must appear in
+# docs/API.md, so the API reference cannot silently rot when a route or
+# code is added or renamed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,11 +16,12 @@ for f in README.md docs/ARCHITECTURE.md docs/API.md; do
     fi
 done
 
-# Every route string registered in server.go ("GET /healthz",
-# "POST /v1/query", ...) must appear verbatim in docs/API.md.
-routes=$(grep -o '"\(GET\|POST\|PUT\|PATCH\|DELETE\) [^"]*"' internal/serve/server.go | tr -d '"')
+# Every route constant in the contract package ("GET /healthz",
+# "POST /v1/query", ...) must appear (path part, verbatim) in
+# docs/API.md.
+routes=$(grep -ho '"\(GET\|POST\|PUT\|PATCH\|DELETE\) [^"]*"' internal/api/v1/routes.go | tr -d '"' | sort -u)
 if [ -z "$routes" ]; then
-    echo "check_docs: found no routes in internal/serve/server.go (pattern drift?)" >&2
+    echo "check_docs: found no routes in internal/api/v1/routes.go (pattern drift?)" >&2
     fail=1
 fi
 while IFS=' ' read -r method path; do
@@ -28,7 +31,30 @@ while IFS=' ' read -r method path; do
     fi
 done <<<"$routes"
 
+# The server must register routes through the contract constants — a
+# literal route string in server.go would bypass both the contract and
+# this gate.
+if grep -qo '"\(GET\|POST\|PUT\|PATCH\|DELETE\) /[^"]*"' internal/serve/server.go; then
+    echo "check_docs: internal/serve/server.go registers a literal route string; use the apiv1.Route* constants" >&2
+    fail=1
+fi
+
+# Every error code constant (Code* = "...") must appear in docs/API.md:
+# clients branch on these, so each needs a documented meaning. The
+# pattern tolerates gofmt's '=' alignment padding.
+codes=$(sed -n 's/^\tCode[A-Za-z]*[[:space:]]*=[[:space:]]*"\([a-z_]*\)"$/\1/p' internal/api/v1/error.go)
+if [ -z "$codes" ]; then
+    echo "check_docs: found no error codes in internal/api/v1/error.go (pattern drift?)" >&2
+    fail=1
+fi
+while read -r code; do
+    if ! grep -qF -- "\`$code\`" docs/API.md; then
+        echo "check_docs: error code '$code' is not documented in docs/API.md" >&2
+        fail=1
+    fi
+done <<<"$codes"
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "check_docs: OK ($(wc -l <<<"$routes") routes documented)"
+echo "check_docs: OK ($(wc -l <<<"$routes") routes, $(wc -l <<<"$codes") error codes documented)"
