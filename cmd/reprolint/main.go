@@ -1,0 +1,61 @@
+// Command reprolint is the repo's multichecker: it loads the packages
+// matching its arguments (default ./...), runs every analyzer in
+// internal/lint over them, and exits 1 if any finding survives the
+// //lint:allow filter. CI runs it as a tier-1 gate next to go vet; see
+// docs/LINTING.md for the invariants each analyzer encodes.
+//
+// Usage:
+//
+//	reprolint [-list] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: reprolint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "reprolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+// Package analysis is a self-contained, stdlib-only reimplementation
+// of the golang.org/x/tools/go/analysis surface the repo's custom
+// linters (internal/lint) are written against. It exists because this
+// build environment carries no third-party modules: packages are
+// loaded through `go list -export` (export data for dependencies,
+// source for the packages under analysis) and type-checked with
+// go/types, which is exactly the pipeline the real driver uses — so
+// the analyzers themselves read like ordinary go/analysis code and
+// could be ported to the upstream framework by swapping this import.
+//
+// The three pieces:
+//
+//   - Analyzer / Pass / Diagnostic (this file): the analyzer API.
+//   - Load / LoadTree (load.go): package loading + type checking, in
+//     module mode for the real tree and GOPATH-style for golden
+//     testdata trees.
+//   - Run (run.go): the multichecker — run every analyzer over every
+//     package, honor `//lint:allow <analyzer> <reason>` suppressions
+//     (directive.go), and return findings sorted by position.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check. Run is invoked once per loaded package
+// with a fully type-checked Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// `//lint:allow <name> <reason>` directives.
+	Name string
+	// Doc is the one-paragraph description `reprolint -list` prints:
+	// the invariant the analyzer encodes.
+	Doc string
+	// Run reports diagnostics via pass.Report/Reportf. A non-nil error
+	// aborts the whole run (reserved for analyzer bugs, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer, plus the Report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test source files, parsed with
+	// comments.
+	Files []*ast.File
+	// Pkg and Info are the go/types results for exactly those files.
+	Pkg  *types.Package
+	Info *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding inside one package.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

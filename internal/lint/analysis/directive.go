@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// The suppression directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it silences
+// that analyzer there. The reason is mandatory — an allow that does
+// not say why is itself a finding (Misuses), so deliberate exceptions
+// stay documented at the site rather than rotting into folklore.
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+}
+
+// Misuse is a malformed or unknown suppression directive — reported
+// as a finding by the driver and never able to suppress anything.
+type Misuse struct {
+	Pos     token.Position
+	Message string
+}
+
+// Suppressor indexes every well-formed //lint:allow directive in a set
+// of packages.
+type Suppressor struct {
+	// allowed maps filename → line → analyzer names allowed there.
+	allowed map[string]map[int]map[string]bool
+	misuses []Misuse
+}
+
+// NewSuppressor scans the comments of every file of every package.
+// known is the set of valid analyzer names; an //lint:allow naming
+// anything else is recorded as a misuse.
+func NewSuppressor(pkgs []*Package, known map[string]bool) *Suppressor {
+	s := &Suppressor{allowed: make(map[string]map[int]map[string]bool)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					s.add(pkg.Fset.Position(c.Pos()), c.Text, known)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// add parses one comment's text and records the directive, if any.
+func (s *Suppressor) add(pos token.Position, text string, known map[string]bool) {
+	const prefix = "//lint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	name, reason, _ := strings.Cut(rest, " ")
+	reason = strings.TrimSpace(reason)
+	switch {
+	case name == "":
+		s.misuses = append(s.misuses, Misuse{pos, "lint:allow directive names no analyzer (want //lint:allow <analyzer> <reason>)"})
+		return
+	case !known[name]:
+		s.misuses = append(s.misuses, Misuse{pos, "lint:allow directive names unknown analyzer " + name})
+		return
+	case reason == "":
+		s.misuses = append(s.misuses, Misuse{pos, "lint:allow " + name + " needs a reason (want //lint:allow <analyzer> <reason>)"})
+		return
+	}
+	byLine, ok := s.allowed[pos.Filename]
+	if !ok {
+		byLine = make(map[int]map[string]bool)
+		s.allowed[pos.Filename] = byLine
+	}
+	if byLine[pos.Line] == nil {
+		byLine[pos.Line] = make(map[string]bool)
+	}
+	byLine[pos.Line][name] = true
+}
+
+// Allowed reports whether a finding by the named analyzer at pos is
+// suppressed: a directive on the same line or the line directly above.
+func (s *Suppressor) Allowed(pos token.Position, analyzer string) bool {
+	byLine, ok := s.allowed[pos.Filename]
+	if !ok {
+		return false
+	}
+	return byLine[pos.Line][analyzer] || byLine[pos.Line-1][analyzer]
+}
+
+// Misuses returns the malformed directives found during the scan.
+func (s *Suppressor) Misuses() []Misuse { return s.misuses }

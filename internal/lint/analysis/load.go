@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package under analysis.
+type Package struct {
+	// PkgPath is the import path ("repro/internal/serve"; for testdata
+	// trees, the path relative to the tree root).
+	PkgPath string
+	Dir     string
+	GoFiles []string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir over the given
+// patterns and decodes the package stream. -export materializes export
+// data for every dependency in the build cache (offline: the standard
+// library and the module's own packages need no network), which is
+// what lets the type checker resolve imports without re-checking the
+// whole dependency graph from source.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the importer lookup function over the Export
+// files `go list` reported: import path → export data reader.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// parseDir parses the named files of one package directory, with
+// comments (directives and `// want` expectations live there).
+func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks one package's parsed files.
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// Load loads and type-checks the packages matching patterns, resolved
+// in module mode from dir (the repo root). Test files are excluded —
+// the invariants the analyzers encode are production-code invariants,
+// and tests legitimately poke raw routes and sentinel identities.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listPkg
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	out := make([]*Package, 0, len(targets))
+	for _, p := range targets {
+		files, err := parseDir(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", p.ImportPath, err)
+		}
+		tpkg, info, err := check(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			PkgPath: p.ImportPath,
+			Dir:     p.Dir,
+			GoFiles: p.GoFiles,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// treeLoader resolves imports for a GOPATH-style testdata tree:
+// srcdir/<pkgpath>/*.go first, the standard library's export data
+// second. It is the types.Importer golden-test packages are checked
+// with, so testdata can model multi-package contracts (an api package
+// next to a serve package) without being part of the module.
+type treeLoader struct {
+	srcdir  string
+	fset    *token.FileSet
+	pkgs    map[string]*Package
+	std     types.Importer
+	loading map[string]bool // import-cycle guard
+}
+
+// Import implements types.Importer.
+func (l *treeLoader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	dir := filepath.Join(l.srcdir, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		p, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one tree package.
+func (l *treeLoader) load(path, dir string) (*Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	files, err := parseDir(l.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	tpkg, info, err := check(l.fset, path, files, l)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	p := &Package{
+		PkgPath: path,
+		Dir:     dir,
+		GoFiles: names,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// stdImports collects every import path mentioned anywhere under
+// srcdir that does not resolve inside the tree itself — the set whose
+// export data LoadTree must materialize up front.
+func stdImports(srcdir string) ([]string, error) {
+	seen := make(map[string]bool)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(srcdir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(srcdir, filepath.FromSlash(p))); err == nil && st.IsDir() {
+				continue // resolves inside the tree
+			}
+			seen[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LoadTree loads and type-checks GOPATH-style packages rooted at
+// srcdir (srcdir/<pkgpath>/*.go), the layout golden testdata uses.
+// Imports resolve against the tree first, then against the standard
+// library.
+func LoadTree(srcdir string, pkgpaths ...string) ([]*Package, error) {
+	abs, err := filepath.Abs(srcdir)
+	if err != nil {
+		return nil, err
+	}
+	std, err := stdImports(abs)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	if len(std) > 0 {
+		listed, err := goList(abs, std)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	fset := token.NewFileSet()
+	l := &treeLoader{
+		srcdir:  abs,
+		fset:    fset,
+		pkgs:    make(map[string]*Package),
+		std:     importer.ForCompiler(fset, "gc", exportLookup(exports)),
+		loading: make(map[string]bool),
+	}
+	out := make([]*Package, 0, len(pkgpaths))
+	for _, path := range pkgpaths {
+		if _, ok := l.pkgs[path]; !ok {
+			if _, err := l.load(path, filepath.Join(abs, filepath.FromSlash(path))); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, l.pkgs[path])
+	}
+	return out, nil
+}

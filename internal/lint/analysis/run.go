@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one reported, non-suppressed diagnostic, positioned and
+// attributed to its analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run executes every analyzer over every package, filters findings
+// through the //lint:allow suppressor, appends directive misuses (as
+// analyzer "directive"), and returns the findings sorted by position.
+// An analyzer returning an error aborts the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	sup := NewSuppressor(pkgs, known)
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.Allowed(pos, a.Name) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	for _, m := range sup.Misuses() {
+		findings = append(findings, Finding{Analyzer: "directive", Pos: m.Pos, Message: m.Message})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

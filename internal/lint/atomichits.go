@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// AtomicHits encodes the registry's lock-free counter rule: fields
+// typed as sync/atomic values (Entry.Hits, Entry.lastUsed, the
+// latency histogram buckets, generation counters) are read and written
+// concurrently without the shard lock, so every access must go through
+// the atomic API. The analyzer flags any use of such a field that is
+// not a method call (x.f.Load()), an address-of (&x.f), an indexed
+// method call on an atomic array (h.counts[i].Add(1)), an index-only
+// range (for i := range h.counts), or a len(). It also honors a
+// `//lint:atomic` marker on plain integer fields: those may only be
+// touched as &x.f passed into a sync/atomic function.
+var AtomicHits = &analysis.Analyzer{
+	Name: "atomichits",
+	Doc: "flags non-atomic accesses to sync/atomic-typed fields and to " +
+		"plain fields marked //lint:atomic",
+	Run: runAtomicHits,
+}
+
+func runAtomicHits(pass *analysis.Pass) error {
+	marked := markedAtomicFields(pass)
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld := fieldOf(pass.Info, sel)
+			if fld == nil {
+				return true
+			}
+			switch {
+			case isAtomicType(fld.Type()):
+				checkAtomicUse(pass, sel, stack)
+			case isAtomicArray(fld.Type()):
+				checkAtomicArrayUse(pass, sel, stack)
+			case marked[fld]:
+				checkMarkedUse(pass, sel, fld, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic
+// (atomic.Int64, atomic.Bool, atomic.Value, ...).
+func isAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicArray reports whether t is an array whose element type is a
+// sync/atomic value, like the histogram's [32]atomic.Int64 buckets.
+func isAtomicArray(t types.Type) bool {
+	arr, ok := t.Underlying().(*types.Array)
+	return ok && isAtomicType(arr.Elem())
+}
+
+// parentOf returns the nearest non-paren ancestor.
+func parentOf(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// grandparentOf returns the ancestor above parentOf.
+func grandparentOf(stack []ast.Node) ast.Node {
+	skipped := false
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		if !skipped {
+			skipped = true
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// checkAtomicUse validates one use of a scalar atomic field: only a
+// method call on it or taking its address is atomic-safe.
+func checkAtomicUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	switch p := parentOf(stack).(type) {
+	case *ast.SelectorExpr:
+		// x.f.Load(), x.f.Store(v), or a method value: resolves through
+		// the atomic API either way.
+		if p.X == sel {
+			if s, ok := pass.Info.Selections[p]; ok && s.Kind() != types.FieldVal {
+				return
+			}
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND && p.X == sel {
+			return
+		}
+	}
+	pass.Reportf(sel.Pos(), "non-atomic access to atomic field %s; use its Load/Store/Add methods", sel.Sel.Name)
+}
+
+// checkAtomicArrayUse validates one use of an array-of-atomics field:
+// indexing straight into a method call or address-of, an index-only
+// range, or len().
+func checkAtomicArrayUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) {
+	switch p := parentOf(stack).(type) {
+	case *ast.IndexExpr:
+		if p.X != sel {
+			break
+		}
+		switch gp := grandparentOf(stack).(type) {
+		case *ast.SelectorExpr:
+			if gp.X == p {
+				if s, ok := pass.Info.Selections[gp]; ok && s.Kind() != types.FieldVal {
+					return // h.counts[i].Load()
+				}
+			}
+		case *ast.UnaryExpr:
+			if gp.Op == token.AND && gp.X == p {
+				return // &h.counts[i]
+			}
+		}
+	case *ast.RangeStmt:
+		if p.X == sel && p.Value == nil {
+			return // for i := range h.counts — indices only, no copy
+		}
+		if p.X == sel {
+			pass.Reportf(sel.Pos(), "ranging over atomic array %s with a value variable copies its elements; range over indices only", sel.Sel.Name)
+			return
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok && id.Name == "len" && len(p.Args) == 1 {
+			return
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND && p.X == sel {
+			return
+		}
+	}
+	pass.Reportf(sel.Pos(), "non-atomic access to atomic array field %s; index into it and use Load/Store/Add", sel.Sel.Name)
+}
+
+// markedAtomicFields collects struct fields in this package annotated
+// with a `//lint:atomic` comment (trailing the field or on the line
+// above it).
+func markedAtomicFields(pass *analysis.Pass) map[*types.Var]bool {
+	marked := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		// Index comment lines once per file.
+		commentLines := make(map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//lint:atomic") {
+					commentLines[pass.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		if len(commentLines) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				line := pass.Fset.Position(fld.Pos()).Line
+				if !commentLines[line] && !commentLines[line-1] {
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						marked[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return marked
+}
+
+// checkMarkedUse validates one use of a //lint:atomic plain field: it
+// may only appear as &x.f passed directly to a sync/atomic function
+// (atomic.AddInt64(&x.f, 1), atomic.LoadInt64(&x.f), ...).
+func checkMarkedUse(pass *analysis.Pass, sel *ast.SelectorExpr, fld *types.Var, stack []ast.Node) {
+	if p, ok := parentOf(stack).(*ast.UnaryExpr); ok && p.Op == token.AND && p.X == sel {
+		if call, ok := grandparentOf(stack).(*ast.CallExpr); ok {
+			if fn := calleeFunc(pass.Info, call); fn != nil {
+				if pkg, _, _ := funcOrigin(fn); pkg == "sync/atomic" {
+					return
+				}
+			}
+		}
+	}
+	pass.Reportf(sel.Pos(), "field %s is marked //lint:atomic; access it only via sync/atomic functions on &%s", fld.Name(), types.ExprString(sel))
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxFlow encodes the context-threading rule from the typed client
+// work (PR 5): cancellation flows from the caller, so library code
+// never mints its own root context. Package main owns the root and is
+// exempt; everywhere else the analyzer flags context.Background() and
+// context.TODO(), http.NewRequest (which silently binds the background
+// context), ctx parameters not in the leading position, and exported
+// functions that call context-taking code without accepting a leading
+// context.Context themselves. ServeHTTP keeps its interface-fixed
+// signature and is exempt — handlers reach the context through the
+// request.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "requires library code to thread a leading context.Context " +
+		"instead of minting context.Background()",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // main owns the root context
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCtxPosition(pass, fd)
+			if fd.Body == nil {
+				continue
+			}
+			checkRootContexts(pass, fd.Body)
+			checkMissingCtxParam(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// ctxParamIndex returns the position of the context.Context parameter
+// in fd's signature, or -1.
+func ctxParamIndex(pass *analysis.Pass, fd *ast.FuncDecl) int {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return -1
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkCtxPosition flags a ctx parameter that is not first.
+func checkCtxPosition(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if i := ctxParamIndex(pass, fd); i > 0 {
+		pass.Reportf(fd.Name.Pos(), "%s takes a context.Context but not as its first parameter", fd.Name.Name)
+	}
+}
+
+// checkRootContexts flags context.Background/TODO and http.NewRequest
+// anywhere in the body, closures included — a root context minted in a
+// goroutine detaches it from the caller's cancellation just the same.
+func checkRootContexts(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		pkg, recv, name := funcOrigin(fn)
+		switch {
+		case pkg == "context" && recv == "" && (name == "Background" || name == "TODO"):
+			pass.Reportf(call.Pos(), "context.%s() in library code; accept a context.Context from the caller instead", name)
+		case pkg == "net/http" && recv == "" && name == "NewRequest":
+			pass.Reportf(call.Pos(), "http.NewRequest binds the background context; use http.NewRequestWithContext")
+		}
+		return true
+	})
+}
+
+// checkMissingCtxParam flags an exported function that statically
+// calls context-taking code but has no context parameter of its own:
+// it either drops cancellation on the floor or will grow a Background
+// call. Closures are skipped (they run on their own schedule), and
+// ServeHTTP is exempt — its signature is fixed by net/http.
+func checkMissingCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || fd.Name.Name == "ServeHTTP" {
+		return
+	}
+	if ctxParamIndex(pass, fd) >= 0 {
+		return
+	}
+	reported := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if reported {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Params().Len() == 0 || !isContextType(sig.Params().At(0).Type()) {
+			return true
+		}
+		// one finding per function is enough
+		reported = true
+		pass.Reportf(fd.Name.Pos(), "exported %s calls context-aware %s but has no leading context.Context parameter", fd.Name.Name, fn.Name())
+		return false
+	})
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// ErrCompare encodes the error-identity rule behind the client's
+// sentinel mapping: errors that travel through fmt.Errorf("%w") and
+// the APIError Unwrap chain only match via errors.Is/errors.As.
+// Identity comparison (==, !=, switch on an error value) and string
+// matching (strings.Contains on err.Error(), comparing Error() texts)
+// both break the moment anyone wraps the error, so the analyzer flags
+// them. Comparisons against nil stay legal, as does the == inside an
+// Is(target error) bool method — that is the one place the identity
+// check is the implementation of errors.Is rather than a bypass of it.
+var ErrCompare = &analysis.Analyzer{
+	Name: "errcompare",
+	Doc: "flags ==/!=, switch, and string matching on error values " +
+		"where errors.Is/errors.As is required",
+	Run: runErrCompare,
+}
+
+func runErrCompare(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isIsMethod(pass, fd) {
+				continue
+			}
+			checkErrCompares(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// isIsMethod reports whether fd is an Is(error) bool method — the
+// errors.Is protocol hook, where identity comparison is the point.
+func isIsMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Is" || fd.Recv == nil {
+		return false
+	}
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	return sig.Params().Len() == 1 && implementsError(sig.Params().At(0).Type()) &&
+		sig.Results().Len() == 1
+}
+
+func checkErrCompares(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			checkBinary(pass, n)
+		case *ast.SwitchStmt:
+			checkErrSwitch(pass, n)
+		case *ast.CallExpr:
+			checkStringMatch(pass, n)
+		}
+		return true
+	})
+}
+
+// errOperand reports whether e is an error-typed expression (the
+// static type implements error) other than the nil literal.
+func errOperand(pass *analysis.Pass, e ast.Expr) bool {
+	if isNil(pass.Info, e) {
+		return false
+	}
+	tv, ok := pass.Info.Types[e]
+	return ok && implementsError(tv.Type)
+}
+
+// errorTextCall reports whether e is a call to the Error() string
+// method of an error value.
+func errorTextCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Name() != "Error" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && implementsError(sig.Recv().Type())
+}
+
+// checkBinary flags err == sentinel / err != sentinel and comparisons
+// of Error() texts. Nil checks pass.
+func checkBinary(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if errorTextCall(pass, be.X) || errorTextCall(pass, be.Y) {
+		pass.Reportf(be.OpPos, "comparing error strings with %s; match the error itself with errors.Is", be.Op)
+		return
+	}
+	if errOperand(pass, be.X) && errOperand(pass, be.Y) {
+		pass.Reportf(be.OpPos, "comparing errors with %s breaks on wrapped errors; use errors.Is", be.Op)
+	}
+}
+
+// checkErrSwitch flags `switch err { case ErrX: }` — identity matching
+// in switch form. A switch with only nil/default cases passes.
+func checkErrSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !errOperand(pass, sw.Tag) {
+		return
+	}
+	for _, cc := range sw.Body.List {
+		cc, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if !isNil(pass.Info, e) {
+				pass.Reportf(sw.Switch, "switching on an error value breaks on wrapped errors; use errors.Is per case")
+				return
+			}
+		}
+	}
+}
+
+// checkStringMatch flags strings.Contains/HasPrefix/HasSuffix/Index
+// applied to an error's text.
+func checkStringMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	pkg, recv, name := funcOrigin(fn)
+	if pkg != "strings" || recv != "" {
+		return
+	}
+	switch name {
+	case "Contains", "HasPrefix", "HasSuffix", "Index", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if errorTextCall(pass, arg) {
+			pass.Reportf(call.Pos(), "matching on an error's text with strings.%s; use errors.Is/errors.As", name)
+			return
+		}
+	}
+}

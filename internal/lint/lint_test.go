@@ -1,0 +1,108 @@
+package lint_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/linttest"
+)
+
+const testdata = "testdata/src"
+
+func TestLockDiscipline(t *testing.T) {
+	linttest.Run(t, testdata, lint.LockDiscipline, "lockdiscipline/a")
+}
+
+func TestAtomicHits(t *testing.T) {
+	linttest.Run(t, testdata, lint.AtomicHits, "atomichits/a")
+}
+
+func TestWireContract(t *testing.T) {
+	linttest.Run(t, testdata, lint.WireContract, "wirecontract/api/v1", "wirecontract/srv")
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, testdata, lint.CtxFlow, "ctxflow/lib", "ctxflow/mainpkg")
+}
+
+func TestErrCompare(t *testing.T) {
+	linttest.Run(t, testdata, lint.ErrCompare, "errcompare/a")
+}
+
+// TestDirectiveMisuse pins the driver's handling of malformed
+// //lint:allow comments: each misuse is itself a finding, and none of
+// them suppresses the underlying diagnostic. Asserted without want
+// comments — a directive and a want comment cannot share a line.
+func TestDirectiveMisuse(t *testing.T) {
+	pkgs, err := analysis.LoadTree(testdata, "directive/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{lint.ErrCompare})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errcompares, misuses []string
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "errcompare":
+			errcompares = append(errcompares, f.String())
+		case "directive":
+			misuses = append(misuses, f.Message)
+		default:
+			t.Errorf("unexpected analyzer %q in %s", f.Analyzer, f)
+		}
+	}
+	if len(errcompares) != 3 {
+		t.Errorf("want 3 unsuppressed errcompare findings, got %d: %v", len(errcompares), errcompares)
+	}
+	wantMisuses := []string{
+		"needs a reason",
+		"unknown analyzer nosuchanalyzer",
+		"names no analyzer",
+	}
+	if len(misuses) != len(wantMisuses) {
+		t.Fatalf("want %d directive misuses, got %d: %v", len(wantMisuses), len(misuses), misuses)
+	}
+	for i, want := range wantMisuses {
+		if !strings.Contains(misuses[i], want) {
+			t.Errorf("misuse %d = %q, want it to mention %q", i, misuses[i], want)
+		}
+	}
+}
+
+// TestRepoClean is the in-process smoke test: the suite must run clean
+// over the real tree, so a finding introduced anywhere in the repo
+// fails `go test ./...` as well as the CI lint job.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("finding on the real tree: %s", f)
+	}
+}
+
+// TestReprolintCommand smoke-tests the CLI entry point end to end.
+func TestReprolintCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go run subprocess in -short mode")
+	}
+	cmd := exec.Command("go", "run", "./cmd/reprolint", "./...")
+	cmd.Dir = "../.."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./cmd/reprolint ./... failed: %v\n%s", err, out)
+	}
+	if len(strings.TrimSpace(string(out))) != 0 {
+		t.Errorf("reprolint printed findings on a clean tree:\n%s", out)
+	}
+}

@@ -1,0 +1,155 @@
+// Package linttest is the golden-test harness for the repo's
+// analyzers, in the style of go/analysis/analysistest: testdata
+// packages live in a GOPATH-style tree (testdata/src/<pkgpath>) and
+// annotate the lines where findings are expected with
+//
+//	code() // want "regexp" `another regexp`
+//
+// Run loads the packages, runs one analyzer, and fails the test on any
+// finding without a matching want and any want without a matching
+// finding. Suppression directives (//lint:allow) are honored exactly
+// as in the real driver, so testdata can pin the escape hatch too.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// wantExp is one expectation parsed from a // want comment.
+type wantExp struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// Run executes one analyzer over the named testdata packages and
+// diffs its findings against the // want annotations.
+func Run(t *testing.T, srcdir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	pkgs, err := analysis.LoadTree(srcdir, pkgpaths...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", pkgpaths, err)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLine := make(map[lineKey][]*wantExp)
+	for _, w := range wants {
+		k := lineKey{w.file, w.line}
+		byLine[k] = append(byLine[k], w)
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range byLine[lineKey{f.Pos.Filename, f.Pos.Line}] {
+			if !w.used && w.re.MatchString(f.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no %s finding matched %q", w.file, w.line, a.Name, w.re)
+		}
+	}
+}
+
+// collectWants parses every // want comment in the loaded packages.
+func collectWants(pkgs []*analysis.Package) ([]*wantExp, error) {
+	var wants []*wantExp
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//")
+					if !ok {
+						continue
+					}
+					rest = strings.TrimSpace(rest)
+					rest, ok = strings.CutPrefix(rest, "want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					exps, err := parsePatterns(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s: %v", pos, err)
+					}
+					for _, exp := range exps {
+						re, err := regexp.Compile(exp)
+						if err != nil {
+							return nil, fmt.Errorf("%s: %v", pos, err)
+						}
+						wants = append(wants, &wantExp{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parsePatterns splits `"rx" "rx"` / “ `rx` “ sequences into their
+// unquoted patterns.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q in want comment", s)
+			}
+			pat, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad pattern %s: %v", s[:end+1], err)
+			}
+			out = append(out, pat)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q in want comment", s)
+			}
+			out = append(out, s[1:end+1])
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("want comment patterns must be quoted: %q", s)
+		}
+	}
+}

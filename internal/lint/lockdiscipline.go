@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// LockDiscipline encodes the serving registry's shard-lock rule: a
+// sync.Mutex / sync.RWMutex critical section may only do map and field
+// work. Anything that can block — channel receives, sends without a
+// select default, selects without a default, and calls from a known
+// blocking table (time.Sleep, WaitGroup.Wait, network and exec calls,
+// singleflight Do, ingest Stream methods) — must happen after the
+// unlock, the way Build parks on an inflight build's done channel only
+// once the shard mutex is released.
+var LockDiscipline = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "flags blocking operations (channel ops, sleeps, network and " +
+		"singleflight calls) inside sync.Mutex/RWMutex critical sections",
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(pass *analysis.Pass) error {
+	c := &lockChecker{pass: pass}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.stmts(fd.Body.List, make(map[string]bool))
+			}
+		}
+	}
+	return nil
+}
+
+type lockChecker struct {
+	pass *analysis.Pass
+}
+
+// stmts interprets a statement list in order, tracking which mutexes
+// are held. held maps the rendered receiver expression ("sh.mu") to
+// true while locked.
+func (c *lockChecker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		c.stmt(s, held)
+	}
+}
+
+func cloneHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+// heldNames renders the held set for diagnostics, deterministically.
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+const (
+	lockAcquire = iota
+	lockRelease
+)
+
+// lockOp classifies e as a Lock/RLock (acquire) or Unlock/RUnlock
+// (release) call on a sync.Mutex or sync.RWMutex, returning the
+// rendered receiver as the held-set key.
+func lockOp(info *types.Info, e ast.Expr) (key string, op int, ok bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", 0, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", 0, false
+	}
+	pkg, recv, name := funcOrigin(fn)
+	if pkg != "sync" || (recv != "Mutex" && recv != "RWMutex") {
+		return "", 0, false
+	}
+	switch name {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), lockAcquire, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), lockRelease, true
+	}
+	return "", 0, false
+}
+
+// stmt interprets one statement. Branching constructs recurse with a
+// cloned held set so a lock taken in one arm does not leak into its
+// sibling; straight-line Lock/Unlock pairs mutate held in place, which
+// is exactly how the registry's fast-path RLock/RUnlock and
+// Lock/inflight-check/Unlock sequences read.
+func (c *lockChecker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := lockOp(c.pass.Info, s.X); ok {
+			if op == lockAcquire {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+			return
+		}
+		c.expr(s.X, held)
+	case *ast.DeferStmt:
+		// defer x.Unlock() holds the lock to function end: no state
+		// change. Other deferred calls run outside the region; only
+		// their arguments evaluate now.
+		for _, a := range s.Call.Args {
+			c.expr(a, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine does not inherit the caller's critical
+		// section; only the call's arguments evaluate here.
+		for _, a := range s.Call.Args {
+			c.expr(a, held)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			c.pass.Reportf(s.Pos(), "channel send while %s is held; send after unlocking or use a select with a default case", heldNames(held))
+		}
+		c.expr(s.Chan, held)
+		c.expr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.expr(s.Cond, held)
+		c.stmts(s.Body.List, cloneHeld(held))
+		if s.Else != nil {
+			c.stmt(s.Else, cloneHeld(held))
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List, held)
+	case *ast.ForStmt:
+		inner := cloneHeld(held)
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, inner)
+		}
+		c.stmts(s.Body.List, inner)
+		if s.Post != nil {
+			c.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		c.expr(s.X, held)
+		c.stmts(s.Body.List, cloneHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					c.expr(e, held)
+				}
+				c.stmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			c.pass.Reportf(s.Pos(), "select with no default case while %s is held can block; add a default or move it after the unlock", heldNames(held))
+		}
+		// With a default case the communication clauses themselves are
+		// non-blocking; either way only the clause bodies are checked.
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CommClause); ok {
+				c.stmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.expr(e, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr flags blocking operations inside an expression evaluated with
+// locks held. Function literals are skipped: closures (deferred
+// cleanups, spawned workers) run outside the current critical section.
+func (c *lockChecker) expr(e ast.Expr, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.pass.Reportf(n.Pos(), "channel receive while %s is held; receive after unlocking", heldNames(held))
+			}
+		case *ast.CallExpr:
+			if what, ok := blockingCall(c.pass.Info, n); ok {
+				c.pass.Reportf(n.Pos(), "call to %s may block while %s is held; move it outside the critical section", what, heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+// selectHasDefault reports whether the select has a default clause.
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cc := range s.Body.List {
+		if cc, ok := cc.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCall reports whether call resolves to a function from the
+// known-blocking table, naming it for the diagnostic. The table covers
+// the operations the serving path actually performs: sleeps, waits,
+// network and subprocess calls, singleflight builds, and ingest stream
+// operations (Append/Refresh/Close take the stream's own mutex and do
+// I/O-sized work).
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	pkg, recv, name := funcOrigin(fn)
+	qual := name
+	if recv != "" {
+		qual = recv + "." + name
+	}
+	switch {
+	case pkg == "time" && recv == "" && name == "Sleep":
+		return "time.Sleep", true
+	case pkg == "sync" && recv == "WaitGroup" && name == "Wait":
+		return "sync.WaitGroup.Wait", true
+	case pkg == "sync" && recv == "Cond" && name == "Wait":
+		return "sync.Cond.Wait", true
+	case pkg == "net/http" && recv == "Client" &&
+		(name == "Do" || name == "Get" || name == "Post" || name == "PostForm" || name == "Head"):
+		return "net/http." + qual, true
+	case pkg == "net/http" && recv == "" &&
+		(name == "Get" || name == "Post" || name == "PostForm" || name == "Head"):
+		return "net/http." + qual, true
+	case pkg == "net" && recv == "" && strings.HasPrefix(name, "Dial"):
+		return "net." + name, true
+	case pkg == "os/exec" && recv == "Cmd" &&
+		(name == "Run" || name == "Wait" || name == "Output" || name == "CombinedOutput"):
+		return "os/exec." + qual, true
+	case strings.HasSuffix(pkg, "singleflight") && recv == "Group" && name == "Do":
+		return pkg + "." + qual, true
+	case strings.HasSuffix(pkg, "ingest") && recv == "Stream" &&
+		(name == "Append" || name == "Refresh" || name == "Close"):
+		return pkg + "." + qual, true
+	}
+	return "", false
+}

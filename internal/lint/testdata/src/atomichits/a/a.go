@@ -1,0 +1,42 @@
+// Package a is atomichits golden testdata: an entry with an atomic
+// hit counter, a marked plain generation field, and a histogram-style
+// atomic array.
+package a
+
+import "sync/atomic"
+
+type entry struct {
+	hits   atomic.Int64
+	gen    int64 //lint:atomic
+	counts [4]atomic.Int64
+}
+
+func good(e *entry) int64 {
+	e.hits.Add(1)
+	p := &e.hits
+	p.Store(2)
+	for i := range e.counts {
+		e.counts[i].Add(int64(i))
+	}
+	_ = len(e.counts)
+	atomic.AddInt64(&e.gen, 1)
+	return e.hits.Load() + atomic.LoadInt64(&e.gen)
+}
+
+func bad(e *entry) {
+	v := e.hits // want `non-atomic access to atomic field hits`
+	_ = v
+	e.gen++    // want `field gen is marked //lint:atomic`
+	g := e.gen // want `field gen is marked //lint:atomic`
+	_ = g
+	for _, c := range e.counts { // want `ranging over atomic array counts with a value variable copies its elements`
+		_ = c
+	}
+	b := e.counts[0] // want `non-atomic access to atomic array field counts`
+	_ = b
+}
+
+func allowed(e *entry) int64 {
+	//lint:allow atomichits snapshot taken under the exclusive lock during freeze
+	return e.gen
+}

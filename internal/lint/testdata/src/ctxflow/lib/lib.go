@@ -1,0 +1,56 @@
+// Package lib is ctxflow golden testdata for library code, where
+// contexts must be threaded rather than minted.
+package lib
+
+import (
+	"context"
+	"net/http"
+)
+
+type Client struct{ hc *http.Client }
+
+// Fetch threads the caller's context; the good case.
+func (c *Client) Fetch(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.hc.Do(req)
+}
+
+func (c *Client) Bad(url string) (*http.Response, error) { // want `exported Bad calls context-aware Fetch but has no leading context\.Context parameter`
+	return c.Fetch(context.Background(), url) // want `context\.Background\(\) in library code`
+}
+
+func (c *Client) BadReq(url string) (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, url, nil) // want `http\.NewRequest binds the background context; use http\.NewRequestWithContext`
+}
+
+func Misplaced(url string, ctx context.Context) error { // want `Misplaced takes a context\.Context but not as its first parameter`
+	_ = url
+	_ = ctx
+	return nil
+}
+
+type handler struct {
+	c *Client
+}
+
+// ServeHTTP has its signature fixed by net/http and reaches the
+// context through the request; exempt.
+func (h handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	resp, err := h.c.Fetch(r.Context(), "http://example.invalid")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	resp.Body.Close()
+}
+
+// Detached documents its deliberate root context with the escape
+// hatch.
+func Detached() {
+	//lint:allow ctxflow warmup is deliberately detached from caller cancellation
+	ctx := context.Background()
+	_ = ctx
+}

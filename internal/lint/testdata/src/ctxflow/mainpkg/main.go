@@ -1,0 +1,14 @@
+// Command mainpkg is ctxflow golden testdata: package main owns the
+// root context, so nothing here is flagged.
+package main
+
+import (
+	"context"
+	"time"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	<-ctx.Done()
+}

@@ -1,0 +1,21 @@
+// Package a is directive-misuse testdata: malformed //lint:allow
+// comments must be reported and must not suppress anything. The
+// expectations are asserted programmatically (TestDirectiveMisuse),
+// not with want comments, because a directive and a want comment
+// cannot share a line.
+package a
+
+import "io"
+
+func compare(err error) bool {
+	//lint:allow errcompare
+	if err == io.EOF {
+		return true
+	}
+	//lint:allow nosuchanalyzer the analyzer name is wrong
+	if err == io.EOF {
+		return true
+	}
+	//lint:allow
+	return err == io.EOF
+}

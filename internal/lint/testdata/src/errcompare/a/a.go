@@ -1,0 +1,63 @@
+// Package a is errcompare golden testdata: identity and string
+// matching on errors versus the errors.Is/errors.As forms.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+var ErrGone = errors.New("gone")
+
+func bad(err error) bool {
+	if err == io.EOF { // want `comparing errors with == breaks on wrapped errors; use errors\.Is`
+		return true
+	}
+	if err != ErrGone { // want `comparing errors with != breaks on wrapped errors`
+		return false
+	}
+	switch err { // want `switching on an error value breaks on wrapped errors`
+	case ErrGone:
+		return true
+	}
+	if strings.Contains(err.Error(), "gone") { // want `matching on an error's text with strings\.Contains`
+		return true
+	}
+	return err.Error() == "gone" // want `comparing error strings with ==`
+}
+
+func good(err error) bool {
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, io.EOF) {
+		return true
+	}
+	var gone *GoneError
+	return errors.As(err, &gone)
+}
+
+func nilSwitch(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	}
+	return "fail"
+}
+
+type GoneError struct{ Name string }
+
+func (e *GoneError) Error() string { return fmt.Sprintf("%s gone", e.Name) }
+
+// Is implements the errors.Is protocol; identity comparison here is
+// the mechanism, not a bypass.
+func (e *GoneError) Is(target error) bool {
+	return target == ErrGone
+}
+
+func allowed(err error) bool {
+	//lint:allow errcompare io.EOF identity is the csv.Reader contract at this call site
+	return err == io.EOF
+}

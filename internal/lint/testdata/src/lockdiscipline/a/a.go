@@ -1,0 +1,80 @@
+// Package a is lockdiscipline golden testdata: shard-shaped critical
+// sections with blocking operations inside and outside them.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu     sync.RWMutex
+	tables map[string]int
+	kick   chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+func (s *shard) bad() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time.Sleep may block while s\.mu is held`
+	<-s.done                     // want `channel receive while s\.mu is held`
+	s.kick <- struct{}{}         // want `channel send while s\.mu is held`
+	s.wg.Wait()                  // want `call to sync\.WaitGroup\.Wait may block while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *shard) badSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select with no default case while s\.mu is held`
+	case <-s.done:
+	case s.kick <- struct{}{}:
+	}
+}
+
+func (s *shard) badBranch(grow bool) {
+	s.mu.Lock()
+	if grow {
+		<-s.done // want `channel receive while s\.mu is held`
+	}
+	s.mu.Unlock()
+}
+
+// good waits only after the read lock is dropped, the way Build parks
+// on an inflight build's done channel.
+func (s *shard) good() int {
+	s.mu.RLock()
+	n := len(s.tables)
+	s.mu.RUnlock()
+	<-s.done
+	return n
+}
+
+// goodKick sends under the lock through a select with a default, the
+// ingest kick pattern.
+func (s *shard) goodKick() {
+	s.mu.Lock()
+	s.tables["x"] = 1
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// goodClosure captures the shard in a cleanup closure; the closure
+// body runs outside this critical section.
+func (s *shard) goodClosure() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() {
+		<-s.done
+	}
+}
+
+func (s *shard) allowed() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) //lint:allow lockdiscipline simulated work to provoke contention in benchmarks
+	s.mu.Unlock()
+}

@@ -1,0 +1,39 @@
+// Package v1 is wirecontract golden testdata for the api side of the
+// contract: json-tag coverage and error-code exhaustiveness.
+package v1
+
+type Query struct {
+	Table  string  `json:"table"`
+	Target float64 `json:"target_cv"`
+	Bad    string  // want `wire field Query\.Bad has no json tag`
+}
+
+type internalOnly struct {
+	scratch int // unexported struct: not part of the contract
+}
+
+const (
+	CodeOK       = "ok"
+	CodeBadTable = "table_not_found"
+	CodeOrphan   = "orphan" // want `error code CodeOrphan has no StatusOf entry` `error code CodeOrphan is missing from the Codes list`
+)
+
+// Codes enumerates the wire contract's error codes.
+var Codes = []string{CodeOK, CodeBadTable}
+
+// StatusOf maps a wire code to its HTTP status.
+func StatusOf(code string) int {
+	switch code {
+	case CodeOK:
+		return 200
+	case CodeBadTable:
+		return 404
+	}
+	return 500
+}
+
+// RouteQuery is a route constant; literals are legal inside the api
+// package.
+const RouteQuery = "/v1/query"
+
+func use(i internalOnly) int { return i.scratch }

@@ -1,0 +1,63 @@
+// Package srv is wirecontract golden testdata for the consumer side:
+// contract leaks outside the versioned api package.
+package srv
+
+import (
+	"bytes"
+	"encoding/json"
+
+	v1 "wirecontract/api/v1"
+)
+
+type local struct { // want `struct local has json-tagged fields outside the versioned api package`
+	Name string `json:"name"`
+}
+
+type plain struct {
+	Name string
+}
+
+type tagged struct {
+	Path string `route:"/v1/inline"` // struct tags are not route literals
+}
+
+func route() string {
+	return "/v1/query" // want `literal versioned route "/v1/query"`
+}
+
+func routeOK() string {
+	return v1.RouteQuery
+}
+
+func encode(l *local) ([]byte, error) {
+	return json.Marshal(l) // want `json wire encoding of non-api type wirecontract/srv\.local`
+}
+
+func encodeOK(q v1.Query) ([]byte, error) {
+	return json.Marshal(q)
+}
+
+func decode(data []byte) (plain, error) {
+	var p plain
+	err := json.NewDecoder(bytes.NewReader(data)).Decode(&p) // want `json wire encoding of non-api type wirecontract/srv\.plain`
+	return p, err
+}
+
+func allowedRoute() string {
+	//lint:allow wirecontract legacy probe endpoint predates the route constants
+	return "/v1/legacy"
+}
+
+func use() (tagged, []byte, error) {
+	l := local{Name: "x"}
+	data, err := encode(&l)
+	if err == nil {
+		if p, derr := decode(data); derr == nil {
+			_ = p
+		}
+	}
+	_, _ = encodeOK(v1.Query{Table: route(), Target: 0.05})
+	_ = routeOK()
+	_ = allowedRoute()
+	return tagged{Path: "x"}, data, err
+}

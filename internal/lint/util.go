@@ -1,0 +1,140 @@
+// Package lint is the repo's analyzer suite: five checks that turn
+// the codebase's load-bearing concurrency, context and wire-contract
+// invariants — previously enforced by reviewer memory and shell greps
+// — into machine-checked CI gates. The analyzers are written against
+// internal/lint/analysis (a stdlib-only go/analysis workalike) and
+// compiled into the cmd/reprolint multichecker; docs/LINTING.md
+// documents each invariant and the //lint:allow escape hatch.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// walkStack traverses root in source order, calling f with each node
+// and the stack of its ancestors (outermost first, root included,
+// n excluded). Returning false prunes the subtree under n.
+func walkStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := f(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// calleeFunc resolves a call expression to the function or method it
+// statically invokes, or nil for calls through function values,
+// built-ins and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn // method call
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn // package-qualified function
+		}
+	}
+	return nil
+}
+
+// funcOrigin describes a resolved callee for matching against
+// qualified-name tables: the defining package path, the receiver's
+// named-type name ("" for plain functions) and the function name.
+func funcOrigin(fn *types.Func) (pkgPath, recv, name string) {
+	name = fn.Name()
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return pkgPath, "", name
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		recv = n.Obj().Name()
+		if n.Obj().Pkg() != nil {
+			pkgPath = n.Obj().Pkg().Path()
+		}
+	}
+	return pkgPath, recv, name
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t (or *t) implements error.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorType) || types.Implements(types.NewPointer(t), errorType)
+}
+
+// isNil reports whether e is the untyped nil literal.
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil
+// when it selects something else (a method, a package member, ...).
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	// qualified references (pkg.Var) and struct-literal keys resolve
+	// through Uses
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// namedFromPkg reports whether t is (or points to) a named type
+// defined in the package with the given import path, returning its
+// type name.
+func namedFromPkg(t types.Type, pkgPath string) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != pkgPath {
+		return "", false
+	}
+	return n.Obj().Name(), true
+}
+
+// All returns the full reprolint analyzer suite, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		LockDiscipline,
+		AtomicHits,
+		WireContract,
+		CtxFlow,
+		ErrCompare,
+	}
+}

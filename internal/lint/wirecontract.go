@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// WireContract encodes the versioned wire contract (PR 5): every type,
+// route and error code that crosses the HTTP boundary lives in the
+// internal/api/v1 package, and nowhere else.
+//
+// Inside an api package it checks the contract's own hygiene: exported
+// struct fields carry json tags, and every Code* constant appears both
+// in the StatusOf switch and in the Codes list.
+//
+// Outside api packages it flags contract leaks: struct declarations
+// with json tags (wire shapes belong in api/v1), literal "/v1/..."
+// route strings (use the Route* constants), and — in packages that
+// import an api package — json encoding of named structs that are not
+// api types.
+var WireContract = &analysis.Analyzer{
+	Name: "wirecontract",
+	Doc: "keeps wire types, routes and error codes inside the versioned " +
+		"api package and checks the api package's own exhaustiveness",
+	Run: runWireContract,
+}
+
+// isAPIPkg reports whether a package path is a versioned wire-contract
+// package ("repro/internal/api/v1", or "api/v1" in testdata trees).
+func isAPIPkg(path string) bool {
+	return strings.Contains(path, "/api/") || strings.HasPrefix(path, "api/")
+}
+
+func runWireContract(pass *analysis.Pass) error {
+	if isAPIPkg(pass.Pkg.Path()) {
+		checkAPIPackage(pass)
+		return nil
+	}
+	checkNonAPIPackage(pass)
+	return nil
+}
+
+// --- inside the api package -----------------------------------------
+
+func checkAPIPackage(pass *analysis.Pass) {
+	checkJSONTags(pass)
+	checkCodeCoverage(pass)
+}
+
+// checkJSONTags requires a json tag on every exported field of every
+// exported struct type: an untagged field silently ships its Go name
+// over the wire, which is exactly the kind of accidental contract the
+// versioned package exists to prevent.
+func checkJSONTags(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					for _, name := range fld.Names {
+						if !name.IsExported() {
+							continue
+						}
+						if fld.Tag == nil || !strings.Contains(fld.Tag.Value, `json:"`) {
+							pass.Reportf(name.Pos(), "wire field %s.%s has no json tag", ts.Name.Name, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkCodeCoverage cross-references the three places an error code
+// must appear: its Code* const declaration, the StatusOf switch that
+// maps it to an HTTP status, and the Codes list that enumerates the
+// contract for docs and clients.
+func checkCodeCoverage(pass *analysis.Pass) {
+	type codeConst struct {
+		name string
+		pos  token.Pos
+	}
+	var codes []codeConst
+	inStatusOf := make(map[string]bool)
+	inCodes := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					switch decl.Tok {
+					case token.CONST:
+						for _, name := range vs.Names {
+							if strings.HasPrefix(name.Name, "Code") && name.Name != "Codes" && name.IsExported() {
+								codes = append(codes, codeConst{name.Name, name.Pos()})
+							}
+						}
+					case token.VAR:
+						for i, name := range vs.Names {
+							if name.Name != "Codes" || i >= len(vs.Values) {
+								continue
+							}
+							if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+								for _, elt := range cl.Elts {
+									if id, ok := ast.Unparen(elt).(*ast.Ident); ok {
+										inCodes[id.Name] = true
+									}
+								}
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if decl.Name.Name != "StatusOf" || decl.Body == nil {
+					continue
+				}
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					cc, ok := n.(*ast.CaseClause)
+					if !ok {
+						return true
+					}
+					for _, e := range cc.List {
+						if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+							inStatusOf[id.Name] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	for _, c := range codes {
+		if !inStatusOf[c.name] {
+			pass.Reportf(c.pos, "error code %s has no StatusOf entry; every wire code must map to an HTTP status", c.name)
+		}
+		if !inCodes[c.name] {
+			pass.Reportf(c.pos, "error code %s is missing from the Codes list", c.name)
+		}
+	}
+}
+
+// --- outside the api package ----------------------------------------
+
+// routeLit matches a literal versioned route. The pattern is anchored,
+// so the pattern string itself (which starts with '^') never matches.
+var routeLit = regexp.MustCompile(`^/v1(/|$)`)
+
+func checkNonAPIPackage(pass *analysis.Pass) {
+	importsAPI := false
+	for _, imp := range pass.Pkg.Imports() {
+		if isAPIPkg(imp.Path()) {
+			importsAPI = true
+			break
+		}
+	}
+	for _, f := range pass.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				checkStrayWireStruct(pass, n)
+			case *ast.BasicLit:
+				checkRouteLiteral(pass, n, stack)
+			case *ast.CallExpr:
+				if importsAPI {
+					checkWireEncoding(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkStrayWireStruct flags struct declarations with json-tagged
+// fields outside the api package: a shape meant for the wire belongs
+// in the versioned contract, not scattered through handlers.
+func checkStrayWireStruct(pass *analysis.Pass, ts *ast.TypeSpec) {
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, fld := range st.Fields.List {
+		if fld.Tag != nil && strings.Contains(fld.Tag.Value, `json:"`) {
+			pass.Reportf(ts.Name.Pos(), "struct %s has json-tagged fields outside the versioned api package; move wire types into internal/api", ts.Name.Name)
+			return
+		}
+	}
+}
+
+// checkRouteLiteral flags hard-coded "/v1/..." strings: handlers and
+// clients must reference the Route* constants so route changes stay a
+// one-package affair. Struct tags and import paths are exempt.
+func checkRouteLiteral(pass *analysis.Pass, lit *ast.BasicLit, stack []ast.Node) {
+	if lit.Kind != token.STRING {
+		return
+	}
+	switch parentOf(stack).(type) {
+	case *ast.Field, *ast.ImportSpec:
+		return
+	}
+	val, err := strconv.Unquote(lit.Value)
+	if err != nil || !routeLit.MatchString(val) {
+		return
+	}
+	pass.Reportf(lit.Pos(), "literal versioned route %q; use the api package's Route constants", val)
+}
+
+// checkWireEncoding flags json encoding/decoding of named struct types
+// that are not api types, in packages that already speak the versioned
+// contract. Generic any-typed plumbing and api types pass; a local
+// named struct on the wire is a contract leak.
+func checkWireEncoding(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	pkg, recv, name := funcOrigin(fn)
+	if pkg != "encoding/json" {
+		return
+	}
+	var arg ast.Expr
+	switch {
+	case recv == "" && (name == "Marshal" || name == "MarshalIndent") && len(call.Args) > 0:
+		arg = call.Args[0]
+	case recv == "" && name == "Unmarshal" && len(call.Args) == 2:
+		arg = call.Args[1]
+	case (recv == "Encoder" && name == "Encode" || recv == "Decoder" && name == "Decode") && len(call.Args) == 1:
+		arg = call.Args[0]
+	default:
+		return
+	}
+	tv, ok := pass.Info.Types[arg]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return
+	}
+	defPath := named.Obj().Pkg().Path()
+	// api types are the contract; single-segment paths are stdlib.
+	if isAPIPkg(defPath) || !strings.Contains(defPath, "/") {
+		return
+	}
+	pass.Reportf(call.Pos(), "json wire encoding of non-api type %s.%s; wire shapes belong in internal/api", defPath, named.Obj().Name())
+}

@@ -2,6 +2,7 @@ package table
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -67,7 +68,7 @@ func ReadCSV(name string, schema Schema, r io.Reader) (*Table, error) {
 	line := 1
 	for {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

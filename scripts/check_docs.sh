@@ -31,11 +31,12 @@ while IFS=' ' read -r method path; do
     fi
 done <<<"$routes"
 
-# The server must register routes through the contract constants — a
-# literal route string in server.go would bypass both the contract and
-# this gate.
-if grep -qo '"\(GET\|POST\|PUT\|PATCH\|DELETE\) /[^"]*"' internal/serve/server.go; then
-    echo "check_docs: internal/serve/server.go registers a literal route string; use the apiv1.Route* constants" >&2
+# Literal route strings outside the contract package are now caught by
+# the wirecontract analyzer (cmd/reprolint), which sees every package
+# with type information instead of grepping one file. This gate only
+# checks that the analyzer is still there to run.
+if [ ! -f cmd/reprolint/main.go ]; then
+    echo "check_docs: cmd/reprolint is missing; the wirecontract analyzer enforces route-constant usage (see docs/LINTING.md)" >&2
     fail=1
 fi
 
