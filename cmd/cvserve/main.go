@@ -30,6 +30,14 @@
 // another, and -max-sample-bytes bounds resident sample memory with
 // least-recently-used eviction (live streaming samples are pinned).
 //
+// Observability (docs/OBSERVABILITY.md): every request is logged
+// structured via log/slog (-log-format picks text or JSON) with its
+// route, status, duration and X-Request-ID; GET /metrics serves the
+// Prometheus exposition and GET /debug/requests the recent per-route
+// traces. -debug-addr opens a second listener carrying net/http/pprof
+// plus the same two endpoints, so profiling never requires exposing
+// /debug/pprof on the query port.
+//
 // The process exits cleanly on SIGINT/SIGTERM, draining in-flight
 // requests.
 package main
@@ -39,7 +47,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -70,6 +78,8 @@ func (t *tableFlags) Set(v string) error {
 func main() {
 	var (
 		addr            = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		debugAddr       = flag.String("debug-addr", "", "optional second listen address serving net/http/pprof, /metrics and /debug/requests (empty = off)")
+		logFormat       = flag.String("log-format", "text", "structured log format: text or json (stderr)")
 		refreshRows     = flag.Int("refresh-rows", 0, "default streaming refresh threshold: republish a live table's sample after this many appended rows (0 = explicit refresh only)")
 		refreshInterval = flag.Duration("refresh-interval", 0, "default streaming refresh period: republish a live table's sample this often while rows are pending (0 = off)")
 		maxSampleBytes  = flag.Int64("max-sample-bytes", 0, "resident sample memory budget in bytes: least-recently-used samples are evicted once built samples exceed it (0 = unbounded)")
@@ -99,11 +109,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cvserve: -default-target-cv must be non-negative")
 		os.Exit(2)
 	}
+	logger, err := newLogger(*logFormat)
+	fatalIf(err)
 
 	// serve.Version is a link-time stamp: build releases with
 	//   go build -ldflags "-X repro/internal/serve.Version=v1.2.3" ./cmd/cvserve
 	// and /healthz (plus this line) reports it to fleet operators.
-	log.Printf("cvserve: version %s (%s)", serve.Version, runtime.Version())
+	logger.Info("starting", "version", serve.Version, "go", runtime.Version())
 
 	reg := serve.NewRegistry(serve.WithMaxSampleBytes(*maxSampleBytes), serve.WithShards(*shards))
 	defer reg.Close()
@@ -113,14 +125,18 @@ func main() {
 		tbl, err := table.LoadCSVInferred(name, path)
 		fatalIf(err)
 		fatalIf(reg.RegisterTable(tbl))
-		log.Printf("cvserve: loaded table %s (%d rows, %d cols) from %s",
-			name, tbl.NumRows(), tbl.NumCols(), path)
+		logger.Info("loaded table",
+			"table", name, "rows", tbl.NumRows(), "cols", tbl.NumCols(), "path", path)
 	}
+
+	app := serve.NewServer(reg,
+		serve.WithDefaultTargetCV(*defaultTargetCV),
+		serve.WithLogger(logger))
 
 	ln, err := net.Listen("tcp", *addr)
 	fatalIf(err)
 	srv := &http.Server{
-		Handler: logRequests(serve.NewServer(reg, serve.WithDefaultTargetCV(*defaultTargetCV))),
+		Handler: app,
 		// slow-client protection for a resident daemon: bodies are
 		// size-bounded by the handler (1 MiB), these bound duration so
 		// a dripping client cannot pin a connection forever
@@ -128,6 +144,25 @@ func main() {
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	// the debug listener (pprof + /metrics + /debug/requests) is a
+	// separate server on a separate port: profiling a production daemon
+	// must not require exposing /debug/pprof to query clients
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		fatalIf(err)
+		debugSrv = &http.Server{
+			Handler:           app.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		logger.Info("debug listener", "addr", fmt.Sprintf("http://%s", dln.Addr()))
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
 	}
 
 	// the integration test (and port-0 users) read the bound address
@@ -144,11 +179,14 @@ func main() {
 		fatalIf(err)
 	case <-ctx.Done():
 		stop()
-		log.Printf("cvserve: shutting down")
+		logger.Info("shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutCtx)
+		}
 		if err := srv.Shutdown(shutCtx); err != nil {
-			log.Printf("cvserve: shutdown: %v", err)
+			logger.Error("shutdown failed", "error", err)
 			os.Exit(1)
 		}
 		if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -157,30 +195,17 @@ func main() {
 	}
 }
 
-// logRequests is a minimal ops log: one line per request with status
-// and latency.
-func logRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		next.ServeHTTP(sw, r)
-		log.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.code, time.Since(start))
-	})
+// newLogger builds the daemon's structured logger on stderr in the
+// chosen format (stdout stays reserved for the listening line).
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 }
-
-type statusWriter struct {
-	http.ResponseWriter
-	code int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
-}
-
-// Unwrap lets http.ResponseController reach the underlying writer (the
-// build handler clears its write deadline through it).
-func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 func fatalIf(err error) {
 	if err != nil {

@@ -627,3 +627,138 @@ func TestCmdCvbenchListAndSingle(t *testing.T) {
 		t.Fatalf("unknown experiment should fail")
 	}
 }
+
+// The daemon's observability surface end-to-end: JSON structured logs
+// on stderr, the Prometheus exposition on the query port, and the
+// -debug-addr listener carrying pprof + /metrics + /debug/requests.
+func TestCmdCvserveObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "cvserve")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "sales.csv")
+	writeSalesCSV(t, in)
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-table", "sales="+in,
+		"-log-format", "json", "-debug-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill(); _ = cmd.Wait() })
+
+	// the API address arrives on stdout; the debug listener announces
+	// itself as a JSON log line on stderr — reading it also proves
+	// -log-format json produces parseable records
+	addrCh := make(chan string, 1)
+	go func() {
+		scanner := bufio.NewScanner(stdout)
+		for scanner.Scan() {
+			if _, addr, ok := strings.Cut(scanner.Text(), "listening on "); ok {
+				addrCh <- strings.TrimSpace(addr)
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	debugCh := make(chan string, 1)
+	logCh := make(chan string, 4)
+	go func() {
+		scanner := bufio.NewScanner(stderr)
+		for scanner.Scan() {
+			var rec struct {
+				Msg       string `json:"msg"`
+				Addr      string `json:"addr"`
+				Route     string `json:"route"`
+				RequestID string `json:"request_id"`
+				Code      int    `json:"code"`
+			}
+			if err := json.Unmarshal(scanner.Bytes(), &rec); err != nil {
+				t.Errorf("non-JSON stderr line: %s", scanner.Text())
+				continue
+			}
+			switch rec.Msg {
+			case "debug listener":
+				debugCh <- rec.Addr
+			case "request":
+				if rec.Route != "" && rec.RequestID != "" && rec.Code != 0 {
+					select {
+					case logCh <- rec.Route:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	var base, debugBase string
+	deadline := time.After(10 * time.Second)
+	for base == "" || debugBase == "" {
+		select {
+		case base = <-addrCh:
+		case debugBase = <-debugCh:
+		case <-deadline:
+			t.Fatalf("daemon never announced listeners: api=%q debug=%q", base, debugBase)
+		}
+	}
+
+	// traffic on the API port, then scrape its own /metrics
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(string(body), `repro_http_requests_total{route="GET /healthz",code="200"} 1`) {
+		t.Fatalf("exposition missing the healthz hit:\n%s", body)
+	}
+
+	// the request produced a structured log line with route + id
+	select {
+	case route := <-logCh:
+		if route != "GET /healthz" {
+			t.Fatalf("first request log route = %q", route)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no structured request log line arrived")
+	}
+
+	// the debug listener serves pprof, metrics and the trace rings
+	for _, path := range []string{"/debug/pprof/", "/metrics", "/debug/requests"} {
+		resp, err := http.Get(debugBase + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+	}
+	// and it does NOT serve the query API
+	resp, err = http.Get(debugBase + "/v1/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("debug listener answered /v1/tables with %d", resp.StatusCode)
+	}
+}

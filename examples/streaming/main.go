@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -122,7 +123,7 @@ func main() {
 	}
 
 	report := func() {
-		ans, err := reg.Query(sql, repro.QueryOptions{Mode: repro.ModeSample})
+		ans, err := reg.Query(context.Background(), sql, repro.QueryOptions{Mode: repro.ModeSample})
 		if err != nil {
 			log.Fatal(err)
 		}

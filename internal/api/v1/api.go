@@ -57,6 +57,9 @@ type BuildRequest struct {
 	Norm      string  `json:"norm,omitempty"` // NormL2 (default), NormLInf, NormLp
 	P         float64 `json:"p,omitempty"`    // exponent for NormLp
 	Seed      int64   `json:"seed,omitempty"`
+	// Debug returns the request's per-phase trace inline on the
+	// response (Sample.Trace).
+	Debug bool `json:"debug,omitempty"`
 }
 
 // Sample describes one built sample: the POST /v1/samples and
@@ -90,6 +93,9 @@ type Sample struct {
 	ChosenBudget int      `json:"chosen_budget,omitempty"`
 	AchievedCV   *float64 `json:"achieved_cv,omitempty"`
 	TargetMet    *bool    `json:"target_met,omitempty"`
+	// Trace is the request's per-phase timing, present only when the
+	// request set debug=true.
+	Trace *RequestTrace `json:"trace,omitempty"`
 }
 
 // SamplesList is the GET /v1/samples response body.
@@ -141,6 +147,9 @@ type QueryRequest struct {
 	// ModeExact. MaxBudget caps the search (0 = table rows).
 	TargetCV  float64 `json:"target_cv,omitempty"`
 	MaxBudget int     `json:"max_budget,omitempty"`
+	// Debug returns the request's per-phase trace inline on the
+	// response (QueryResponse.Trace).
+	Debug bool `json:"debug,omitempty"`
 }
 
 // Group is one output group of a query response.
@@ -175,6 +184,9 @@ type QueryResponse struct {
 	Sets         [][]string `json:"sets"`
 	AggLabels    []string   `json:"agg_labels"`
 	Groups       []Group    `json:"groups"`
+	// Trace is the request's per-phase timing, present only when the
+	// request set debug=true.
+	Trace *RequestTrace `json:"trace,omitempty"`
 }
 
 // StreamRequest is the POST /v1/tables/{name}/stream request body:
@@ -270,4 +282,24 @@ type Health struct {
 	// to its request-latency digest. Routes appear once they have
 	// served at least one request.
 	Latency map[string]LatencySummary `json:"latency,omitempty"`
+
+	// StreamTables maps each live (streaming) table to its refresh
+	// health — generation, refresh count and last-refresh duration — so
+	// an operator can spot a stalled or slow stream from /healthz alone.
+	StreamTables map[string]StreamHealth `json:"stream_tables,omitempty"`
+}
+
+// StreamHealth is one live table's refresh digest in Health.
+type StreamHealth struct {
+	// Generation is the latest published sample generation (each
+	// publication increments it, so it doubles as a refresh count).
+	Generation uint64 `json:"generation"`
+	// LastRefreshMS is the duration of the most recent refresh build
+	// (0 until the first refresh completes).
+	LastRefreshMS float64 `json:"last_refresh_ms"`
+	// Pending counts appended rows the published generation does not
+	// cover yet.
+	Pending int `json:"pending"`
+	// RefreshErrors counts failed automatic refreshes.
+	RefreshErrors int64 `json:"refresh_errors"`
 }

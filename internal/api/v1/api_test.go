@@ -28,7 +28,8 @@ func TestCodesAreExhaustiveAndUnique(t *testing.T) {
 
 func TestRoutesListMatchesConstants(t *testing.T) {
 	want := map[string]bool{
-		RouteHealthz: true, RouteTables: true, RouteListSamples: true,
+		RouteHealthz: true, RouteMetrics: true, RouteDebugReqs: true,
+		RouteTables: true, RouteListSamples: true,
 		RouteBuildSample: true, RouteQuery: true, RouteStreamTable: true,
 		RouteAppendRows: true, RouteRefreshTable: true,
 	}

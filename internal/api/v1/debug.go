@@ -1,0 +1,32 @@
+package v1
+
+import "time"
+
+// TraceSpan is one timed phase of a request trace: its name (the phase
+// glossary is in docs/OBSERVABILITY.md), its offset from the start of
+// the request, and its duration, both in milliseconds.
+type TraceSpan struct {
+	Name       string  `json:"name"`
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// RequestTrace is one request's phase timing: returned inline on
+// responses when the request set debug=true, and listed by
+// GET /debug/requests. Status is 0 on an inline trace (the response is
+// still being written when the trace is snapshotted).
+type RequestTrace struct {
+	RequestID  string      `json:"request_id"`
+	Route      string      `json:"route"`
+	Status     int         `json:"status,omitempty"`
+	Start      time.Time   `json:"start"`
+	DurationMS float64     `json:"duration_ms"`
+	Spans      []TraceSpan `json:"spans"`
+}
+
+// DebugRequests is the GET /debug/requests response body: for each
+// route that has served at least one request, its most recent traces,
+// newest first. Ring capacity bounds the list per route.
+type DebugRequests struct {
+	Routes map[string][]RequestTrace `json:"routes"`
+}

@@ -8,6 +8,8 @@ import "strings"
 // be documented in docs/API.md.
 const (
 	RouteHealthz      = "GET /healthz"
+	RouteMetrics      = "GET /metrics"
+	RouteDebugReqs    = "GET /debug/requests"
 	RouteTables       = "GET /v1/tables"
 	RouteListSamples  = "GET /v1/samples"
 	RouteBuildSample  = "POST /v1/samples"
@@ -20,6 +22,8 @@ const (
 // Routes lists every route pattern, for exhaustiveness checks.
 var Routes = []string{
 	RouteHealthz,
+	RouteMetrics,
+	RouteDebugReqs,
 	RouteTables,
 	RouteListSamples,
 	RouteBuildSample,
@@ -28,6 +32,13 @@ var Routes = []string{
 	RouteAppendRows,
 	RouteRefreshTable,
 }
+
+// HeaderRequestID is the request-identity header: the client sends one
+// per request (minting an ID when the caller didn't), the server adopts
+// it as the trace ID and echoes it on every response — success or
+// error — so one ID follows a request through client logs, server logs,
+// /debug/requests and the error body (APIError.RequestID).
+const HeaderRequestID = "X-Request-ID"
 
 // Path returns a route constant's URL path — the pattern with its
 // method prefix stripped ("POST /v1/query" → "/v1/query"). The client

@@ -1,0 +1,210 @@
+// Package benchserve is the serving-path benchmark harness behind
+// cvbench -bench serve: a fixed set of named scenarios, each exercising
+// one hot path of the registry/server stack (sampler builds, sampled
+// and exact queries, streaming appends, the /metrics exposition),
+// measured with testing.Benchmark and reported as machine-readable
+// results (BENCH_serve.json).
+//
+// The harness core is deliberately clock-free: it reports what the
+// testing package measured and nothing else. Build identity and the
+// run timestamp are stamped by the caller (cmd/cvbench), so two runs of
+// the same binary over the same scenarios are byte-comparable.
+package benchserve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	apiv1 "repro/internal/api/v1"
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/serve"
+	"repro/internal/table"
+)
+
+// Scenario is one named serving benchmark.
+type Scenario struct {
+	// Name identifies the scenario in the report ([a-z_]+).
+	Name string
+	// Run is the benchmark body, in standard testing.B form.
+	Run func(b *testing.B)
+}
+
+// Result is one scenario's measurement. The fields mirror
+// testing.BenchmarkResult; cmd/cvbench owns the wire encoding.
+type Result struct {
+	Name        string
+	Iterations  int
+	NsPerOp     float64
+	AllocsPerOp int64
+	BytesPerOp  int64
+}
+
+// benchRows sizes the scenario table: big enough that per-row work
+// dominates fixed dispatch overhead, small enough that -benchtime=1x
+// smoke runs stay instant.
+const benchRows = 4096
+
+// benchTable builds the scenario table: one group column with a few
+// strata, one aggregate column.
+func benchTable(name string) *table.Table {
+	tbl := table.New(name, table.Schema{
+		{Name: "region", Kind: table.String},
+		{Name: "amount", Kind: table.Float},
+	})
+	regions := []string{"NA", "EU", "APAC", "LATAM"}
+	for i := 0; i < benchRows; i++ {
+		if err := tbl.AppendRow(regions[i%len(regions)], float64(i%97)); err != nil {
+			panic(err)
+		}
+	}
+	return tbl
+}
+
+func benchSpecs() []core.QuerySpec {
+	return []core.QuerySpec{{
+		GroupBy: []string{"region"},
+		Aggs:    []core.AggColumn{{Column: "amount"}},
+	}}
+}
+
+// Scenarios returns the serving benchmark suite. Each scenario owns its
+// registry, so measurements are independent; ctx threads through to
+// every registry call (the scenarios honor cancellation between
+// iterations only as far as the registry itself does).
+func Scenarios(ctx context.Context) []Scenario {
+	const sql = "SELECT region, AVG(amount) FROM bench GROUP BY region"
+	newReg := func(b *testing.B, build bool) *serve.Registry {
+		b.Helper()
+		reg := serve.NewRegistry()
+		if err := reg.RegisterTable(benchTable("bench")); err != nil {
+			b.Fatal(err)
+		}
+		if build {
+			_, _, err := reg.Build(ctx, serve.BuildRequest{
+				Table: "bench", Queries: benchSpecs(), Budget: 256, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return reg
+	}
+	return []Scenario{
+		{
+			// a fresh sampler build per iteration: the per-iteration seed
+			// changes the cache key, so every pass runs the sampler
+			Name: "build",
+			Run: func(b *testing.B) {
+				reg := newReg(b, false)
+				defer reg.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, _, err := reg.Build(ctx, serve.BuildRequest{
+						Table: "bench", Queries: benchSpecs(), Budget: 256, Seed: int64(i + 1),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name: "query_sample",
+			Run: func(b *testing.B) {
+				reg := newReg(b, true)
+				defer reg.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := reg.Query(ctx, sql, serve.QueryOptions{Mode: serve.ModeSample}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name: "query_exact",
+			Run: func(b *testing.B) {
+				reg := newReg(b, false)
+				defer reg.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := reg.Query(ctx, sql, serve.QueryOptions{Mode: serve.ModeExact}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			Name: "append",
+			Run: func(b *testing.B) {
+				reg := newReg(b, false)
+				defer reg.Close()
+				if err := reg.StreamTable("bench", ingest.Config{
+					Queries: benchSpecs(), Budget: 256, Seed: 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				batch := [][]any{{"NA", 1.0}, {"EU", 2.0}, {"APAC", 3.0}, {"LATAM", 4.0}}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := reg.Append("bench", batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// one /metrics scrape against a populated registry: the cost
+			// an operator's Prometheus pays per scrape interval
+			Name: "metrics_render",
+			Run: func(b *testing.B) {
+				reg := newReg(b, true)
+				defer reg.Close()
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, apiv1.Path(apiv1.RouteMetrics), nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rec := httptest.NewRecorder()
+					reg.Obs().ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Fatalf("scrape returned %d", rec.Code)
+					}
+				}
+			},
+		},
+	}
+}
+
+// Run measures every scenario in order and returns their results.
+// Iteration counts follow the testing package's benchtime settings
+// (cmd/cvbench forwards its -benchtime flag via testing.Init +
+// flag.Set before calling this).
+func Run(ctx context.Context) ([]Result, error) {
+	scenarios := Scenarios(ctx)
+	out := make([]Result, 0, len(scenarios))
+	for _, sc := range scenarios {
+		r := testing.Benchmark(sc.Run)
+		if r.N == 0 {
+			return nil, fmt.Errorf("benchserve: scenario %s did not run (benchmark failed)", sc.Name)
+		}
+		out = append(out, Result{
+			Name:        sc.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out, nil
+}

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	apiv1 "repro/internal/api/v1"
+	"repro/internal/obs"
 )
 
 // Client talks to one cvserve daemon. It is safe for concurrent use;
@@ -82,6 +83,10 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// every request carries an ID the server adopts as its trace ID and
+	// echoes back; on failure it lands in APIError.RequestID, so one
+	// string ties a client-side error to the server's logs and traces
+	req.Header.Set(apiv1.HeaderRequestID, obs.NewRequestID())
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
@@ -101,14 +106,16 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 // decodeError turns a non-2xx response into an *APIError. A body that
 // is not the contract envelope (a proxy's error page, a truncated
 // response) still yields an APIError carrying the status and the raw
-// text, so the caller always gets the status to branch on.
+// text, so the caller always gets the status to branch on. The echoed
+// X-Request-ID (when present) rides along for log correlation.
 func decodeError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	id := resp.Header.Get(apiv1.HeaderRequestID)
 	var env apiv1.Error
 	if err := json.Unmarshal(data, &env); err == nil && env.Message != "" {
-		return &APIError{Status: resp.StatusCode, Code: env.Code, Message: env.Message}
+		return &APIError{Status: resp.StatusCode, Code: env.Code, Message: env.Message, RequestID: id}
 	}
-	return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data)), RequestID: id}
 }
 
 // tablePath resolves a /v1/tables/{name}/... route constant against a

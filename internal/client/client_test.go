@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -369,5 +370,45 @@ func TestContextCancellation(t *testing.T) {
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("error should wrap context.Canceled: %v", err)
+	}
+}
+
+// Request identification: every call carries a minted X-Request-ID,
+// and on failure the server's echoed ID lands in APIError.RequestID so
+// an operator can grep the daemon's request log for the exact request.
+func TestClientRequestIDOnErrors(t *testing.T) {
+	var sent string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sent = r.Header.Get(apiv1.HeaderRequestID)
+		w.Header().Set(apiv1.HeaderRequestID, sent)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(apiv1.StatusOf(apiv1.CodeTableNotFound))
+		_ = json.NewEncoder(w).Encode(apiv1.Error{Code: apiv1.CodeTableNotFound, Message: "nope"})
+	}))
+	defer ts.Close()
+	c, err := client.New(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Tables(context.Background())
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(sent) {
+		t.Fatalf("client sent request id %q, want 16 hex chars", sent)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %T is not *APIError", err)
+	}
+	if ae.RequestID != sent {
+		t.Fatalf("APIError.RequestID = %q, want the echoed %q", ae.RequestID, sent)
+	}
+
+	// against the real server: an organic error carries the ID too
+	rc, _ := startServer(t)
+	_, err = rc.Query(context.Background(), apiv1.QueryRequest{SQL: "SELECT region, AVG(amount) FROM nope GROUP BY region"})
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %T is not *APIError", err)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(ae.RequestID) {
+		t.Fatalf("real-server APIError.RequestID = %q, want 16 hex chars", ae.RequestID)
 	}
 }

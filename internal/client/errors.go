@@ -89,6 +89,10 @@ type APIError struct {
 	Code string
 	// Message is the server's human-readable diagnosis.
 	Message string
+	// RequestID is the X-Request-ID the server echoed — the same ID in
+	// the daemon's log line and /debug/requests trace for this request.
+	// Empty when the response carried no echo (e.g. a proxy error).
+	RequestID string
 }
 
 // Error implements error.

@@ -257,6 +257,17 @@ func (s *Stream) Last() *Publication {
 	return s.last
 }
 
+// LastRefreshDuration returns the build duration of the most recent
+// publication (0 until one completes).
+func (s *Stream) LastRefreshDuration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.last == nil {
+		return 0
+	}
+	return s.last.BuildDuration
+}
+
 // CoerceRow converts one row of loosely-typed values (JSON decoding
 // yields float64 for every number) into the Go types Table.AppendRow
 // expects for sch, rejecting wrong arity, wrong types and non-integral

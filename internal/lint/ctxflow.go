@@ -99,13 +99,39 @@ func checkRootContexts(pass *analysis.Pass, body *ast.BlockStmt) {
 	})
 }
 
+// isHandlerSig reports whether fd has the http.HandlerFunc parameter
+// shape (http.ResponseWriter, *http.Request). Like ServeHTTP, such
+// functions have their signature fixed by net/http and reach the
+// context through the request — they cannot grow a ctx parameter.
+func isHandlerSig(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 2 {
+		return false
+	}
+	ptr, ok := sig.Params().At(1).Type().(*types.Pointer)
+	return ok && isNetHTTPNamed(sig.Params().At(0).Type(), "ResponseWriter") &&
+		isNetHTTPNamed(ptr.Elem(), "Request")
+}
+
+// isNetHTTPNamed reports whether t is the named net/http type name.
+func isNetHTTPNamed(t types.Type, name string) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "net/http" && n.Obj().Name() == name
+}
+
 // checkMissingCtxParam flags an exported function that statically
 // calls context-taking code but has no context parameter of its own:
 // it either drops cancellation on the floor or will grow a Background
 // call. Closures are skipped (they run on their own schedule), and
-// ServeHTTP is exempt — its signature is fixed by net/http.
+// ServeHTTP plus anything else with the http handler signature is
+// exempt — those signatures are fixed by net/http.
 func checkMissingCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) {
-	if !fd.Name.IsExported() || fd.Name.Name == "ServeHTTP" {
+	if !fd.Name.IsExported() || fd.Name.Name == "ServeHTTP" || isHandlerSig(pass, fd) {
 		return
 	}
 	if ctxParamIndex(pass, fd) >= 0 {

@@ -21,7 +21,8 @@ func TestAtomicHits(t *testing.T) {
 }
 
 func TestWireContract(t *testing.T) {
-	linttest.Run(t, testdata, lint.WireContract, "wirecontract/api/v1", "wirecontract/srv")
+	linttest.Run(t, testdata, lint.WireContract,
+		"wirecontract/api/v1", "wirecontract/srv", "wirecontract/mainpkg")
 }
 
 func TestCtxFlow(t *testing.T) {

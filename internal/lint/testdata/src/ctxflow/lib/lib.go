@@ -47,6 +47,19 @@ func (h handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	resp.Body.Close()
 }
 
+// HandleDebug has the http handler signature: like ServeHTTP its shape
+// is fixed by net/http and the context arrives in the request, so
+// calling context-aware code without a ctx parameter is exempt.
+func HandleDebug(w http.ResponseWriter, r *http.Request) {
+	c := &Client{hc: http.DefaultClient}
+	resp, err := c.Fetch(r.Context(), "http://example.invalid")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	resp.Body.Close()
+}
+
 // Detached documents its deliberate root context with the escape
 // hatch.
 func Detached() {

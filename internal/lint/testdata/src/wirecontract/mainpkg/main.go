@@ -1,0 +1,38 @@
+// Command mainpkg is wirecontract golden testdata for the CLI
+// boundary: package main owns its local file formats (a benchmark
+// report, a config file), so json-tagged structs and their encoding
+// are legal here — but route literals are still flagged, because CLIs
+// must build URLs from the contract's Route constants.
+package main
+
+import (
+	"encoding/json"
+
+	v1 "wirecontract/api/v1"
+)
+
+// report is a CLI-owned file format, not a wire type: exempt.
+type report struct {
+	Schema  string  `json:"schema"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+func emit(r report) ([]byte, error) {
+	return json.Marshal(r) // CLI-owned encoding: exempt
+}
+
+func route() string {
+	return "/v1/query" // want `literal versioned route "/v1/query"`
+}
+
+func routeOK() string {
+	return v1.RouteQuery
+}
+
+func main() {
+	data, err := emit(report{Schema: "x", NsPerOp: 1})
+	if err == nil {
+		_ = data
+	}
+	_, _ = route(), routeOK()
+}

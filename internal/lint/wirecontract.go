@@ -23,7 +23,9 @@ import (
 // with json tags (wire shapes belong in api/v1), literal "/v1/..."
 // route strings (use the Route* constants), and — in packages that
 // import an api package — json encoding of named structs that are not
-// api types.
+// api types. Package main is exempt from the struct and encoding
+// checks (CLIs own their local file formats, like cvbench's benchmark
+// report) but not from the route-literal check.
 var WireContract = &analysis.Analyzer{
 	Name: "wirecontract",
 	Doc: "keeps wire types, routes and error codes inside the versioned " +
@@ -167,6 +169,12 @@ func checkCodeCoverage(pass *analysis.Pass) {
 var routeLit = regexp.MustCompile(`^/v1(/|$)`)
 
 func checkNonAPIPackage(pass *analysis.Pass) {
+	// package main is a CLI boundary, not a serving surface: commands
+	// own their local file formats (cvbench's BENCH_serve.json report),
+	// so the stray-struct and wire-encoding checks don't apply there.
+	// Route literals are still flagged — CLIs must build their URLs
+	// from the contract's Route constants like everyone else.
+	isMain := pass.Pkg.Name() == "main"
 	importsAPI := false
 	for _, imp := range pass.Pkg.Imports() {
 		if isAPIPkg(imp.Path()) {
@@ -178,11 +186,13 @@ func checkNonAPIPackage(pass *analysis.Pass) {
 		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.TypeSpec:
-				checkStrayWireStruct(pass, n)
+				if !isMain {
+					checkStrayWireStruct(pass, n)
+				}
 			case *ast.BasicLit:
 				checkRouteLiteral(pass, n, stack)
 			case *ast.CallExpr:
-				if importsAPI {
+				if importsAPI && !isMain {
 					checkWireEncoding(pass, n)
 				}
 			}

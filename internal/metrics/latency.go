@@ -23,11 +23,29 @@ const latencyBuckets = 32
 // bucketBase is the first bucket's upper bound.
 const bucketBase = time.Microsecond
 
+// NumBuckets is the number of geometric buckets a Histogram holds,
+// exported for renderers (the Prometheus exposition in internal/obs)
+// that walk the buckets directly.
+const NumBuckets = latencyBuckets
+
+// BucketUpper returns bucket i's inclusive upper bound (1µs << i).
+// Indexes outside [0, NumBuckets-1] are clamped.
+func BucketUpper(i int) time.Duration {
+	if i < 0 {
+		i = 0
+	}
+	if i >= latencyBuckets {
+		i = latencyBuckets - 1
+	}
+	return bucketBase << i
+}
+
 // Histogram counts observations in geometric latency buckets. The
 // zero value is ready to use; all methods are safe for concurrent use.
 type Histogram struct {
 	counts [latencyBuckets]atomic.Int64
 	total  atomic.Int64
+	sumNS  atomic.Int64
 }
 
 // bucketOf returns the index of the smallest bucket whose upper bound
@@ -59,10 +77,24 @@ func bucketBounds(i int) (lo, hi time.Duration) {
 func (h *Histogram) Observe(d time.Duration) {
 	h.counts[bucketOf(d)].Add(1)
 	h.total.Add(1)
+	h.sumNS.Add(int64(d))
 }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the total of all observed durations (the _sum series of
+// a Prometheus histogram exposition).
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// Buckets returns a frozen copy of the per-bucket counts and their
+// total. Bucket i counts observations in (BucketUpper(i-1),
+// BucketUpper(i)]; durations beyond the last bound land in the last
+// bucket. One frozen copy keeps a rendered digest self-consistent
+// under concurrent Observes.
+func (h *Histogram) Buckets() (counts [NumBuckets]int64, total int64) {
+	return h.freeze()
+}
 
 // freeze loads every bucket counter once and returns the frozen copy
 // plus its total. All quantiles of one digest are computed from one

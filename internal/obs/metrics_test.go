@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // negative adds are clamped: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	h := r.Histogram("h_seconds", "a histogram")
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	if got := h.Count(); got != 2 {
+		t.Fatalf("histogram count = %d, want 2", got)
+	}
+}
+
+func TestRegisterIdempotentAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "help")
+	b := r.Counter("dup_total", "help")
+	if a != b {
+		t.Fatal("identical re-registration must return the same handle")
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("type conflict", func() { r.Gauge("dup_total", "help") })
+	mustPanic("label conflict", func() { r.CounterVec("dup_total", "help", "table") })
+	mustPanic("empty name", func() { r.Counter("", "help") })
+	mustPanic("label arity", func() { r.CounterVec("vec_total", "help", "a", "b").With("only-one") })
+}
+
+func TestVecChildrenAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("rows_total", "rows", "table")
+	v.With("a").Add(2)
+	v.With("b").Inc()
+	if v.With("a").Value() != 2 || v.With("b").Value() != 1 {
+		t.Fatalf("children mixed up: a=%d b=%d", v.With("a").Value(), v.With("b").Value())
+	}
+	gv := r.GaugeVec("gen", "generation", "table")
+	gv.With("a").Set(3)
+	if gv.With("a").Value() != 3 {
+		t.Fatal("gauge child lost its value")
+	}
+	hv := r.HistogramVec("dur_seconds", "durations", "table")
+	hv.With("b").Observe(time.Millisecond)
+	hv.With("a").Observe(time.Millisecond)
+	var visited []string
+	hv.Each(func(labels []string, h *Histogram) {
+		visited = append(visited, strings.Join(labels, ","))
+		if h.Count() != 1 {
+			t.Errorf("child %v count = %d, want 1", labels, h.Count())
+		}
+	})
+	if want := []string{"a", "b"}; !equalStrings(visited, want) {
+		t.Fatalf("Each visited %v, want sorted %v", visited, want)
+	}
+}
+
+func TestRenderExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "last by name").Inc()
+	v := r.CounterVec("a_total", "first by name", "table")
+	v.With(`we"ird\nam` + "\n" + `e`).Add(3)
+	r.GaugeFunc("fn_gauge", "computed at render", func() int64 { return 42 })
+	h := r.Histogram("lat_seconds", "latencies")
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+
+	// families render sorted by name
+	if strings.Index(out, "# HELP a_total") > strings.Index(out, "# HELP z_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		`a_total{table="we\"ird\\nam\ne"} 3`,
+		"# TYPE fn_gauge gauge",
+		"fn_gauge 42",
+		"# TYPE lat_seconds histogram",
+		"lat_seconds_count 2\n",
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"z_total 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// the histogram sum is in seconds: 1.001s observed
+	if !strings.Contains(out, "lat_seconds_sum 1.001") {
+		t.Errorf("histogram _sum not in seconds:\n%s", out)
+	}
+	// cumulative buckets: the +Inf bucket equals _count, and every
+	// rendered bucket value is monotone
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_seconds_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		last = v
+	}
+}
+
+func TestServeHTTPContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want the 0.0.4 exposition type", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body missing series:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentObserveAndRender hammers every handle type from many
+// goroutines while scrapes run concurrently: run under -race this is
+// the registry's data-race proof, and the final render must account
+// for every increment.
+func TestConcurrentObserveAndRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "hits")
+	v := r.CounterVec("rows_total", "rows", "table")
+	g := r.Gauge("resident", "resident")
+	h := r.Histogram("lat_seconds", "latency")
+	r.GaugeFunc("fn", "fn", func() int64 { return c.Value() })
+
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			table := fmt.Sprintf("t%d", w%3)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				v.With(table).Inc()
+				g.Set(int64(i))
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(w)
+	}
+	// concurrent scrapers
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				r.Render(&b)
+				if b.Len() == 0 {
+					t.Error("empty render")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	total := int64(0)
+	for _, tb := range []string{"t0", "t1", "t2"} {
+		total += v.With(tb).Value()
+	}
+	if total != workers*iters {
+		t.Fatalf("vec total = %d, want %d", total, workers*iters)
+	}
+}

@@ -1,0 +1,264 @@
+package obs
+
+// Per-request tracing. Every request gets a Trace: an ID (propagated
+// via the X-Request-ID header or minted here), the route pattern, and
+// a sequence of named phases timed on the hot path (decode → find →
+// build/wait → autoscale → draw → exec → encode). A Trace is owned by
+// its request goroutine — Phase/End/Snapshot are deliberately
+// unsynchronized, matching the serving hot path's sequential shape —
+// and only immutable TraceData copies are shared: the per-route rings
+// hold finished copies for GET /debug/requests (à la x/net/trace),
+// and Snapshot returns a mid-flight copy for debug=true responses.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NewRequestID mints a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID is
+		// still a valid (if colliding) trace ID, so don't take the
+		// request down over telemetry
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Span is one completed phase of a trace: its name, its offset from
+// the trace start, and how long it ran.
+type Span struct {
+	Name     string
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// Trace times the named phases of one request. Create with NewTrace;
+// all methods are nil-safe so instrumented code never branches on
+// whether tracing is attached. A Trace must only be touched by the
+// goroutine driving the request (see the package comment).
+type Trace struct {
+	id       string
+	route    string
+	start    time.Time
+	status   int
+	spans    []Span
+	curName  string
+	curStart time.Time
+	end      time.Time
+	done     bool
+}
+
+// NewTrace starts a trace for one request: id is the (possibly
+// propagated) request ID, route the pattern the request resolved to.
+func NewTrace(id, route string) *Trace {
+	return &Trace{id: id, route: route, start: time.Now()}
+}
+
+// ID returns the trace's request ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Phase closes the current phase (if any) and begins the named one.
+// The serving pipeline is sequential, so one open phase at a time
+// captures it exactly; nested timings belong in their own trace.
+func (t *Trace) Phase(name string) {
+	if t == nil || t.done {
+		return
+	}
+	now := time.Now()
+	t.closeCurrent(now)
+	t.curName, t.curStart = name, now
+}
+
+// closeCurrent finishes the open phase at now.
+func (t *Trace) closeCurrent(now time.Time) {
+	if t.curName == "" {
+		return
+	}
+	t.spans = append(t.spans, Span{
+		Name:     t.curName,
+		Start:    t.curStart.Sub(t.start),
+		Duration: now.Sub(t.curStart),
+	})
+	t.curName = ""
+}
+
+// End closes the trace with the response status. Further Phase calls
+// are ignored.
+func (t *Trace) End(status int) {
+	if t == nil || t.done {
+		return
+	}
+	t.end = time.Now()
+	t.closeCurrent(t.end)
+	t.status, t.done = status, true
+}
+
+// TraceData is an immutable copy of a trace — what rings store and
+// debug surfaces render.
+type TraceData struct {
+	ID       string
+	Route    string
+	Status   int
+	Start    time.Time
+	Duration time.Duration
+	Spans    []Span
+}
+
+// Snapshot copies the trace as of now: completed spans plus the open
+// phase closed at the current instant. For a finished trace the
+// duration is the request's; mid-flight (the debug=true inline view,
+// taken just before the response encodes) it is the elapsed time so
+// far. The zero TraceData returns on nil.
+func (t *Trace) Snapshot() TraceData {
+	if t == nil {
+		return TraceData{}
+	}
+	end := t.end
+	if !t.done {
+		end = time.Now()
+	}
+	spans := make([]Span, len(t.spans), len(t.spans)+1)
+	copy(spans, t.spans)
+	if !t.done && t.curName != "" {
+		spans = append(spans, Span{
+			Name:     t.curName,
+			Start:    t.curStart.Sub(t.start),
+			Duration: end.Sub(t.curStart),
+		})
+	}
+	return TraceData{
+		ID:       t.id,
+		Route:    t.route,
+		Status:   t.status,
+		Start:    t.start,
+		Duration: end.Sub(t.start),
+		Spans:    spans,
+	}
+}
+
+// traceCtxKey keys the request's trace in a context.
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches a trace to ctx; the registry's hot path
+// recovers it with TraceFromContext to time its internal phases.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFromContext returns the trace attached to ctx, or nil — and nil
+// is fine: every Trace method no-ops on a nil receiver.
+func TraceFromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// DefaultRingSize is how many recent traces each route ring keeps when
+// NewTracer is given n <= 0.
+const DefaultRingSize = 64
+
+// traceRing is a fixed-capacity ring of recent finished traces for one
+// route. Memory is bounded at capacity TraceData values no matter how
+// many requests pass through.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  []TraceData
+	next int // slot the next record lands in
+	n    int // live entries (≤ len(buf))
+}
+
+// record inserts one finished trace, overwriting the oldest.
+func (r *traceRing) record(td TraceData) {
+	r.mu.Lock()
+	r.buf[r.next] = td
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// recent returns the ring's traces newest-first.
+func (r *traceRing) recent() []TraceData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceData, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Tracer keeps one bounded ring of recent completed traces per route —
+// the store behind GET /debug/requests. Safe for concurrent use.
+type Tracer struct {
+	mu    sync.RWMutex
+	rings map[string]*traceRing
+	size  int
+}
+
+// NewTracer returns a tracer whose per-route rings hold n traces each
+// (DefaultRingSize when n <= 0).
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Tracer{rings: make(map[string]*traceRing), size: n}
+}
+
+// Record finishes t into its route's ring. Unfinished traces are
+// snapshotted as-is (status 0), so a crashed handler still leaves its
+// partial trace browsable.
+func (tr *Tracer) Record(t *Trace) {
+	if tr == nil || t == nil {
+		return
+	}
+	td := t.Snapshot()
+	tr.mu.RLock()
+	ring, ok := tr.rings[td.Route]
+	tr.mu.RUnlock()
+	if !ok {
+		tr.mu.Lock()
+		if ring, ok = tr.rings[td.Route]; !ok {
+			ring = &traceRing{buf: make([]TraceData, tr.size)}
+			tr.rings[td.Route] = ring
+		}
+		tr.mu.Unlock()
+	}
+	ring.record(td)
+}
+
+// Routes returns the routes with at least one recorded trace, sorted.
+func (tr *Tracer) Routes() []string {
+	tr.mu.RLock()
+	out := make([]string, 0, len(tr.rings))
+	for route := range tr.rings {
+		out = append(out, route)
+	}
+	tr.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Recent returns the route's recent traces, newest first (nil for a
+// route never recorded).
+func (tr *Tracer) Recent(route string) []TraceData {
+	tr.mu.RLock()
+	ring, ok := tr.rings[route]
+	tr.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	return ring.recent()
+}

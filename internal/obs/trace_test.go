@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewRequestIDShape(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		id := NewRequestID()
+		if !re.MatchString(id) {
+			t.Fatalf("id %q is not 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("id %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTracePhases(t *testing.T) {
+	tr := NewTrace("abc", "POST /v1/query")
+	tr.Phase("decode")
+	time.Sleep(time.Millisecond)
+	tr.Phase("exec")
+	time.Sleep(time.Millisecond)
+	tr.End(200)
+	tr.Phase("late") // ignored after End
+
+	td := tr.Snapshot()
+	if td.ID != "abc" || td.Route != "POST /v1/query" || td.Status != 200 {
+		t.Fatalf("snapshot header = %+v", td)
+	}
+	if len(td.Spans) != 2 || td.Spans[0].Name != "decode" || td.Spans[1].Name != "exec" {
+		t.Fatalf("spans = %+v", td.Spans)
+	}
+	// spans partition the trace: contiguous offsets, durations summing
+	// to ≈ the total
+	if td.Spans[1].Start != td.Spans[0].Start+td.Spans[0].Duration {
+		t.Fatalf("spans not contiguous: %+v", td.Spans)
+	}
+	sum := td.Spans[0].Duration + td.Spans[1].Duration
+	if diff := td.Duration - (td.Spans[0].Start + sum); diff < 0 || diff > td.Duration {
+		t.Fatalf("span sum %v does not fit duration %v", sum, td.Duration)
+	}
+	if td.Duration < 2*time.Millisecond {
+		t.Fatalf("duration %v shorter than the slept phases", td.Duration)
+	}
+}
+
+func TestTraceMidFlightSnapshot(t *testing.T) {
+	tr := NewTrace("id", "r")
+	tr.Phase("open")
+	time.Sleep(time.Millisecond)
+	td := tr.Snapshot() // not ended: the open phase closes at "now"
+	if td.Status != 0 {
+		t.Fatalf("mid-flight status = %d, want 0", td.Status)
+	}
+	if len(td.Spans) != 1 || td.Spans[0].Name != "open" || td.Spans[0].Duration <= 0 {
+		t.Fatalf("mid-flight spans = %+v", td.Spans)
+	}
+	// the snapshot must not have closed the live phase
+	tr.End(204)
+	if got := tr.Snapshot(); len(got.Spans) != 1 || got.Status != 204 {
+		t.Fatalf("post-End snapshot = %+v", got)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Phase("x")
+	tr.End(500)
+	if tr.ID() != "" {
+		t.Fatal("nil trace ID should be empty")
+	}
+	if td := tr.Snapshot(); td.ID != "" || len(td.Spans) != 0 {
+		t.Fatalf("nil snapshot = %+v", td)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := NewTrace("id", "r")
+	ctx := ContextWithTrace(context.Background(), tr)
+	if got := TraceFromContext(ctx); got != tr {
+		t.Fatal("trace lost in context")
+	}
+	if got := TraceFromContext(context.Background()); got != nil {
+		t.Fatal("empty context must yield nil trace")
+	}
+}
+
+// TestTracerRingBoundedNewestFirst proves the two ring invariants the
+// debug surface depends on: memory stays bounded at the configured
+// capacity no matter how many requests pass, and listing order is
+// newest-first.
+func TestTracerRingBoundedNewestFirst(t *testing.T) {
+	const cap = 4
+	tr := NewTracer(cap)
+	for i := 0; i < 3*cap; i++ {
+		tc := NewTrace(fmt.Sprintf("id%02d", i), "GET /x")
+		tc.End(200)
+		tr.Record(tc)
+	}
+	got := tr.Recent("GET /x")
+	if len(got) != cap {
+		t.Fatalf("ring holds %d traces, want bounded at %d", len(got), cap)
+	}
+	for i, td := range got {
+		want := fmt.Sprintf("id%02d", 3*cap-1-i)
+		if td.ID != want {
+			t.Fatalf("position %d = %s, want %s (newest first)", i, td.ID, want)
+		}
+	}
+	if rs := tr.Routes(); len(rs) != 1 || rs[0] != "GET /x" {
+		t.Fatalf("routes = %v", rs)
+	}
+	if tr.Recent("GET /other") != nil {
+		t.Fatal("unknown route must return nil")
+	}
+}
+
+func TestTracerDefaultSizeAndNil(t *testing.T) {
+	tr := NewTracer(0)
+	if tr.size != DefaultRingSize {
+		t.Fatalf("size = %d, want %d", tr.size, DefaultRingSize)
+	}
+	tr.Record(nil) // nil trace is a no-op
+	var nilT *Tracer
+	nilT.Record(NewTrace("x", "r")) // nil tracer too
+}
+
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			route := fmt.Sprintf("GET /r%d", w%2)
+			for i := 0; i < 200; i++ {
+				tc := NewTrace("id", route)
+				tc.Phase("p")
+				tc.End(200)
+				tr.Record(tc)
+				_ = tr.Recent(route)
+				_ = tr.Routes()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, route := range tr.Routes() {
+		if n := len(tr.Recent(route)); n != 8 {
+			t.Fatalf("%s ring holds %d, want full at 8", route, n)
+		}
+	}
+}

@@ -5,6 +5,7 @@ package serve_test
 // target_cv queries, and the HTTP contract of the new fields.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net/http"
@@ -31,7 +32,7 @@ func targetReq(target float64, maxBudget int) serve.BuildRequest {
 
 func TestBuildTargetCV(t *testing.T) {
 	reg := newSalesRegistry(t)
-	e, cached, err := reg.Build(targetReq(0.05, 0))
+	e, cached, err := reg.Build(context.Background(), targetReq(0.05, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestBuildTargetCV(t *testing.T) {
 	}
 
 	// an equal request — same accuracy ask — shares the entry
-	e2, cached, err := reg.Build(targetReq(0.05, 0))
+	e2, cached, err := reg.Build(context.Background(), targetReq(0.05, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestBuildTargetCV(t *testing.T) {
 	}
 
 	// a different target is a different sample
-	e3, _, err := reg.Build(targetReq(0.01, 0))
+	e3, _, err := reg.Build(context.Background(), targetReq(0.01, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestBuildTargetCVValidation(t *testing.T) {
 		func() serve.BuildRequest { r := buildReq(100); r.MaxBudget = 50; return r }(), // cap without target
 	}
 	for i, req := range bad {
-		if _, _, err := reg.Build(req); err == nil {
+		if _, _, err := reg.Build(context.Background(), req); err == nil {
 			t.Fatalf("bad request %d should fail: %+v", i, req)
 		}
 	}
@@ -103,7 +104,7 @@ func TestBuildTargetCVValidation(t *testing.T) {
 // built best-effort at the cap and says so.
 func TestBuildTargetCVCapBestEffort(t *testing.T) {
 	reg := newSalesRegistry(t)
-	e, _, err := reg.Build(targetReq(0.05, 2)) // 3 region strata, cap 2
+	e, _, err := reg.Build(context.Background(), targetReq(0.05, 2)) // 3 region strata, cap 2
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestBuildTargetCVCapBestEffort(t *testing.T) {
 
 func TestQueryTargetCV(t *testing.T) {
 	reg := newSalesRegistry(t)
-	ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+	ans, err := reg.Query(context.Background(), "SELECT region, AVG(amount) FROM sales GROUP BY region",
 		serve.QueryOptions{TargetCV: 0.05})
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +133,7 @@ func TestQueryTargetCV(t *testing.T) {
 		t.Fatalf("want 3 region groups, got %d", len(ans.Result.Rows))
 	}
 	// the second identical query reuses the cached entry
-	ans2, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+	ans2, err := reg.Query(context.Background(), "SELECT region, AVG(amount) FROM sales GROUP BY region",
 		serve.QueryOptions{TargetCV: 0.05})
 	if err != nil {
 		t.Fatal(err)
@@ -163,7 +164,7 @@ func TestQueryTargetCVRejections(t *testing.T) {
 			serve.QueryOptions{TargetCV: 0.05}, "WHERE"},
 	}
 	for _, c := range cases {
-		_, err := reg.Query(c.sql, c.opt)
+		_, err := reg.Query(context.Background(), c.sql, c.opt)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Fatalf("%s with %+v: error %v should mention %q", c.sql, c.opt, err, c.want)
 		}
@@ -186,7 +187,7 @@ func TestQueryTargetCVSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+			ans, err := reg.Query(context.Background(), "SELECT region, AVG(amount) FROM sales GROUP BY region",
 				serve.QueryOptions{TargetCV: 0.08})
 			if err != nil {
 				errs[i] = err

@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -64,7 +65,7 @@ func TestCloseLeaksNoGoroutines(t *testing.T) {
 	if err := reg.RegisterTable(salesTable(t)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := reg.Build(buildReq(150)); err != nil {
+	if _, _, err := reg.Build(context.Background(), buildReq(150)); err != nil {
 		t.Fatal(err)
 	}
 	reg.Close()
@@ -72,7 +73,7 @@ func TestCloseLeaksNoGoroutines(t *testing.T) {
 	waitForGoroutines(t, before)
 
 	// the closed registry still answers queries off published state
-	if _, err := reg.Query("SELECT region, AVG(amount) FROM live0 GROUP BY region",
+	if _, err := reg.Query(context.Background(), "SELECT region, AVG(amount) FROM live0 GROUP BY region",
 		serve.QueryOptions{Mode: serve.ModeSample}); err != nil {
 		t.Fatalf("published generations must stay queryable after Close: %v", err)
 	}

@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -36,7 +37,7 @@ func benchRegistry(b *testing.B, n int) *serve.Registry {
 		if err := reg.RegisterTable(benchTable(name, 512)); err != nil {
 			b.Fatal(err)
 		}
-		_, _, err := reg.Build(serve.BuildRequest{
+		_, _, err := reg.Build(context.Background(), serve.BuildRequest{
 			Table: name,
 			Queries: []core.QuerySpec{{
 				GroupBy: []string{"region"},
@@ -91,7 +92,7 @@ func BenchmarkQueryParallelMixedTables(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		sql := sqls[int(next.Add(1))%tables]
 		for pb.Next() {
-			if _, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample}); err != nil {
+			if _, err := reg.Query(context.Background(), sql, serve.QueryOptions{Mode: serve.ModeSample}); err != nil {
 				b.Error(err)
 				return
 			}
@@ -118,7 +119,7 @@ func BenchmarkQueryDuringBuilds(b *testing.B) {
 					return
 				default:
 				}
-				_, _, err := reg.Build(serve.BuildRequest{
+				_, _, err := reg.Build(context.Background(), serve.BuildRequest{
 					Table: name,
 					Queries: []core.QuerySpec{{
 						GroupBy: []string{"region"},
@@ -138,7 +139,7 @@ func BenchmarkQueryDuringBuilds(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample}); err != nil {
+			if _, err := reg.Query(context.Background(), sql, serve.QueryOptions{Mode: serve.ModeSample}); err != nil {
 				b.Error(err)
 				return
 			}

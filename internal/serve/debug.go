@@ -1,0 +1,31 @@
+package serve
+
+// The debug listener surface: everything an operator wants on a
+// separate, non-public port. cvserve -debug-addr serves this handler so
+// pprof and the observability endpoints never share a listener with the
+// query API (profiling a production daemon must not require exposing
+// /debug/pprof to query clients).
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	apiv1 "repro/internal/api/v1"
+)
+
+// DebugHandler returns the debug-listener mux: net/http/pprof under
+// /debug/pprof/, plus the same /metrics exposition and /debug/requests
+// trace dump the main listener serves. Requests here are not
+// instrumented — the debug port must stay readable even while the
+// serving path is the thing being debugged.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc(apiv1.RouteMetrics, s.reg.Obs().ServeHTTP)
+	mux.HandleFunc(apiv1.RouteDebugReqs, s.handleDebugRequests)
+	return mux
+}

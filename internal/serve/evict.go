@@ -108,6 +108,8 @@ func (r *Registry) maybeEvict() {
 			r.residentBytes.Add(-e.size)
 			r.evictions.Add(1)
 			r.evictedBytes.Add(e.size)
+			r.metrics.evictions.Inc()
+			r.metrics.evictedBytes.Add(e.size)
 		}
 		v.sh.mu.Unlock()
 	}

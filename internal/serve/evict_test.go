@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestEvictionOrderHitsInformedLRU(t *testing.T) {
 	}
 	// learn one sample's charged size with an unreachable budget in
 	// place (max=1 evicts this probe immediately after install)
-	probe, _, err := reg.Build(evictBuild("ta", 60))
+	probe, _, err := reg.Build(context.Background(), evictBuild("ta", 60))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestEvictionOrderHitsInformedLRU(t *testing.T) {
 		}
 	}
 	for _, n := range names[:3] { // install ta, tb, tc (in that order)
-		if _, _, err := reg.Build(evictBuild(n, 60)); err != nil {
+		if _, _, err := reg.Build(context.Background(), evictBuild(n, 60)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -96,7 +97,7 @@ func TestEvictionOrderHitsInformedLRU(t *testing.T) {
 			t.Fatalf("no sample found for %s", n)
 		}
 	}
-	if _, _, err := reg.Build(evictBuild("td", 60)); err != nil { // forces one eviction
+	if _, _, err := reg.Build(context.Background(), evictBuild("td", 60)); err != nil { // forces one eviction
 		t.Fatal(err)
 	}
 	have := entryTables(reg)
@@ -117,7 +118,7 @@ func TestEvictionOrderHitsInformedLRU(t *testing.T) {
 	if _, ok := reg.Find("td", []string{"region"}); !ok {
 		t.Fatal("no sample found for td")
 	}
-	if _, _, err := reg.Build(evictBuild("tb", 60)); err != nil {
+	if _, _, err := reg.Build(context.Background(), evictBuild("tb", 60)); err != nil {
 		t.Fatal(err)
 	}
 	have = entryTables(reg)
@@ -133,7 +134,7 @@ func TestEvictionOrderHitsInformedLRU(t *testing.T) {
 	// an evicted key is a cache miss, not an error: the same request
 	// rebuilds (and Builds counts the real sampler runs)
 	builds := reg.Builds()
-	if _, cached, err := reg.Build(evictBuild("tb", 60)); err != nil || cached {
+	if _, cached, err := reg.Build(context.Background(), evictBuild("tb", 60)); err != nil || cached {
 		t.Fatalf("evicted key should rebuild fresh (cached=%v err=%v)", cached, err)
 	}
 	if got := reg.Builds(); got != builds+1 {
@@ -153,12 +154,12 @@ func TestCachedBuildsCountAsReuse(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	warm, _, err := reg.Build(evictBuild("ta", 60))
+	warm, _, err := reg.Build(context.Background(), evictBuild("ta", 60))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ { // keep ta warm via Build alone
-		if _, cached, err := reg.Build(evictBuild("ta", 60)); err != nil || !cached {
+		if _, cached, err := reg.Build(context.Background(), evictBuild("ta", 60)); err != nil || !cached {
 			t.Fatalf("re-register should hit the cache (cached=%v err=%v)", cached, err)
 		}
 	}
@@ -177,14 +178,14 @@ func TestCachedBuildsCountAsReuse(t *testing.T) {
 		}
 	}
 	for _, n := range []string{"ta", "tb"} {
-		if _, _, err := reg.Build(evictBuild(n, 60)); err != nil {
+		if _, _, err := reg.Build(context.Background(), evictBuild(n, 60)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, cached, err := reg.Build(evictBuild("ta", 60)); err != nil || !cached {
+	if _, cached, err := reg.Build(context.Background(), evictBuild("ta", 60)); err != nil || !cached {
 		t.Fatalf("warming build should be cached (cached=%v err=%v)", cached, err)
 	}
-	if _, _, err := reg.Build(evictBuild("tc", 60)); err != nil { // forces one eviction
+	if _, _, err := reg.Build(context.Background(), evictBuild("tc", 60)); err != nil { // forces one eviction
 		t.Fatal(err)
 	}
 	have := entryTables(reg)
@@ -204,7 +205,7 @@ func TestByteBudgetHeldUnderBuildHeavyWorkload(t *testing.T) {
 	if err := probeReg.RegisterTable(evictTable(t, "t0", 400)); err != nil {
 		t.Fatal(err)
 	}
-	probe, _, err := probeReg.Build(evictBuild("t0", 80))
+	probe, _, err := probeReg.Build(context.Background(), evictBuild("t0", 80))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestByteBudgetHeldUnderBuildHeavyWorkload(t *testing.T) {
 		for i := 0; i < names; i++ {
 			req := evictBuild(fmt.Sprintf("t%d", i), 40+10*(round%5))
 			req.Seed = int64(1 + round) // distinct keys: every build is fresh
-			if _, _, err := reg.Build(req); err != nil {
+			if _, _, err := reg.Build(context.Background(), req); err != nil {
 				t.Fatal(err)
 			}
 			if got := reg.ResidentSampleBytes(); got > budget {
@@ -258,7 +259,7 @@ func TestStreamingEntriesPinnedAgainstEviction(t *testing.T) {
 	}
 	// the streaming generation alone dwarfs the 1-byte budget, yet must
 	// stay resident
-	if _, _, err := reg.Build(evictBuild("static", 50)); err != nil {
+	if _, _, err := reg.Build(context.Background(), evictBuild("static", 50)); err != nil {
 		t.Fatal(err)
 	}
 	entries := reg.Entries()

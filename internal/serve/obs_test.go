@@ -1,0 +1,368 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	apiv1 "repro/internal/api/v1"
+	"repro/internal/serve"
+)
+
+// getBody fetches a URL and returns status and raw body.
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b.String()
+}
+
+// metricValue extracts the value of an exact series line ("name 3" or
+// `name{label="x"} 3`) from a Prometheus exposition body; -1 if absent.
+func metricValue(body, series string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+// Every request carries X-Request-ID: a client-supplied ID is adopted
+// and echoed; absent one, the server mints an ID. Error responses
+// carry the header too — that is what lets a client stamp APIErrors.
+func TestServerRequestIDRoundTrip(t *testing.T) {
+	ts, _ := startServer(t)
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(apiv1.HeaderRequestID, "client-chose-this")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(apiv1.HeaderRequestID); got != "client-chose-this" {
+		t.Fatalf("echoed id = %q, want the client's", got)
+	}
+
+	// no ID sent: the server mints one (16 hex chars)
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	minted := resp.Header.Get(apiv1.HeaderRequestID)
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(minted) {
+		t.Fatalf("minted id = %q, want 16 hex chars", minted)
+	}
+
+	// error responses are identified too
+	resp, err = http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(`{`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || resp.Header.Get(apiv1.HeaderRequestID) == "" {
+		t.Fatalf("error response: status=%d id=%q", resp.StatusCode, resp.Header.Get(apiv1.HeaderRequestID))
+	}
+}
+
+// GET /metrics speaks the Prometheus text exposition and its series
+// advance under a real workload: builds, cache hits, queries, and the
+// per-route request counters all move.
+func TestServerMetricsEndpoint(t *testing.T) {
+	ts, _ := startServer(t)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := resp.Header.Get("Content-Type")
+	resp.Body.Close()
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want the 0.0.4 exposition type", ct)
+	}
+
+	// workload: one real build, one cached rebuild, three queries
+	if code := post(t, ts.URL+"/v1/samples", buildBody, nil); code != http.StatusCreated {
+		t.Fatalf("build: %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/samples", buildBody, nil); code != http.StatusOK {
+		t.Fatalf("rebuild: %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		if code := post(t, ts.URL+"/v1/query",
+			`{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region"}`, nil); code != http.StatusOK {
+			t.Fatalf("query: %d", code)
+		}
+	}
+
+	code, body := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	checks := []struct {
+		series string
+		want   float64
+	}{
+		{"repro_builds_total", 1},
+		{"repro_build_cache_misses_total", 1},
+		{"repro_build_cache_hits_total", 1},
+		{"repro_build_duration_seconds_count", 1},
+		{"repro_find_hits_total", 3},
+		{"repro_samples", 1},
+		{"repro_tables", 1},
+		{`repro_http_requests_total{route="POST /v1/query",code="200"}`, 3},
+		{`repro_http_requests_total{route="POST /v1/samples",code="201"}`, 1},
+		{`repro_http_request_duration_seconds_count{route="POST /v1/query"}`, 3},
+	}
+	for _, c := range checks {
+		if got := metricValue(body, c.series); got != c.want {
+			t.Errorf("%s = %g, want %g", c.series, got, c.want)
+		}
+	}
+	// every metric family is typed: no series without # TYPE
+	if !strings.Contains(body, "# TYPE repro_build_duration_seconds histogram") {
+		t.Errorf("build duration histogram untyped:\n%s", body)
+	}
+	// /metrics instruments itself: the second scrape sees the first
+	if got := metricValue(body, `repro_http_requests_total{route="`+apiv1.RouteMetrics+`",code="200"}`); got < 1 {
+		t.Errorf("metrics route not self-counted: %g", got)
+	}
+}
+
+// debug=true returns an inline per-phase trace whose spans fit inside
+// the measured duration; /debug/requests then lists the same request
+// newest-first under its route pattern.
+func TestServerInlineTraceAndDebugRequests(t *testing.T) {
+	ts, _ := startServer(t)
+
+	var built struct {
+		Trace *apiv1.RequestTrace `json:"trace"`
+	}
+	if code := post(t, ts.URL+"/v1/samples",
+		strings.Replace(buildBody, `"seed": 7`, `"seed": 7, "debug": true`, 1), &built); code != http.StatusCreated {
+		t.Fatalf("build: %d", code)
+	}
+	if built.Trace == nil {
+		t.Fatal("debug build response missing trace")
+	}
+	if built.Trace.Route != apiv1.RouteBuildSample || built.Trace.RequestID == "" {
+		t.Fatalf("trace header: %+v", built.Trace)
+	}
+	phases := map[string]bool{}
+	var spanSum float64
+	for _, sp := range built.Trace.Spans {
+		phases[sp.Name] = true
+		spanSum += sp.DurationMS
+	}
+	// a fixed-budget build on a cold cache: decode, the sample draw,
+	// encode (build_wait and autoscale only appear when a request
+	// waits on an in-flight build or runs the budget probe)
+	for _, want := range []string{"decode", "draw", "encode"} {
+		if !phases[want] {
+			t.Errorf("build trace missing phase %q: %+v", want, built.Trace.Spans)
+		}
+	}
+	// the inline trace is snapshotted mid-flight (before the response
+	// is written), so spans sum to at most the final duration — and
+	// they must account for real time, not zeros
+	if spanSum <= 0 {
+		t.Fatalf("trace spans sum to %g ms", spanSum)
+	}
+
+	var qr struct {
+		Trace *apiv1.RequestTrace `json:"trace"`
+	}
+	if code := post(t, ts.URL+"/v1/query",
+		`{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region", "debug": true}`, &qr); code != http.StatusOK {
+		t.Fatalf("query: %d", code)
+	}
+	if qr.Trace == nil {
+		t.Fatal("debug query response missing trace")
+	}
+	qphases := map[string]bool{}
+	for _, sp := range qr.Trace.Spans {
+		qphases[sp.Name] = true
+	}
+	for _, want := range []string{"decode", "parse", "find", "exec", "encode"} {
+		if !qphases[want] {
+			t.Errorf("query trace missing phase %q: %+v", want, qr.Trace.Spans)
+		}
+	}
+	// non-debug requests carry no trace
+	var plain struct {
+		Trace *apiv1.RequestTrace `json:"trace"`
+	}
+	if code := post(t, ts.URL+"/v1/query",
+		`{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region"}`, &plain); code != http.StatusOK || plain.Trace != nil {
+		t.Fatalf("plain query: code=%d trace=%+v", code, plain.Trace)
+	}
+
+	var dbg apiv1.DebugRequests
+	if code := get(t, ts.URL+"/debug/requests", &dbg); code != http.StatusOK {
+		t.Fatalf("debug/requests: %d", code)
+	}
+	recent, ok := dbg.Routes[apiv1.RouteQuery]
+	if !ok || len(recent) != 2 {
+		t.Fatalf("debug/requests for %s: %+v", apiv1.RouteQuery, dbg.Routes)
+	}
+	// newest-first: the plain query is listed before the debug one,
+	// and completed traces carry their status
+	if recent[0].Status != http.StatusOK || len(recent[0].Spans) == 0 {
+		t.Fatalf("recorded trace: %+v", recent[0])
+	}
+	if recent[1].RequestID != qr.Trace.RequestID {
+		t.Fatalf("ordering: second entry id %q, want the earlier debug query %q",
+			recent[1].RequestID, qr.Trace.RequestID)
+	}
+	if _, ok := dbg.Routes[apiv1.RouteBuildSample]; !ok {
+		t.Fatalf("build route missing from debug/requests: %+v", dbg.Routes)
+	}
+}
+
+// The debug listener handler mounts pprof, /metrics and
+// /debug/requests on a separate mux for the -debug-addr listener.
+func TestServerDebugHandler(t *testing.T) {
+	reg := newSalesRegistry(t)
+	app := serve.NewServer(reg)
+	ts := httptest.NewServer(app.DebugHandler())
+	t.Cleanup(ts.Close)
+
+	for _, path := range []string{"/debug/pprof/", "/metrics", "/debug/requests"} {
+		code, body := getBody(t, ts.URL+path)
+		if code != http.StatusOK || body == "" {
+			t.Errorf("%s: status=%d len=%d", path, code, len(body))
+		}
+	}
+	// the main API is deliberately NOT on the debug listener
+	if code, _ := getBody(t, ts.URL+"/v1/tables"); code != http.StatusNotFound {
+		t.Errorf("debug listener serves the API: /v1/tables = %d", code)
+	}
+}
+
+// Satellite: /healthz stream_tables reports per-stream generation and
+// refresh duration, and both advance across an append+refresh cycle.
+// The same advancement is visible as repro_stream_* series.
+func TestHealthzStreamTablesAdvance(t *testing.T) {
+	ts, reg := startServer(t)
+	t.Cleanup(reg.Close)
+
+	if code := post(t, ts.URL+"/v1/tables/sales/stream", `{
+		"queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}],
+		"budget": 300, "seed": 9, "refresh_rows": 100000
+	}`, nil); code != http.StatusCreated {
+		t.Fatalf("stream: %d", code)
+	}
+
+	var health struct {
+		StreamTables map[string]apiv1.StreamHealth `json:"stream_tables"`
+	}
+	if code := get(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	before, ok := health.StreamTables["sales"]
+	if !ok || before.Generation != 1 || before.RefreshErrors != 0 {
+		t.Fatalf("pre-refresh stream health: %+v", health.StreamTables)
+	}
+
+	if code := post(t, ts.URL+"/v1/tables/sales/rows",
+		`{"rows": [["NA", "widget", 101.5], ["EU", "gadget", 88]]}`, nil); code != http.StatusOK {
+		t.Fatalf("rows: %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/tables/sales/refresh", "", nil); code != http.StatusOK {
+		t.Fatalf("refresh: %d", code)
+	}
+
+	if code := get(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	after := health.StreamTables["sales"]
+	if after.Generation != before.Generation+1 {
+		t.Fatalf("generation %d → %d, want advancement by one", before.Generation, after.Generation)
+	}
+	if after.LastRefreshMS <= 0 {
+		t.Fatalf("last_refresh_ms = %g after a refresh, want > 0", after.LastRefreshMS)
+	}
+	if after.Pending != 0 {
+		t.Fatalf("pending = %d after refresh", after.Pending)
+	}
+
+	code, body := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	// publications count the initial build too, so two refreshes at
+	// generation two
+	for series, want := range map[string]float64{
+		`repro_stream_generation{table="sales"}`:                     2,
+		`repro_stream_refreshes_total{table="sales"}`:                2,
+		`repro_stream_refresh_duration_seconds_count{table="sales"}`: 2,
+		`repro_ingest_rows_appended_total{table="sales"}`:            2,
+		`repro_streams`: 1,
+	} {
+		if got := metricValue(body, series); got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+}
+
+// WithLogger routes the per-request structured log through the
+// caller's slog handler, one line per request with route, request id,
+// status code and duration.
+func TestServerStructuredRequestLog(t *testing.T) {
+	reg := newSalesRegistry(t)
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	ts := httptest.NewServer(serve.NewServer(reg, serve.WithLogger(logger)))
+	t.Cleanup(ts.Close)
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(apiv1.HeaderRequestID, "logline-id")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	line := buf.String()
+	for _, want := range []string{
+		`"msg":"request"`,
+		`"route":"GET /healthz"`,
+		`"request_id":"logline-id"`,
+		`"code":200`,
+		`"duration"`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("request log missing %s:\n%s", want, line)
+		}
+	}
+	// WithLogger(nil) keeps the discard default rather than panicking
+	srv := serve.NewServer(reg, serve.WithLogger(nil))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("nil-logger server: %d", rec.Code)
+	}
+}

@@ -1,0 +1,139 @@
+package serve
+
+// The serving layer's metric surface: every Prometheus series the
+// daemon exposes is registered here, in one place, under one name
+// constant — scripts/check_docs.sh greps this file and fails when a
+// name is missing from docs/OBSERVABILITY.md, so the exposition and its
+// reference cannot drift. Handles are resolved once at registry
+// construction; the hot paths (Build, Find, Query, eviction, streaming
+// installs, the HTTP middleware) touch only atomic counters.
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names. All follow the Prometheus conventions: a repro_ prefix,
+// _total on counters, base units (seconds, bytes) in the name.
+const (
+	// MetricBuildCacheHits counts Build requests answered from the
+	// entry cache (fast path and double-checked slow path alike).
+	MetricBuildCacheHits = "repro_build_cache_hits_total"
+	// MetricBuildCacheMisses counts Build requests that became the
+	// building goroutine for their key.
+	MetricBuildCacheMisses = "repro_build_cache_misses_total"
+	// MetricBuildInflightWaits counts Build requests deduplicated onto
+	// another goroutine's in-flight build of the same key.
+	MetricBuildInflightWaits = "repro_build_inflight_waits_total"
+	// MetricBuilds counts sampler builds actually executed.
+	MetricBuilds = "repro_builds_total"
+	// MetricBuildDuration is the histogram of sampler build durations.
+	MetricBuildDuration = "repro_build_duration_seconds"
+	// MetricAutoscaleProbes counts budgets evaluated by autoscale
+	// searches (core.AutoscaleResult.Evaluations, summed).
+	MetricAutoscaleProbes = "repro_autoscale_probes_total"
+	// MetricFindHits / MetricFindMisses count Find calls that did / did
+	// not locate a covering sample.
+	MetricFindHits   = "repro_find_hits_total"
+	MetricFindMisses = "repro_find_misses_total"
+	// MetricEvictions counts entries evicted by the sample byte budget;
+	// MetricEvictedBytes sums their estimated sizes.
+	MetricEvictions    = "repro_evictions_total"
+	MetricEvictedBytes = "repro_evicted_bytes_total"
+	// MetricResidentBytes is the current estimated resident size of all
+	// built samples.
+	MetricResidentBytes = "repro_resident_sample_bytes"
+	// MetricSamples / MetricTables / MetricStreams gauge the registry's
+	// built samples, registered tables and live streaming tables.
+	MetricSamples = "repro_samples"
+	MetricTables  = "repro_tables"
+	MetricStreams = "repro_streams"
+	// MetricIngestRows counts rows appended per streaming table.
+	MetricIngestRows = "repro_ingest_rows_appended_total"
+	// MetricStreamRefreshes counts publications per streaming table
+	// (the initial registration included).
+	MetricStreamRefreshes = "repro_stream_refreshes_total"
+	// MetricStreamRefreshDuration is the per-table histogram of refresh
+	// build durations.
+	MetricStreamRefreshDuration = "repro_stream_refresh_duration_seconds"
+	// MetricStreamGeneration gauges each streaming table's latest
+	// published generation.
+	MetricStreamGeneration = "repro_stream_generation"
+	// MetricHTTPRequests counts served requests per route pattern and
+	// status code; MetricHTTPDuration is the per-route latency
+	// histogram.
+	MetricHTTPRequests = "repro_http_requests_total"
+	MetricHTTPDuration = "repro_http_request_duration_seconds"
+)
+
+// srvMetrics holds the resolved metric handles the serving hot paths
+// increment.
+type srvMetrics struct {
+	buildCacheHits   *obs.Counter
+	buildCacheMisses *obs.Counter
+	inflightWaits    *obs.Counter
+	builds           *obs.Counter
+	buildDuration    *obs.Histogram
+	autoscaleProbes  *obs.Counter
+	findHits         *obs.Counter
+	findMisses       *obs.Counter
+	evictions        *obs.Counter
+	evictedBytes     *obs.Counter
+
+	ingestRows      *obs.CounterVec
+	refreshes       *obs.CounterVec
+	refreshDuration *obs.HistogramVec
+	generation      *obs.GaugeVec
+
+	httpRequests *obs.CounterVec
+	httpDuration *obs.HistogramVec
+}
+
+// newSrvMetrics registers the serving metric families on reg and
+// resolves their handles. The registry-state gauges are GaugeFuncs
+// reading r's own counters at scrape time, so the exposition can never
+// drift from the source of truth.
+func newSrvMetrics(reg *obs.Registry, r *Registry) *srvMetrics {
+	m := &srvMetrics{
+		buildCacheHits:   reg.Counter(MetricBuildCacheHits, "Build requests answered from the sample cache."),
+		buildCacheMisses: reg.Counter(MetricBuildCacheMisses, "Build requests that ran the sampler."),
+		inflightWaits:    reg.Counter(MetricBuildInflightWaits, "Build requests deduplicated onto an in-flight build of the same key."),
+		builds:           reg.Counter(MetricBuilds, "Sampler builds executed (cache hits and dedups excluded)."),
+		buildDuration:    reg.Histogram(MetricBuildDuration, "Sampler build duration."),
+		autoscaleProbes:  reg.Counter(MetricAutoscaleProbes, "Budgets evaluated by autoscale searches."),
+		findHits:         reg.Counter(MetricFindHits, "Find calls that located a covering sample."),
+		findMisses:       reg.Counter(MetricFindMisses, "Find calls with no covering sample."),
+		evictions:        reg.Counter(MetricEvictions, "Entries evicted by the sample byte budget."),
+		evictedBytes:     reg.Counter(MetricEvictedBytes, "Estimated bytes freed by eviction."),
+		ingestRows:       reg.CounterVec(MetricIngestRows, "Rows appended to a streaming table.", "table"),
+		refreshes:        reg.CounterVec(MetricStreamRefreshes, "Sample generations published by a streaming table.", "table"),
+		refreshDuration:  reg.HistogramVec(MetricStreamRefreshDuration, "Streaming refresh build duration.", "table"),
+		generation:       reg.GaugeVec(MetricStreamGeneration, "Latest published generation of a streaming table.", "table"),
+		httpRequests:     reg.CounterVec(MetricHTTPRequests, "HTTP requests served, by route pattern and status code.", "route", "code"),
+		httpDuration:     reg.HistogramVec(MetricHTTPDuration, "HTTP request duration, by route pattern.", "route"),
+	}
+	reg.GaugeFunc(MetricResidentBytes, "Estimated resident bytes of all built samples.",
+		r.ResidentSampleBytes)
+	reg.GaugeFunc(MetricSamples, "Built samples currently resident.", func() int64 {
+		_, samples := r.Counts()
+		return int64(samples)
+	})
+	reg.GaugeFunc(MetricTables, "Registered tables.", func() int64 {
+		tables, _ := r.Counts()
+		return int64(tables)
+	})
+	reg.GaugeFunc(MetricStreams, "Live (streaming) tables.", func() int64 {
+		return int64(r.StreamCount())
+	})
+	return m
+}
+
+// observeStreamPublication records one installed streaming publication.
+func (m *srvMetrics) observeStreamPublication(table string, generation uint64, buildDuration time.Duration) {
+	m.refreshes.With(table).Inc()
+	m.generation.With(table).Set(int64(generation))
+	if buildDuration > 0 {
+		m.refreshDuration.With(table).Observe(buildDuration)
+	}
+}

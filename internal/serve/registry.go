@@ -18,6 +18,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/samplers"
 	"repro/internal/sqlparse"
 	"repro/internal/table"
@@ -305,6 +307,13 @@ type Registry struct {
 	builds    atomic.Int64
 	refreshes atomic.Int64
 	closed    atomic.Bool
+
+	// obs is the registry's metrics registry (exposed at GET /metrics);
+	// metrics holds the resolved handles the hot paths increment. Both
+	// are created unconditionally — observing an unscrapped registry
+	// costs one atomic add per event.
+	obs     *obs.Registry
+	metrics *srvMetrics
 }
 
 // NewRegistry returns an empty registry with DefaultShards shards and
@@ -317,11 +326,19 @@ func NewRegistry(opts ...Option) *Registry {
 	for i := range r.shards {
 		r.shards[i] = newShard()
 	}
+	r.obs = obs.NewRegistry()
+	r.metrics = newSrvMetrics(r.obs, r)
 	return r
 }
 
 // Shards returns the registry's shard count (ops surface).
 func (r *Registry) Shards() int { return len(r.shards) }
+
+// Obs returns the registry's metrics registry — the store behind
+// GET /metrics. The server and the debug listener mount its handler;
+// callers embedding a Registry directly can scrape or render it
+// themselves.
+func (r *Registry) Obs() *obs.Registry { return r.obs }
 
 // RegisterTable adds a table to the registry. The registry and its
 // queries treat the table as immutable from this point on; registering
@@ -394,8 +411,12 @@ func (r *Registry) TableNames() []string {
 // build of the same key). Concurrent Builds of the same key run the
 // expensive CVOPT pass exactly once. The build runs synchronously on
 // the caller's goroutine — the registry spawns nothing, so Close has no
-// static builds to cancel (see Close).
-func (r *Registry) Build(req BuildRequest) (entry *Entry, cached bool, err error) {
+// static builds to cancel (see Close). ctx carries the request's trace
+// (obs.TraceFromContext), whose phases time the singleflight wait, the
+// autoscale search and the draw; the build itself is not cancelable —
+// a built sample is installed for the next caller even when the
+// requester has gone away.
+func (r *Registry) Build(ctx context.Context, req BuildRequest) (entry *Entry, cached bool, err error) {
 	switch {
 	case req.TargetCV > 0 && req.Budget != 0:
 		return nil, false, fmt.Errorf("serve: target CV and budget are mutually exclusive (got target %g and budget %d)",
@@ -431,6 +452,7 @@ func (r *Registry) Build(req BuildRequest) (entry *Entry, cached bool, err error
 	sh.mu.RUnlock()
 	if ok {
 		r.touch(e)
+		r.metrics.buildCacheHits.Inc()
 		return e, true, nil
 	}
 
@@ -438,10 +460,15 @@ func (r *Registry) Build(req BuildRequest) (entry *Entry, cached bool, err error
 	if e, ok := sh.entries[key]; ok {
 		sh.mu.Unlock()
 		r.touch(e)
+		r.metrics.buildCacheHits.Inc()
 		return e, true, nil
 	}
 	if c, ok := sh.inflight[key]; ok {
 		sh.mu.Unlock()
+		r.metrics.inflightWaits.Inc()
+		// the open phase is closed by whatever the caller does next
+		// (exec, encode), which is exactly the wait's extent
+		obs.TraceFromContext(ctx).Phase("build_wait")
 		<-c.done
 		if c.err == nil {
 			r.touch(c.entry)
@@ -451,6 +478,7 @@ func (r *Registry) Build(req BuildRequest) (entry *Entry, cached bool, err error
 	c := &buildCall{done: make(chan struct{})}
 	sh.inflight[key] = c
 	sh.mu.Unlock()
+	r.metrics.buildCacheMisses.Inc()
 
 	// Cleanup runs deferred so a panicking build still releases its
 	// waiters and un-wedges the key (the panic is converted to the
@@ -476,14 +504,14 @@ func (r *Registry) Build(req BuildRequest) (entry *Entry, cached bool, err error
 	// The expensive part runs outside the lock: the shard stays
 	// readable (and other keys buildable) while CVOPT allocates and
 	// draws.
-	c.entry, c.err = r.buildEntry(key, tbl, req)
+	c.entry, c.err = r.buildEntry(ctx, key, tbl, req)
 	return c.entry, false, c.err
 }
 
 // buildEntry runs the actual sampler — for autoscaled requests, after
 // the budget search has chosen the smallest sufficient budget. Failed
 // builds are not cached, so a later corrected request retries.
-func (r *Registry) buildEntry(key string, tbl *table.Table, req BuildRequest) (*Entry, error) {
+func (r *Registry) buildEntry(ctx context.Context, key string, tbl *table.Table, req BuildRequest) (*Entry, error) {
 	seed := req.Seed
 	if seed == 0 {
 		h := fnv.New64a()
@@ -491,6 +519,8 @@ func (r *Registry) buildEntry(key string, tbl *table.Table, req BuildRequest) (*
 		seed = int64(h.Sum64() >> 1)
 	}
 	r.builds.Add(1)
+	r.metrics.builds.Inc()
+	tr := obs.TraceFromContext(ctx)
 	start := time.Now()
 	var (
 		rs  *samplers.RowSample
@@ -500,6 +530,7 @@ func (r *Registry) buildEntry(key string, tbl *table.Table, req BuildRequest) (*
 	if req.TargetCV > 0 {
 		// one plan serves both the budget search and the draw: the
 		// statistics pass runs once, the search is pure evaluation
+		tr.Phase("autoscale")
 		plan, perr := core.NewPlan(tbl, req.Queries)
 		if perr != nil {
 			return nil, fmt.Errorf("serve: building %s: %w", key, perr)
@@ -512,6 +543,8 @@ func (r *Registry) buildEntry(key string, tbl *table.Table, req BuildRequest) (*
 		if aerr != nil {
 			return nil, fmt.Errorf("serve: building %s: %w", key, aerr)
 		}
+		r.metrics.autoscaleProbes.Add(int64(res.Evaluations))
+		tr.Phase("draw")
 		ss, _, serr := plan.Sample(res.Budget, req.Opts, rand.New(rand.NewSource(seed)))
 		if serr != nil {
 			return nil, fmt.Errorf("serve: building %s: %w", key, serr)
@@ -521,6 +554,7 @@ func (r *Registry) buildEntry(key string, tbl *table.Table, req BuildRequest) (*
 		e.Budget = res.Budget
 		e.TargetCV, e.AchievedCV, e.TargetMet = req.TargetCV, res.AchievedCV, res.Met
 	} else {
+		tr.Phase("draw")
 		s := &samplers.CVOPT{Opts: req.Opts}
 		rs, err = s.Build(tbl, req.Queries, req.Budget, rand.New(rand.NewSource(seed)))
 		if err != nil {
@@ -536,6 +570,7 @@ func (r *Registry) buildEntry(key string, tbl *table.Table, req BuildRequest) (*
 	e.Sample = rs
 	e.BuiltAt = start
 	e.BuildDuration = time.Since(start)
+	r.metrics.buildDuration.Observe(e.BuildDuration)
 	e.attrs = attrs
 	e.size = entrySizeBytes(rs, tbl.Schema())
 	e.lastUsed.Store(r.useClock.Add(1))
@@ -630,6 +665,9 @@ func (r *Registry) Find(tableName string, groupBy []string) (*Entry, bool) {
 	}
 	if best != nil {
 		r.touch(best)
+		r.metrics.findHits.Inc()
+	} else {
+		r.metrics.findMisses.Inc()
 	}
 	return best, best != nil
 }
@@ -690,8 +728,12 @@ type QueryAnswer struct {
 // arbitrarily many queries, the paper's build-once/query-many regime)
 // or exactly, per opt.Mode. The read path takes only its table's shard
 // read lock, so concurrent Queries proceed in parallel — across tables,
-// without even a cache line in common.
-func (r *Registry) Query(sql string, opt QueryOptions) (*QueryAnswer, error) {
+// without even a cache line in common. ctx carries the request's trace
+// (obs.TraceFromContext); the find, build and exec phases are timed on
+// it.
+func (r *Registry) Query(ctx context.Context, sql string, opt QueryOptions) (*QueryAnswer, error) {
+	tr := obs.TraceFromContext(ctx)
+	tr.Phase("parse")
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -738,22 +780,24 @@ func (r *Registry) Query(sql string, opt QueryOptions) (*QueryAnswer, error) {
 		if !sampleable {
 			return nil, fmt.Errorf("serve: no CV guarantee exists for MIN/MAX/VAR/STDDEV; drop target_cv to answer exactly")
 		}
-		e, err := r.buildForQuery(tbl.Name, q, opt)
+		e, err := r.buildForQuery(ctx, tbl.Name, q, opt)
 		if err != nil {
 			return nil, err
 		}
-		return r.answerFromEntry(ans, tbl, e, q, opt)
+		return r.answerFromEntry(ctx, ans, tbl, e, q, opt)
 	}
 
 	if opt.Mode == ModeSample || (opt.Mode == ModeAuto && sampleable) {
+		tr.Phase("find")
 		if e, ok := r.Find(tbl.Name, q.GroupBy); ok {
-			return r.answerFromEntry(ans, tbl, e, q, opt)
+			return r.answerFromEntry(ctx, ans, tbl, e, q, opt)
 		}
 		if opt.Mode == ModeSample {
 			return nil, fmt.Errorf("serve: no built sample of %q covers GROUP BY %s (register one via Build)",
 				tbl.Name, strings.Join(q.GroupBy, ", "))
 		}
 	}
+	tr.Phase("exec")
 	res, err := exec.Run(tbl, q)
 	if err != nil {
 		return nil, err
@@ -766,7 +810,8 @@ func (r *Registry) Query(sql string, opt QueryOptions) (*QueryAnswer, error) {
 // carry the immutable snapshot their row ids index; evaluating against
 // it keeps the answer self-consistent even while newer generations
 // publish.
-func (r *Registry) answerFromEntry(ans *QueryAnswer, tbl *table.Table, e *Entry, q *sqlparse.Query, opt QueryOptions) (*QueryAnswer, error) {
+func (r *Registry) answerFromEntry(ctx context.Context, ans *QueryAnswer, tbl *table.Table, e *Entry, q *sqlparse.Query, opt QueryOptions) (*QueryAnswer, error) {
+	obs.TraceFromContext(ctx).Phase("exec")
 	execTbl := e.execTable(tbl)
 	res, err := exec.RunWeighted(execTbl, q, e.Sample.Rows, e.Sample.Weights)
 	if err != nil {
@@ -789,7 +834,7 @@ func (r *Registry) answerFromEntry(ans *QueryAnswer, tbl *table.Table, e *Entry,
 // and returns the (cached, singleflighted) entry built for
 // opt.TargetCV. Repeat queries for the same (table, workload, target)
 // hit the cache; concurrent first queries share one search and build.
-func (r *Registry) buildForQuery(tableName string, q *sqlparse.Query, opt QueryOptions) (*Entry, error) {
+func (r *Registry) buildForQuery(ctx context.Context, tableName string, q *sqlparse.Query, opt QueryOptions) (*Entry, error) {
 	if len(q.GroupBy) == 0 {
 		return nil, fmt.Errorf("serve: a target CV needs a GROUP BY to stratify on")
 	}
@@ -810,7 +855,7 @@ func (r *Registry) buildForQuery(tableName string, q *sqlparse.Query, opt QueryO
 	for _, c := range cols {
 		spec.Aggs = append(spec.Aggs, core.AggColumn{Column: c})
 	}
-	e, _, err := r.Build(BuildRequest{
+	e, _, err := r.Build(ctx, BuildRequest{
 		Table:     tableName,
 		Queries:   []core.QuerySpec{spec},
 		TargetCV:  opt.TargetCV,

@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -78,17 +79,17 @@ func TestRegisterTableRejectsDuplicatesAndNil(t *testing.T) {
 
 func TestBuildValidation(t *testing.T) {
 	reg := newSalesRegistry(t)
-	if _, _, err := reg.Build(buildReq(0)); err == nil {
+	if _, _, err := reg.Build(context.Background(), buildReq(0)); err == nil {
 		t.Fatal("zero budget should fail")
 	}
 	req := buildReq(100)
 	req.Table = "nope"
-	if _, _, err := reg.Build(req); err == nil {
+	if _, _, err := reg.Build(context.Background(), req); err == nil {
 		t.Fatal("unknown table should fail")
 	}
 	req = buildReq(100)
 	req.Queries = nil
-	if _, _, err := reg.Build(req); err == nil {
+	if _, _, err := reg.Build(context.Background(), req); err == nil {
 		t.Fatal("empty workload should fail")
 	}
 }
@@ -111,7 +112,7 @@ func TestBuildDeduplicatesConcurrentRequests(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			e, cached, err := reg.Build(buildReq(200))
+			e, cached, err := reg.Build(context.Background(), buildReq(200))
 			if err != nil {
 				t.Error(err)
 				return
@@ -139,29 +140,29 @@ func TestBuildDeduplicatesConcurrentRequests(t *testing.T) {
 
 func TestBuildDistinctKeysBuildSeparately(t *testing.T) {
 	reg := newSalesRegistry(t)
-	if _, _, err := reg.Build(buildReq(100)); err != nil {
+	if _, _, err := reg.Build(context.Background(), buildReq(100)); err != nil {
 		t.Fatal(err)
 	}
-	if _, cached, err := reg.Build(buildReq(100)); err != nil || !cached {
+	if _, cached, err := reg.Build(context.Background(), buildReq(100)); err != nil || !cached {
 		t.Fatalf("identical request should be cached (cached=%v err=%v)", cached, err)
 	}
-	if _, cached, err := reg.Build(buildReq(200)); err != nil || cached {
+	if _, cached, err := reg.Build(context.Background(), buildReq(200)); err != nil || cached {
 		t.Fatalf("different budget should rebuild (cached=%v err=%v)", cached, err)
 	}
 	linf := buildReq(100)
 	linf.Opts = core.Options{Norm: core.LInf}
-	if _, cached, err := reg.Build(linf); err != nil || cached {
+	if _, cached, err := reg.Build(context.Background(), linf); err != nil || cached {
 		t.Fatalf("different norm should rebuild (cached=%v err=%v)", cached, err)
 	}
 	reseeded := buildReq(100)
 	reseeded.Seed = 99
-	if _, cached, err := reg.Build(reseeded); err != nil || cached {
+	if _, cached, err := reg.Build(context.Background(), reseeded); err != nil || cached {
 		t.Fatalf("different seed should rebuild (cached=%v err=%v)", cached, err)
 	}
 	// case-insensitive table resolution canonicalizes the cache key
 	upper := buildReq(100)
 	upper.Table = "SALES"
-	if _, cached, err := reg.Build(upper); err != nil || !cached {
+	if _, cached, err := reg.Build(context.Background(), upper); err != nil || !cached {
 		t.Fatalf("case-variant table name should hit the cache (cached=%v err=%v)", cached, err)
 	}
 	// group-by order is a set for stratification: permutations share a key
@@ -172,16 +173,16 @@ func TestBuildDistinctKeysBuildSeparately(t *testing.T) {
 			Budget:  150,
 		}
 	}
-	if _, cached, err := reg.Build(pair("region", "product")); err != nil || cached {
+	if _, cached, err := reg.Build(context.Background(), pair("region", "product")); err != nil || cached {
 		t.Fatalf("first two-attribute build should be fresh (cached=%v err=%v)", cached, err)
 	}
-	if _, cached, err := reg.Build(pair("product", "region")); err != nil || !cached {
+	if _, cached, err := reg.Build(context.Background(), pair("product", "region")); err != nil || !cached {
 		t.Fatalf("permuted group-by should hit the cache (cached=%v err=%v)", cached, err)
 	}
 	// omitted weight (0) and the explicit default (1) are the same spec
 	weighted := pair("region", "product")
 	weighted.Queries[0].Aggs[0].Weight = 1
-	if _, cached, err := reg.Build(weighted); err != nil || !cached {
+	if _, cached, err := reg.Build(context.Background(), weighted); err != nil || !cached {
 		t.Fatalf("explicit default weight should hit the cache (cached=%v err=%v)", cached, err)
 	}
 	if got := reg.Builds(); got != 5 {
@@ -205,7 +206,7 @@ func TestFindPrefersTightestCoverThenBudget(t *testing.T) {
 		Budget: 300,
 	}
 	for _, req := range []serve.BuildRequest{region, regionBig, both} {
-		if _, _, err := reg.Build(req); err != nil {
+		if _, _, err := reg.Build(context.Background(), req); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -233,21 +234,21 @@ func TestQueryModes(t *testing.T) {
 	sql := "SELECT region, AVG(amount) FROM sales GROUP BY region"
 
 	// no sample yet: auto falls back to exact, sample mode fails
-	ans, err := reg.Query(sql, serve.QueryOptions{})
+	ans, err := reg.Query(context.Background(), sql, serve.QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ans.Entry != nil {
 		t.Fatal("auto mode with no samples should answer exactly")
 	}
-	if _, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample}); err == nil {
+	if _, err := reg.Query(context.Background(), sql, serve.QueryOptions{Mode: serve.ModeSample}); err == nil {
 		t.Fatal("sample mode with no covering sample should fail")
 	}
 
-	if _, _, err := reg.Build(buildReq(300)); err != nil {
+	if _, _, err := reg.Build(context.Background(), buildReq(300)); err != nil {
 		t.Fatal(err)
 	}
-	ans, err = reg.Query(sql, serve.QueryOptions{})
+	ans, err = reg.Query(context.Background(), sql, serve.QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestQueryModes(t *testing.T) {
 		}
 	}
 
-	exact, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeExact})
+	exact, err := reg.Query(context.Background(), sql, serve.QueryOptions{Mode: serve.ModeExact})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,14 +286,14 @@ func TestQueryModes(t *testing.T) {
 	// MIN/MAX/VAR/STDDEV have no weighted estimator: auto mode answers
 	// them exactly even with a covering sample; explicit sample mode
 	// still forces the sample
-	extremes, err := reg.Query("SELECT region, MAX(amount) FROM sales GROUP BY region", serve.QueryOptions{})
+	extremes, err := reg.Query(context.Background(), "SELECT region, MAX(amount) FROM sales GROUP BY region", serve.QueryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if extremes.Entry != nil {
 		t.Fatal("auto mode must answer MAX exactly (no unbiased sample estimator)")
 	}
-	extremes, err = reg.Query("SELECT region, MAX(amount) FROM sales GROUP BY region",
+	extremes, err = reg.Query(context.Background(), "SELECT region, MAX(amount) FROM sales GROUP BY region",
 		serve.QueryOptions{Mode: serve.ModeSample})
 	if err != nil {
 		t.Fatal(err)
@@ -302,20 +303,20 @@ func TestQueryModes(t *testing.T) {
 	}
 
 	// errors: bad SQL, missing FROM table
-	if _, err := reg.Query("not sql", serve.QueryOptions{}); err == nil {
+	if _, err := reg.Query(context.Background(), "not sql", serve.QueryOptions{}); err == nil {
 		t.Fatal("bad SQL should fail")
 	}
-	if _, err := reg.Query("SELECT region, AVG(amount) FROM nope GROUP BY region", serve.QueryOptions{}); err == nil {
+	if _, err := reg.Query(context.Background(), "SELECT region, AVG(amount) FROM nope GROUP BY region", serve.QueryOptions{}); err == nil {
 		t.Fatal("unknown table should fail")
 	}
 }
 
 func TestQueryCompareReportsExact(t *testing.T) {
 	reg := newSalesRegistry(t)
-	if _, _, err := reg.Build(buildReq(300)); err != nil {
+	if _, _, err := reg.Build(context.Background(), buildReq(300)); err != nil {
 		t.Fatal(err)
 	}
-	ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+	ans, err := reg.Query(context.Background(), "SELECT region, AVG(amount) FROM sales GROUP BY region",
 		serve.QueryOptions{Compare: true})
 	if err != nil {
 		t.Fatal(err)
@@ -363,7 +364,7 @@ func sameResult(a, b *exec.Result) bool {
 // answer matches the sequential ground run off the same shared sample.
 func TestConcurrentQueriesMatchSequential(t *testing.T) {
 	reg := newSalesRegistry(t)
-	if _, _, err := reg.Build(buildReq(300)); err != nil {
+	if _, _, err := reg.Build(context.Background(), buildReq(300)); err != nil {
 		t.Fatal(err)
 	}
 	queries := []string{
@@ -374,7 +375,7 @@ func TestConcurrentQueriesMatchSequential(t *testing.T) {
 	}
 	want := make([]*exec.Result, len(queries))
 	for i, q := range queries {
-		ans, err := reg.Query(q, serve.QueryOptions{Mode: serve.ModeSample})
+		ans, err := reg.Query(context.Background(), q, serve.QueryOptions{Mode: serve.ModeSample})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -389,7 +390,7 @@ func TestConcurrentQueriesMatchSequential(t *testing.T) {
 			defer wg.Done()
 			for rep := 0; rep < 8; rep++ {
 				i := (c + rep) % len(queries)
-				ans, err := reg.Query(queries[i], serve.QueryOptions{Mode: serve.ModeSample})
+				ans, err := reg.Query(context.Background(), queries[i], serve.QueryOptions{Mode: serve.ModeSample})
 				if err != nil {
 					t.Error(err)
 					return
@@ -409,11 +410,11 @@ func TestConcurrentQueriesMatchSequential(t *testing.T) {
 // against the build write path under -race.
 func TestQueriesProceedDuringBuilds(t *testing.T) {
 	reg := newSalesRegistry(t)
-	if _, _, err := reg.Build(buildReq(300)); err != nil {
+	if _, _, err := reg.Build(context.Background(), buildReq(300)); err != nil {
 		t.Fatal(err)
 	}
 	sql := "SELECT region, AVG(amount) FROM sales GROUP BY region"
-	base, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample})
+	base, err := reg.Query(context.Background(), sql, serve.QueryOptions{Mode: serve.ModeSample})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,13 +424,13 @@ func TestQueriesProceedDuringBuilds(t *testing.T) {
 		wg.Add(2)
 		go func(i int) {
 			defer wg.Done()
-			if _, _, err := reg.Build(buildReq(100 + i)); err != nil {
+			if _, _, err := reg.Build(context.Background(), buildReq(100+i)); err != nil {
 				t.Error(err)
 			}
 		}(i)
 		go func() {
 			defer wg.Done()
-			ans, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample})
+			ans, err := reg.Query(context.Background(), sql, serve.QueryOptions{Mode: serve.ModeSample})
 			if err != nil {
 				t.Error(err)
 				return

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"mime"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	apiv1 "repro/internal/api/v1"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/ingest"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Version identifies the daemon build in /healthz; override it at link
@@ -29,6 +32,8 @@ var Version = "dev"
 // (apiv1.Routes):
 //
 //	GET  /healthz                   — liveness, build identity, counters, per-route latency
+//	GET  /metrics                   — Prometheus text exposition of every repro_* series
+//	GET  /debug/requests            — recent per-route request traces, newest first
 //	GET  /v1/tables                 — registered tables (live ones carry stream state)
 //	GET  /v1/samples                — built samples with per-entry hit counts
 //	POST /v1/samples                — register (build or fetch cached) a sample
@@ -37,14 +42,26 @@ var Version = "dev"
 //	POST /v1/tables/{name}/rows     — batch-append rows to a live table
 //	POST /v1/tables/{name}/refresh  — publish a fresh sample generation now
 //
+// Every route runs inside the instrument wrapper: the request gets a
+// trace ID (the client's X-Request-ID, or a fresh one) echoed on the
+// response, a phase trace recorded in the per-route ring
+// (GET /debug/requests), a latency observation, per-route request
+// counters, and one structured log line.
+//
 // A Server is safe for concurrent use; beyond the registry it holds
-// only monotone latency counters.
+// only monotone latency counters and bounded trace rings.
 type Server struct {
 	reg *Registry
 	mux *http.ServeMux
 	// latency feeds the per-route p50/p95/p99 digests /healthz reports;
 	// every route is timed by the instrument wrapper.
 	latency *metrics.LatencySet
+	// tracer keeps the most recent request traces per route for
+	// GET /debug/requests.
+	tracer *obs.Tracer
+	// logger receives one structured line per served request. The
+	// default discards; cvserve wires a text or JSON handler here.
+	logger *slog.Logger
 	// defaultTargetCV, when positive, autoscales POST /v1/samples
 	// requests that specify none of budget/rate/target_cv (the daemon
 	// operator's accuracy default, cvserve -default-target-cv).
@@ -62,13 +79,32 @@ func WithDefaultTargetCV(cv float64) ServerOption {
 	return func(s *Server) { s.defaultTargetCV = cv }
 }
 
+// WithLogger sets the structured logger that receives one line per
+// served request (route, request_id, code, duration). A nil logger
+// keeps the default, which discards.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) {
+		if l != nil {
+			s.logger = l
+		}
+	}
+}
+
 // NewServer wraps a registry in its HTTP API.
 func NewServer(reg *Registry, opts ...ServerOption) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux(), latency: metrics.NewLatencySet()}
+	s := &Server{
+		reg:     reg,
+		mux:     http.NewServeMux(),
+		latency: metrics.NewLatencySet(),
+		tracer:  obs.NewTracer(obs.DefaultRingSize),
+		logger:  slog.New(slog.DiscardHandler),
+	}
 	for _, o := range opts {
 		o(s)
 	}
 	s.route(apiv1.RouteHealthz, s.handleHealthz)
+	s.route(apiv1.RouteMetrics, s.reg.Obs().ServeHTTP)
+	s.route(apiv1.RouteDebugReqs, s.handleDebugRequests)
 	s.route(apiv1.RouteTables, s.handleTables)
 	s.route(apiv1.RouteListSamples, s.handleListSamples)
 	s.route(apiv1.RouteBuildSample, s.handleBuildSample)
@@ -80,15 +116,57 @@ func NewServer(reg *Registry, opts ...ServerOption) *Server {
 }
 
 // route registers a handler under its contract pattern, wrapped in the
-// latency instrument: one Observe per served request, keyed by the
-// pattern (not the concrete URL, so /v1/tables/{name}/rows is one
-// series no matter how many tables exist).
+// request instrument, keyed by the pattern (not the concrete URL, so
+// /v1/tables/{name}/rows is one series no matter how many tables
+// exist).
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		h(w, r)
-		s.latency.Observe(pattern, time.Since(start))
+		s.instrument(pattern, w, r, h)
 	})
+}
+
+// statusRecorder captures the response status code for the instrument
+// wrapper. Unwrap exposes the underlying writer so
+// http.NewResponseController — the write-deadline resets on the build,
+// stream and query routes — still reaches the real connection.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument runs one request end to end: it adopts the client's
+// X-Request-ID (minting one when absent) as the trace ID and echoes it
+// on the response, threads a phase trace through the request context,
+// and — after the handler returns — records the trace, the latency
+// digest, the per-route/per-code counters and one structured log line.
+func (s *Server) instrument(pattern string, w http.ResponseWriter, r *http.Request, h http.HandlerFunc) {
+	start := time.Now()
+	id := r.Header.Get(apiv1.HeaderRequestID)
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	w.Header().Set(apiv1.HeaderRequestID, id)
+	tr := obs.NewTrace(id, pattern)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	h(rec, r.WithContext(obs.ContextWithTrace(r.Context(), tr)))
+	d := time.Since(start)
+	tr.End(rec.status)
+	s.tracer.Record(tr)
+	s.latency.Observe(pattern, d)
+	s.reg.metrics.httpRequests.With(pattern, strconv.Itoa(rec.status)).Inc()
+	s.reg.metrics.httpDuration.With(pattern).Observe(d)
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("route", pattern),
+		slog.String("request_id", id),
+		slog.Int("code", rec.status),
+		slog.Duration("duration", d))
 }
 
 // latencyGateLabel is the synthetic latency-series key for requests
@@ -111,7 +189,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				start := time.Now()
 				writeError(w, apiv1.CodeUnsupportedMedia,
 					"unsupported Content-Type %q: request bodies must be application/json", ct)
-				s.latency.Observe(latencyGateLabel, time.Since(start))
+				d := time.Since(start)
+				s.latency.Observe(latencyGateLabel, d)
+				s.reg.metrics.httpRequests.With(latencyGateLabel,
+					strconv.Itoa(http.StatusUnsupportedMediaType)).Inc()
+				s.reg.metrics.httpDuration.With(latencyGateLabel).Observe(d)
 				return
 			}
 		}
@@ -182,6 +264,39 @@ func toWireSample(e *Entry, cached bool) apiv1.Sample {
 	return out
 }
 
+// traceToWire renders one recorded trace as its contract type
+// (durations in milliseconds, like every duration on the wire).
+func traceToWire(td obs.TraceData) apiv1.RequestTrace {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	out := apiv1.RequestTrace{
+		RequestID:  td.ID,
+		Route:      td.Route,
+		Status:     td.Status,
+		Start:      td.Start,
+		DurationMS: ms(td.Duration),
+		Spans:      make([]apiv1.TraceSpan, len(td.Spans)),
+	}
+	for i, sp := range td.Spans {
+		out.Spans[i] = apiv1.TraceSpan{Name: sp.Name, StartMS: ms(sp.Start), DurationMS: ms(sp.Duration)}
+	}
+	return out
+}
+
+// handleDebugRequests lists the most recent traces per route, newest
+// first, bounded by each route's ring capacity.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	out := apiv1.DebugRequests{Routes: map[string][]apiv1.RequestTrace{}}
+	for _, route := range s.tracer.Routes() {
+		traces := s.tracer.Recent(route)
+		wire := make([]apiv1.RequestTrace, len(traces))
+		for i, td := range traces {
+			wire[i] = traceToWire(td)
+		}
+		out.Routes[route] = wire
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	tables, samples := s.reg.Counts()
 	h := apiv1.Health{
@@ -208,6 +323,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				P50MS: ms(sum.P50),
 				P95MS: ms(sum.P95),
 				P99MS: ms(sum.P99),
+			}
+		}
+	}
+	if sts := s.reg.StreamStatuses(); len(sts) > 0 {
+		h.StreamTables = make(map[string]apiv1.StreamHealth, len(sts))
+		for _, st := range sts {
+			h.StreamTables[st.Table] = apiv1.StreamHealth{
+				Generation:    st.Generation,
+				LastRefreshMS: float64(st.LastRefresh.Microseconds()) / 1000,
+				Pending:       st.Pending,
+				RefreshErrors: st.RefreshErrors,
 			}
 		}
 	}
@@ -245,6 +371,8 @@ func (s *Server) handleListSamples(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFromContext(r.Context())
+	tr.Phase("decode")
 	var req apiv1.BuildRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -312,7 +440,7 @@ func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiv1.CodeInvalidRequest, "%v", err)
 		return
 	}
-	entry, cached, err := s.reg.Build(BuildRequest{
+	entry, cached, err := s.reg.Build(r.Context(), BuildRequest{
 		Table:     tbl.Name,
 		Queries:   specs,
 		Budget:    budget,
@@ -329,7 +457,13 @@ func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
 	if cached {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, toWireSample(entry, cached))
+	out := toWireSample(entry, cached)
+	tr.Phase("encode")
+	if req.Debug {
+		wt := traceToWire(tr.Snapshot())
+		out.Trace = &wt
+	}
+	writeJSON(w, code, out)
 }
 
 // parseNorm maps the wire norm (l2 default, linf, lp + p) onto
@@ -482,6 +616,8 @@ func streamErrorCode(err error, fallback string) string {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	tr := obs.TraceFromContext(r.Context())
+	tr.Phase("decode")
 	var req apiv1.QueryRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -521,7 +657,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opt.Compare = req.Compare
 	opt.TargetCV, opt.MaxBudget = req.TargetCV, req.MaxBudget
-	ans, err := s.reg.Query(req.SQL, opt)
+	ans, err := s.reg.Query(r.Context(), req.SQL, opt)
 	if err != nil {
 		// an unknown FROM table is table_not_found/404, consistent with
 		// every other route; anything else the query could not serve is
@@ -529,6 +665,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, streamErrorCode(err, apiv1.CodeQueryFailed), "%v", err)
 		return
 	}
+	tr.Phase("encode")
 	resp := apiv1.QueryResponse{
 		Table:     ans.Table,
 		Exact:     ans.Entry == nil,
@@ -570,6 +707,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			g.RelErr = rel
 		}
 		resp.Groups[i] = g
+	}
+	if req.Debug {
+		wt := traceToWire(tr.Snapshot())
+		resp.Trace = &wt
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -4,6 +4,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -116,7 +117,7 @@ func TestCrossShardNoBlocking(t *testing.T) {
 		if err := reg.RegisterTable(shardTestTable(t, name)); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := reg.Build(shardBuild(name, 60, 1)); err != nil {
+		if _, _, err := reg.Build(context.Background(), shardBuild(name, 60, 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -125,7 +126,7 @@ func TestCrossShardNoBlocking(t *testing.T) {
 	sh.mu.Lock() // a writer owns a's shard for the whole check
 	unblocked := make(chan error, 1)
 	go func() {
-		_, err := reg.Query(fmt.Sprintf("SELECT region, AVG(amount) FROM %s GROUP BY region", b),
+		_, err := reg.Query(context.Background(), fmt.Sprintf("SELECT region, AVG(amount) FROM %s GROUP BY region", b),
 			QueryOptions{Mode: ModeSample})
 		unblocked <- err
 	}()
@@ -169,7 +170,7 @@ func TestTwoShardHammer(t *testing.T) {
 		if err := reg.RegisterTable(shardTestTable(t, name)); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := reg.Build(shardBuild(name, 60, 1)); err != nil {
+		if _, _, err := reg.Build(context.Background(), shardBuild(name, 60, 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -181,7 +182,7 @@ func TestTwoShardHammer(t *testing.T) {
 		go func(w int) { // builders: distinct seeds force real installs on a's shard
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
-				if _, _, err := reg.Build(shardBuild(a, 40+i%20, int64(100*w+i))); err != nil {
+				if _, _, err := reg.Build(context.Background(), shardBuild(a, 40+i%20, int64(100*w+i))); err != nil {
 					t.Error(err)
 					return
 				}
@@ -190,7 +191,7 @@ func TestTwoShardHammer(t *testing.T) {
 		go func() { // readers on b's shard
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				ans, err := reg.Query(sql, QueryOptions{Mode: ModeSample})
+				ans, err := reg.Query(context.Background(), sql, QueryOptions{Mode: ModeSample})
 				if err != nil {
 					t.Error(err)
 					return

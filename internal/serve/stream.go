@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ingest"
@@ -209,6 +210,7 @@ func (r *Registry) installPublication(sh *shard, name, key string, cfg ingest.Co
 	}
 	sh.mu.Unlock()
 	r.refreshes.Add(1)
+	r.metrics.observeStreamPublication(name, pub.Generation, pub.BuildDuration)
 	if pub.Sample != nil {
 		r.maybeEvict()
 	}
@@ -244,7 +246,11 @@ func (r *Registry) Append(name string, rows [][]any) (ingest.AppendStatus, error
 	if err != nil {
 		return ingest.AppendStatus{}, err
 	}
-	return st.stream.Append(rows)
+	status, err := st.stream.Append(rows)
+	if err == nil && status.Appended > 0 {
+		r.metrics.ingestRows.With(st.stream.Name()).Add(int64(status.Appended))
+	}
+	return status, err
 }
 
 // Refresh finalizes and publishes a new sample generation for a
@@ -281,6 +287,9 @@ type StreamStatus struct {
 	Rows int
 	// RefreshErrors counts failed automatic refreshes.
 	RefreshErrors int64
+	// LastRefresh is the build duration of the most recent publication
+	// (0 until one completes).
+	LastRefresh time.Duration
 }
 
 // StreamCount returns the number of streaming tables without touching
@@ -320,6 +329,7 @@ func (r *Registry) StreamStatuses() []StreamStatus {
 			Pending:       st.stream.Pending(),
 			Rows:          st.stream.Rows(),
 			RefreshErrors: st.stream.RefreshErrors(),
+			LastRefresh:   st.stream.LastRefreshDuration(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
@@ -338,6 +348,7 @@ func (r *Registry) StreamStatus(name string) (StreamStatus, bool) {
 		Pending:       st.stream.Pending(),
 		Rows:          st.stream.Rows(),
 		RefreshErrors: st.stream.RefreshErrors(),
+		LastRefresh:   st.stream.LastRefreshDuration(),
 	}, true
 }
 

@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"net/http"
@@ -63,7 +64,7 @@ func newStreamingRegistry(t *testing.T, cfg ingest.Config) *serve.Registry {
 func TestRegisterStreamingTablePublishesImmediately(t *testing.T) {
 	reg := newStreamingRegistry(t, streamCfg(300))
 	// generation 1 is queryable right away, off the sample
-	ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+	ans, err := reg.Query(context.Background(), "SELECT region, AVG(amount) FROM sales GROUP BY region",
 		serve.QueryOptions{Mode: serve.ModeSample})
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +94,7 @@ func TestAppendThenRefreshAdvancesGeneration(t *testing.T) {
 		t.Fatalf("append status: %+v", st)
 	}
 	// queries still answer from generation 1 until the refresh
-	ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+	ans, err := reg.Query(context.Background(), "SELECT region, AVG(amount) FROM sales GROUP BY region",
 		serve.QueryOptions{Mode: serve.ModeSample})
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +110,7 @@ func TestAppendThenRefreshAdvancesGeneration(t *testing.T) {
 		t.Fatalf("refresh produced generation %d, want 2", e.Generation)
 	}
 	// the exact path now sees the appended rows too
-	exact, err := reg.Query("SELECT COUNT(*) FROM sales", serve.QueryOptions{Mode: serve.ModeExact})
+	exact, err := reg.Query(context.Background(), "SELECT COUNT(*) FROM sales", serve.QueryOptions{Mode: serve.ModeExact})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestStreamTableConvertsStaticTable(t *testing.T) {
 	reg := newSalesRegistry(t)
 	t.Cleanup(reg.Close)
 	// a static sample built before the conversion
-	if _, _, err := reg.Build(buildReq(200)); err != nil {
+	if _, _, err := reg.Build(context.Background(), buildReq(200)); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := reg.Append("sales", streamRows(0, 10)); err == nil {
@@ -146,7 +147,7 @@ func TestStreamTableConvertsStaticTable(t *testing.T) {
 	}
 	// both the static and the streaming entry cover region queries; the
 	// streaming one has the bigger budget and wins
-	ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+	ans, err := reg.Query(context.Background(), "SELECT region, AVG(amount) FROM sales GROUP BY region",
 		serve.QueryOptions{Mode: serve.ModeSample})
 	if err != nil {
 		t.Fatal(err)
@@ -169,7 +170,7 @@ func TestFindPrefersLiveEntryOverBiggerStaticSample(t *testing.T) {
 	reg := newSalesRegistry(t)
 	t.Cleanup(reg.Close)
 	// static sample with a budget far above the streaming one
-	if _, _, err := reg.Build(buildReq(2000)); err != nil {
+	if _, _, err := reg.Build(context.Background(), buildReq(2000)); err != nil {
 		t.Fatal(err)
 	}
 	if err := reg.StreamTable("sales", streamCfg(300)); err != nil {
@@ -181,7 +182,7 @@ func TestFindPrefersLiveEntryOverBiggerStaticSample(t *testing.T) {
 	if _, err := reg.Refresh("sales"); err != nil {
 		t.Fatal(err)
 	}
-	ans, err := reg.Query("SELECT region, AVG(amount) FROM sales GROUP BY region",
+	ans, err := reg.Query(context.Background(), "SELECT region, AVG(amount) FROM sales GROUP BY region",
 		serve.QueryOptions{Mode: serve.ModeSample})
 	if err != nil {
 		t.Fatal(err)
@@ -276,7 +277,7 @@ func TestHitCountersSurviveRefresh(t *testing.T) {
 	reg := newStreamingRegistry(t, streamCfg(300))
 	sql := "SELECT region, AVG(amount) FROM sales GROUP BY region"
 	for i := 0; i < 5; i++ {
-		if _, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample}); err != nil {
+		if _, err := reg.Query(context.Background(), sql, serve.QueryOptions{Mode: serve.ModeSample}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -405,7 +406,7 @@ func TestStreamingAppendQueryRefreshRace(t *testing.T) {
 			defer wg.Done()
 			var lastGen uint64
 			for rep := 0; rep < queryReps; rep++ {
-				ans, err := reg.Query(sql, serve.QueryOptions{Mode: serve.ModeSample})
+				ans, err := reg.Query(context.Background(), sql, serve.QueryOptions{Mode: serve.ModeSample})
 				if err != nil {
 					t.Error(err)
 					return
@@ -456,7 +457,7 @@ func TestStreamingAppendQueryRefreshRace(t *testing.T) {
 		t.Fatalf("automatic refreshes failed %d times", st.RefreshErrors)
 	}
 	// the final generation's COUNT covers every ingested row
-	ans, err := reg.Query("SELECT COUNT(*) FROM sales", serve.QueryOptions{Mode: serve.ModeExact})
+	ans, err := reg.Query(context.Background(), "SELECT COUNT(*) FROM sales", serve.QueryOptions{Mode: serve.ModeExact})
 	if err != nil {
 		t.Fatal(err)
 	}

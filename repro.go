@@ -24,6 +24,7 @@
 package repro
 
 import (
+	"log/slog"
 	"math/rand"
 	"net/http"
 
@@ -210,10 +211,25 @@ func WithRegistryShards(n int) RegistryOption {
 
 // NewServerHandler exposes a registry over the HTTP/JSON serving API
 // (POST /v1/query, POST /v1/samples, GET /v1/samples, the streaming
-// POST /v1/tables/{name}/stream|rows|refresh endpoints, GET /healthz);
-// cmd/cvserve is the ready-made daemon around it. Options tune the
-// server (WithDefaultTargetCV).
+// POST /v1/tables/{name}/stream|rows|refresh endpoints, GET /healthz,
+// plus the observability surface: GET /metrics and
+// GET /debug/requests — see docs/OBSERVABILITY.md); cmd/cvserve is
+// the ready-made daemon around it. Options tune the server
+// (WithDefaultTargetCV, WithServerLogger).
 func NewServerHandler(reg *Registry, opts ...ServerOption) http.Handler {
+	return serve.NewServer(reg, opts...)
+}
+
+// Server is the serving API handler behind NewServerHandler. Embedders
+// that want the private debug surface too (net/http/pprof, /metrics,
+// /debug/requests on a separate loopback listener, as cvserve
+// -debug-addr does) construct one Server and mount both it and its
+// DebugHandler(), so the debug trace rings show the API's traffic.
+type Server = serve.Server
+
+// NewServer is NewServerHandler returning the concrete *Server, for
+// callers that also need DebugHandler().
+func NewServer(reg *Registry, opts ...ServerOption) *Server {
 	return serve.NewServer(reg, opts...)
 }
 
@@ -224,6 +240,13 @@ type ServerOption = serve.ServerOption
 // budget, rate or target_cv of their own to this per-group CV goal.
 func WithDefaultTargetCV(cv float64) ServerOption {
 	return serve.WithDefaultTargetCV(cv)
+}
+
+// WithServerLogger routes the server's structured per-request log
+// (route pattern, X-Request-ID, status, duration) through l; the
+// default discards. cvserve wires its -log-format handler here.
+func WithServerLogger(l *slog.Logger) ServerOption {
+	return serve.WithLogger(l)
 }
 
 // Wire-contract types of the versioned HTTP API (internal/api/v1),

@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 
 fail=0
 
-for f in README.md docs/ARCHITECTURE.md docs/API.md; do
+for f in README.md docs/ARCHITECTURE.md docs/API.md docs/OBSERVABILITY.md; do
     if [ ! -s "$f" ]; then
         echo "check_docs: missing or empty: $f" >&2
         fail=1
@@ -55,7 +55,23 @@ while read -r code; do
     fi
 done <<<"$codes"
 
+# Every Prometheus series the daemon registers (the "repro_..." name
+# constants in internal/serve/obsmetrics.go) must appear, backticked,
+# in docs/OBSERVABILITY.md: operators alert on these, so each needs a
+# documented meaning.
+metrics=$(grep -ho '"repro_[a-z_]*"' internal/serve/obsmetrics.go | tr -d '"' | sort -u)
+if [ -z "$metrics" ]; then
+    echo "check_docs: found no metric names in internal/serve/obsmetrics.go (pattern drift?)" >&2
+    fail=1
+fi
+while read -r metric; do
+    if ! grep -qF -- "\`$metric\`" docs/OBSERVABILITY.md; then
+        echo "check_docs: metric '$metric' is not documented in docs/OBSERVABILITY.md" >&2
+        fail=1
+    fi
+done <<<"$metrics"
+
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "check_docs: OK ($(wc -l <<<"$routes") routes, $(wc -l <<<"$codes") error codes documented)"
+echo "check_docs: OK ($(wc -l <<<"$routes") routes, $(wc -l <<<"$codes") error codes, $(wc -l <<<"$metrics") metrics documented)"
