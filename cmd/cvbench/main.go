@@ -168,10 +168,21 @@ func runBenchServe(benchtime, out string) error {
 
 var benchNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 
+// requiredScenarios is the scenario roster a valid report must cover.
+// Adding a scenario to internal/benchserve means adding it here, so a
+// report from a stale binary (or a suite that silently dropped a
+// scenario) fails validation instead of passing with a hole in it.
+var requiredScenarios = []string{
+	"build", "query_sample", "query_exact", "append",
+	"exec_interpreted", "exec_planned", "exec_plan_cold",
+	"metrics_render",
+}
+
 // checkBenchReport validates a BENCH_serve.json document: the schema
-// tag, the identity fields, and per-scenario sanity (names, positive
-// iteration counts and timings). The CI smoke runs it right after
-// -bench serve -benchtime 1x, so a malformed report fails the build.
+// tag, the identity fields, scenario-roster completeness, and
+// per-scenario sanity (names, positive iteration counts and timings).
+// The CI smoke runs it right after -bench serve -benchtime 1x, so a
+// malformed report fails the build.
 func checkBenchReport(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -208,6 +219,11 @@ func checkBenchReport(path string) error {
 			return fmt.Errorf("%s: scenario %q has negative measurements", path, s.Name)
 		}
 		seen[s.Name] = true
+	}
+	for _, name := range requiredScenarios {
+		if !seen[name] {
+			return fmt.Errorf("%s: scenario %q missing from report", path, name)
+		}
 	}
 	return nil
 }

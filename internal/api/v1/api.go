@@ -150,6 +150,33 @@ type QueryRequest struct {
 	// Debug returns the request's per-phase trace inline on the
 	// response (QueryResponse.Trace).
 	Debug bool `json:"debug,omitempty"`
+	// Explain returns the compiled physical plan that answered the
+	// query (QueryResponse.Plan). Queries outside the planner's subset
+	// are answered by the row interpreter and carry no plan.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// Executor values for QueryResponse.Executor.
+const (
+	// ExecutorColumnar is the compiled-plan vectorized executor
+	// (internal/plan): typed per-column loops over row batches.
+	ExecutorColumnar = "columnar"
+	// ExecutorInterpreted is the row-at-a-time AST interpreter
+	// (internal/exec), the reference oracle and the fallback for
+	// queries the planner does not support.
+	ExecutorInterpreted = "interpreted"
+)
+
+// PlanNode is one operator of a compiled physical plan, returned on
+// QueryResponse.Plan when the request sets explain=true. Children are
+// the operator's inputs (a single-input chain for this engine:
+// output → sort → aggregate → filter → scan). Detail holds
+// operator-specific attributes; map marshaling sorts keys, so the JSON
+// rendering of a plan is byte-stable and suitable for golden tests.
+type PlanNode struct {
+	Op       string         `json:"op"`
+	Detail   map[string]any `json:"detail,omitempty"`
+	Children []*PlanNode    `json:"children,omitempty"`
 }
 
 // Group is one output group of a query response.
@@ -184,6 +211,12 @@ type QueryResponse struct {
 	Sets         [][]string `json:"sets"`
 	AggLabels    []string   `json:"agg_labels"`
 	Groups       []Group    `json:"groups"`
+	// Executor names the engine that computed the answer:
+	// ExecutorColumnar or ExecutorInterpreted.
+	Executor string `json:"executor,omitempty"`
+	// Plan is the compiled physical plan, present only when the request
+	// set explain=true and the columnar executor answered.
+	Plan *PlanNode `json:"plan,omitempty"`
 	// Trace is the request's per-phase timing, present only when the
 	// request set debug=true.
 	Trace *RequestTrace `json:"trace,omitempty"`

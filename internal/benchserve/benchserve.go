@@ -48,6 +48,12 @@ type Result struct {
 // smoke runs stay instant.
 const benchRows = 4096
 
+// execRows sizes the executor-comparison table. The exec_* scenarios
+// measure per-row execution cost (interpreted closures vs columnar
+// batches), so they want enough rows that the fixed costs — parse,
+// plan-cache lookup, result assembly — disappear into the noise.
+const execRows = 32768
+
 // benchTable builds the scenario table: one group column with a few
 // strata, one aggregate column.
 func benchTable(name string) *table.Table {
@@ -58,6 +64,24 @@ func benchTable(name string) *table.Table {
 	regions := []string{"NA", "EU", "APAC", "LATAM"}
 	for i := 0; i < benchRows; i++ {
 		if err := tbl.AppendRow(regions[i%len(regions)], float64(i%97)); err != nil {
+			panic(err)
+		}
+	}
+	return tbl
+}
+
+// execTable builds the executor-comparison table: eight strata, a
+// float measure and an int measure, so the benchmark query exercises a
+// predicate, a group-by and mixed-kind aggregate arguments.
+func execTable(name string) *table.Table {
+	tbl := table.New(name, table.Schema{
+		{Name: "region", Kind: table.String},
+		{Name: "amount", Kind: table.Float},
+		{Name: "qty", Kind: table.Int},
+	})
+	regions := []string{"NA", "EU", "APAC", "LATAM", "MEA", "ANZ", "SA", "CN"}
+	for i := 0; i < execRows; i++ {
+		if err := tbl.AppendRow(regions[i%len(regions)], float64(i%97), int64(i%13)); err != nil {
 			panic(err)
 		}
 	}
@@ -77,6 +101,15 @@ func benchSpecs() []core.QuerySpec {
 // iterations only as far as the registry itself does).
 func Scenarios(ctx context.Context) []Scenario {
 	const sql = "SELECT region, AVG(amount) FROM bench GROUP BY region"
+	const execSQL = "SELECT region, AVG(amount), SUM(amount * qty), COUNT(*) FROM benchx WHERE amount > 12 GROUP BY region"
+	newExecReg := func(b *testing.B) *serve.Registry {
+		b.Helper()
+		reg := serve.NewRegistry()
+		if err := reg.RegisterTable(execTable("benchx")); err != nil {
+			b.Fatal(err)
+		}
+		return reg
+	}
 	newReg := func(b *testing.B, build bool) *serve.Registry {
 		b.Helper()
 		reg := serve.NewRegistry()
@@ -156,6 +189,61 @@ func Scenarios(ctx context.Context) []Scenario {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := reg.Append("bench", batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// the row interpreter on the grouped-aggregate query: the
+			// baseline the compiled plans are measured against
+			Name: "exec_interpreted",
+			Run: func(b *testing.B) {
+				reg := newExecReg(b)
+				defer reg.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := reg.Query(ctx, execSQL, serve.QueryOptions{
+						Mode: serve.ModeExact, Executor: serve.ExecInterpreted,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// the columnar executor with a warm plan cache: the steady
+			// state of a repeated dashboard query
+			Name: "exec_planned",
+			Run: func(b *testing.B) {
+				reg := newExecReg(b)
+				defer reg.Close()
+				if _, err := reg.Query(ctx, execSQL, serve.QueryOptions{Mode: serve.ModeExact}); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := reg.Query(ctx, execSQL, serve.QueryOptions{Mode: serve.ModeExact}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			// a never-before-seen query per iteration (the LIMIT varies,
+			// changing the normalized-SQL cache key): compile + execute,
+			// the plan cache's worst case
+			Name: "exec_plan_cold",
+			Run: func(b *testing.B) {
+				reg := newExecReg(b)
+				defer reg.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sql := fmt.Sprintf("%s LIMIT %d", execSQL, 1_000_000+i)
+					if _, err := reg.Query(ctx, sql, serve.QueryOptions{Mode: serve.ModeExact}); err != nil {
 						b.Fatal(err)
 					}
 				}

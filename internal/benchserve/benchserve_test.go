@@ -10,7 +10,8 @@ import (
 // schema and CI's smoke step both key on these names.
 func TestScenarioNamesStable(t *testing.T) {
 	scs := Scenarios(context.Background())
-	want := []string{"build", "query_sample", "query_exact", "append", "metrics_render"}
+	want := []string{"build", "query_sample", "query_exact", "append",
+		"exec_interpreted", "exec_planned", "exec_plan_cold", "metrics_render"}
 	if len(scs) != len(want) {
 		t.Fatalf("got %d scenarios, want %d", len(scs), len(want))
 	}
@@ -40,8 +41,8 @@ func TestRunSingleIteration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 5 {
-		t.Fatalf("got %d results, want 5", len(results))
+	if len(results) != 8 {
+		t.Fatalf("got %d results, want 8", len(results))
 	}
 	for _, r := range results {
 		if r.Iterations < 1 || r.NsPerOp <= 0 {

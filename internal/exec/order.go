@@ -95,20 +95,24 @@ func (c *compiledQuery) compileHaving(e sqlparse.Expr) (havingFn, error) {
 	return nil, fmt.Errorf("exec: HAVING must be a boolean expression over aggregates, got %T", e)
 }
 
-// orderSpec is one resolved ORDER BY key.
-type orderSpec struct {
+// OrderSpec is one resolved ORDER BY key. Exported (with opaque fields)
+// so the planned executor (internal/plan) shares the interpreter's exact
+// ordering semantics: both resolve via ResolveOrderBy and sort via
+// ApplyOrderAndLimit, so the two engines cannot drift on tie-breaking,
+// NaN placement or numeric-vs-string ordering.
+type OrderSpec struct {
 	aggIdx int    // >= 0: sort by Aggs[aggIdx]
 	attr   string // when aggIdx < 0: sort by this group attribute
 	desc   bool
 }
 
-// resolveOrderBy matches ORDER BY items against the query's outputs: a
+// ResolveOrderBy matches ORDER BY items against the query's outputs: a
 // plain column must be a group-by attribute; anything else must match a
 // select item by alias or by rendered expression.
-func (c *compiledQuery) resolveOrderBy(q *sqlparse.Query) ([]orderSpec, error) {
-	var specs []orderSpec
+func ResolveOrderBy(q *sqlparse.Query) ([]OrderSpec, error) {
+	var specs []OrderSpec
 	for _, item := range q.OrderBy {
-		spec := orderSpec{aggIdx: -1, desc: item.Desc}
+		spec := OrderSpec{aggIdx: -1, desc: item.Desc}
 		if ref, ok := item.Expr.(*sqlparse.ColumnRef); ok {
 			matched := false
 			for _, g := range q.GroupBy {
@@ -122,7 +126,7 @@ func (c *compiledQuery) resolveOrderBy(q *sqlparse.Query) ([]orderSpec, error) {
 				// an alias of an aggregate select item?
 				for i, sel := range q.Select {
 					if sel.Alias == ref.Name && sqlparse.HasAggregate(sel.Expr) {
-						spec.aggIdx = c.aggIndexOf(q, i)
+						spec.aggIdx = aggIndexOf(q, i)
 						matched = spec.aggIdx >= 0
 						break
 					}
@@ -136,7 +140,7 @@ func (c *compiledQuery) resolveOrderBy(q *sqlparse.Query) ([]orderSpec, error) {
 			found := -1
 			for i, sel := range q.Select {
 				if sqlparse.HasAggregate(sel.Expr) && sel.Expr.String() == rendered {
-					found = c.aggIndexOf(q, i)
+					found = aggIndexOf(q, i)
 					break
 				}
 			}
@@ -152,7 +156,7 @@ func (c *compiledQuery) resolveOrderBy(q *sqlparse.Query) ([]orderSpec, error) {
 
 // aggIndexOf converts a select-item index into its position among the
 // aggregate outputs (plain grouped columns are not output aggregates).
-func (c *compiledQuery) aggIndexOf(q *sqlparse.Query, selIdx int) int {
+func aggIndexOf(q *sqlparse.Query, selIdx int) int {
 	agg := 0
 	for i, sel := range q.Select {
 		if _, ok := sel.Expr.(*sqlparse.ColumnRef); ok {
@@ -166,9 +170,9 @@ func (c *compiledQuery) aggIndexOf(q *sqlparse.Query, selIdx int) int {
 	return -1
 }
 
-// applyOrderAndLimit sorts result rows by the resolved keys (stable,
+// ApplyOrderAndLimit sorts result rows by the resolved keys (stable,
 // ties broken by grouping set then key) and truncates to the limit.
-func applyOrderAndLimit(res *Result, specs []orderSpec, limit int) {
+func ApplyOrderAndLimit(res *Result, specs []OrderSpec, limit int) {
 	if len(specs) > 0 {
 		attrPos := make([]map[string]int, len(res.Sets))
 		for si, set := range res.Sets {
@@ -177,7 +181,7 @@ func applyOrderAndLimit(res *Result, specs []orderSpec, limit int) {
 				attrPos[si][a] = i
 			}
 		}
-		keyOf := func(r *Row, s orderSpec) (num float64, str string, isNum bool) {
+		keyOf := func(r *Row, s OrderSpec) (num float64, str string, isNum bool) {
 			if s.aggIdx >= 0 {
 				return r.Aggs[s.aggIdx], "", true
 			}

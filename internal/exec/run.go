@@ -244,7 +244,7 @@ type compiledQuery struct {
 	itemSite  []int
 	aggLabels []string
 	having    havingFn // nil when absent
-	orderBy   []orderSpec
+	orderBy   []OrderSpec
 	limit     int
 }
 
@@ -336,7 +336,7 @@ func compile(tbl *table.Table, q *sqlparse.Query) (*compiledQuery, error) {
 		c.having = h
 	}
 	if len(q.OrderBy) > 0 {
-		specs, err := c.resolveOrderBy(q)
+		specs, err := ResolveOrderBy(q)
 		if err != nil {
 			return nil, err
 		}
@@ -535,6 +535,6 @@ func (c *compiledQuery) execute(rows []int32, weights []float64, q *sqlparse.Que
 			res.Rows = append(res.Rows, row)
 		}
 	}
-	applyOrderAndLimit(res, c.orderBy, c.limit)
+	ApplyOrderAndLimit(res, c.orderBy, c.limit)
 	return res, nil
 }

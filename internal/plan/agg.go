@@ -1,0 +1,113 @@
+package plan
+
+import "math"
+
+// aggKind mirrors the interpreter's aggregate-site kinds.
+type aggKind uint8
+
+const (
+	aggAvg aggKind = iota
+	aggSum
+	aggCount
+	aggCountIf
+	aggMin
+	aggMax
+	aggVar
+	aggStdDev
+)
+
+// aggAcc accumulates one aggregate site for one group. It is a field-
+// for-field copy of exec.aggState, and accumulate/final/stdErr repeat
+// the interpreter's arithmetic operation for operation: the
+// differential oracle asserts bit-identical outputs, so the columnar
+// path must perform the same float64 computations in the same order,
+// not merely algebraically equivalent ones.
+type aggAcc struct {
+	sumW, sumWX float64
+	sumWX2      float64
+	sumW2       float64
+	sumW2X      float64
+	sumW2X2     float64
+	nObs        int64
+	minV, maxV  float64
+	seen        bool
+}
+
+func (s *aggAcc) accumulate(x, w float64) {
+	s.sumW += w
+	s.sumWX += w * x
+	s.sumWX2 += w * x * x
+	s.sumW2 += w * w
+	s.sumW2X += w * w * x
+	s.sumW2X2 += w * w * x * x
+	s.nObs++
+}
+
+func (s *aggAcc) stdErr(kind aggKind) float64 {
+	if s.nObs == 0 || s.sumW <= 0 {
+		return math.NaN()
+	}
+	fpc := 1 - float64(s.nObs)/s.sumW
+	if fpc < 0 {
+		fpc = 0
+	}
+	switch kind {
+	case aggAvg:
+		mean := s.sumWX / s.sumW
+		v := s.sumW2X2 - 2*mean*s.sumW2X + mean*mean*s.sumW2
+		if v < 0 {
+			v = 0
+		}
+		return math.Sqrt(v*fpc) / s.sumW
+	case aggSum, aggCount, aggCountIf:
+		if s.nObs < 2 {
+			if fpc == 0 {
+				return 0
+			}
+			return math.NaN()
+		}
+		k := float64(s.nObs)
+		v := (k*s.sumW2X2 - s.sumWX*s.sumWX) / (k - 1)
+		if v < 0 {
+			v = 0
+		}
+		return math.Sqrt(v * fpc)
+	default:
+		return math.NaN()
+	}
+}
+
+func (s *aggAcc) final(kind aggKind) float64 {
+	switch kind {
+	case aggAvg:
+		if s.sumW == 0 {
+			return math.NaN()
+		}
+		return s.sumWX / s.sumW
+	case aggSum, aggCount, aggCountIf:
+		return s.sumWX
+	case aggVar, aggStdDev:
+		if s.sumW == 0 {
+			return math.NaN()
+		}
+		mean := s.sumWX / s.sumW
+		v := s.sumWX2/s.sumW - mean*mean
+		if v < 0 {
+			v = 0
+		}
+		if kind == aggStdDev {
+			return math.Sqrt(v)
+		}
+		return v
+	case aggMin:
+		if !s.seen {
+			return math.NaN()
+		}
+		return s.minV
+	default: // aggMax
+		if !s.seen {
+			return math.NaN()
+		}
+		return s.maxV
+	}
+}

@@ -1,0 +1,88 @@
+package plan_test
+
+// Golden EXPLAIN tests: each fixture query's rendered plan is diffed
+// byte-for-byte against a checked-in JSON file. Regenerate with
+//
+//	go test ./internal/plan -run TestExplainGolden -update
+//
+// and review the diff like any other code change — the fixtures are
+// the wire contract of explain:true, not an implementation detail.
+//
+// ExplainGoldenQueries is shared with the parser fuzz corpus
+// (internal/sqlparse), so every shape with a committed plan rendering
+// is also a permanent fuzz seed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+)
+
+var update = flag.Bool("update", false, "rewrite golden EXPLAIN fixtures")
+
+// ExplainGoldenQueries maps fixture names to the queries whose plan
+// renderings are pinned in testdata/.
+var ExplainGoldenQueries = map[string]string{
+	"filter_group_agg": "SELECT country, AVG(value), COUNT(*) FROM OpenAQ WHERE (value > 10) GROUP BY country",
+	"having":           "SELECT country, parameter, SUM(value) AS total FROM OpenAQ GROUP BY country, parameter HAVING (COUNT(*) > 5)",
+	"order_limit":      "SELECT country, AVG(value) AS avg_v FROM OpenAQ WHERE (parameter = 'pm25') GROUP BY country ORDER BY avg_v DESC LIMIT 10",
+	"cube":             "SELECT country, parameter, AVG(value) FROM OpenAQ GROUP BY country, parameter WITH CUBE",
+	"autoscaled":       "SELECT country, AVG(value) FROM OpenAQ GROUP BY country",
+}
+
+// explainInputs gives the non-default execution contexts; fixtures not
+// listed here render a plain full-table scan.
+var explainInputs = map[string]plan.ExplainInput{
+	"autoscaled": {Source: "sample", Rows: 2048, SampleKey: "OpenAQ/cv=0.05", TargetCV: 0.05},
+}
+
+func TestExplainGolden(t *testing.T) {
+	tbl, err := datagen.OpenAQ(datagen.OpenAQConfig{Rows: 100, Countries: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sql := range ExplainGoldenQueries {
+		t.Run(name, func(t *testing.T) {
+			q, err := sqlparse.Parse(sql)
+			if err != nil {
+				t.Fatalf("parse %q: %v", sql, err)
+			}
+			p, err := plan.Compile(tbl, q)
+			if err != nil {
+				t.Fatalf("compile %q: %v", sql, err)
+			}
+			in, ok := explainInputs[name]
+			if !ok {
+				in = plan.ExplainInput{Source: "table", Rows: tbl.NumRows()}
+			}
+			got, err := json.MarshalIndent(p.Explain(in), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := filepath.Join("testdata", name+".golden.json")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("plan rendering for %q diverged from %s:\n--- got ---\n%s--- want ---\n%s",
+					sql, path, got, want)
+			}
+		})
+	}
+}

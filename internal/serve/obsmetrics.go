@@ -65,6 +65,21 @@ const (
 	// histogram.
 	MetricHTTPRequests = "repro_http_requests_total"
 	MetricHTTPDuration = "repro_http_request_duration_seconds"
+	// MetricPlanCacheHits / MetricPlanCacheMisses count query
+	// executions answered by a cached compiled plan vs. ones that had
+	// to compile (singleflight waiters count as hits).
+	MetricPlanCacheHits   = "repro_plan_cache_hits_total"
+	MetricPlanCacheMisses = "repro_plan_cache_misses_total"
+	// MetricPlanFallbacks counts query executions served by the row
+	// interpreter because the query is outside the planner's subset (or
+	// a cached plan stopped binding).
+	MetricPlanFallbacks = "repro_plan_fallbacks_total"
+	// MetricPlanEvictions counts compiled plans evicted by the
+	// plan-cache cap (WithMaxPlans).
+	MetricPlanEvictions = "repro_plan_evictions_total"
+	// MetricPlans gauges the resident compiled-plan cache (cached
+	// interpreter-fallback decisions included).
+	MetricPlans = "repro_plans"
 )
 
 // srvMetrics holds the resolved metric handles the serving hot paths
@@ -80,6 +95,10 @@ type srvMetrics struct {
 	findMisses       *obs.Counter
 	evictions        *obs.Counter
 	evictedBytes     *obs.Counter
+	planCacheHits    *obs.Counter
+	planCacheMisses  *obs.Counter
+	planFallbacks    *obs.Counter
+	planEvictions    *obs.Counter
 
 	ingestRows      *obs.CounterVec
 	refreshes       *obs.CounterVec
@@ -106,6 +125,10 @@ func newSrvMetrics(reg *obs.Registry, r *Registry) *srvMetrics {
 		findMisses:       reg.Counter(MetricFindMisses, "Find calls with no covering sample."),
 		evictions:        reg.Counter(MetricEvictions, "Entries evicted by the sample byte budget."),
 		evictedBytes:     reg.Counter(MetricEvictedBytes, "Estimated bytes freed by eviction."),
+		planCacheHits:    reg.Counter(MetricPlanCacheHits, "Query executions answered by a cached compiled plan."),
+		planCacheMisses:  reg.Counter(MetricPlanCacheMisses, "Query executions that compiled a plan."),
+		planFallbacks:    reg.Counter(MetricPlanFallbacks, "Query executions served by the row interpreter."),
+		planEvictions:    reg.Counter(MetricPlanEvictions, "Compiled plans evicted by the plan-cache cap."),
 		ingestRows:       reg.CounterVec(MetricIngestRows, "Rows appended to a streaming table.", "table"),
 		refreshes:        reg.CounterVec(MetricStreamRefreshes, "Sample generations published by a streaming table.", "table"),
 		refreshDuration:  reg.HistogramVec(MetricStreamRefreshDuration, "Streaming refresh build duration.", "table"),
@@ -125,6 +148,9 @@ func newSrvMetrics(reg *obs.Registry, r *Registry) *srvMetrics {
 	})
 	reg.GaugeFunc(MetricStreams, "Live (streaming) tables.", func() int64 {
 		return int64(r.StreamCount())
+	})
+	reg.GaugeFunc(MetricPlans, "Resident cached compiled plans.", func() int64 {
+		return int64(r.PlanCount())
 	})
 	return m
 }

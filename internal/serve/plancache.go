@@ -1,0 +1,173 @@
+package serve
+
+// The plan cache. Compiled physical plans (internal/plan) live beside
+// the samples they serve: per shard, keyed by normalized SQL
+// (sqlparse.Query.String() after canonicalizing FROM), compiled
+// exactly once per key no matter how many queries race (the same
+// singleflight discipline as sample builds), and evicted LRU beyond a
+// per-shard cap. Plans are immutable, so eviction can never tear an
+// in-flight execution — an executing goroutine keeps its own
+// reference; the cache only forgets the key.
+//
+// Queries the planner rejects are cached too (a nil plan): the
+// rejection is as stable as the plan would be, and caching it keeps
+// the interpreter fallback from re-running Compile per request.
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+	"repro/internal/table"
+)
+
+// DefaultMaxPlans is the registry-wide compiled-plan cap unless
+// WithMaxPlans overrides it. Plans are small (closures and slot
+// indexes, no row data), so the default is generous; the cap exists to
+// bound adversarial workloads that never repeat a query.
+const DefaultMaxPlans = 4096
+
+// WithMaxPlans bounds the number of resident compiled plans across the
+// registry (minimum 1 per shard); least-recently-used plans are
+// evicted first. n <= 0 keeps DefaultMaxPlans.
+func WithMaxPlans(n int) Option {
+	return func(r *Registry) {
+		if n > 0 {
+			r.maxPlans = n
+		}
+	}
+}
+
+// planEntry is one cached compilation outcome: a plan, or nil when the
+// planner rejected the query (interpreter fallback, cached so the
+// rejection is not re-derived per request).
+type planEntry struct {
+	plan     *plan.Plan
+	lastUsed atomic.Int64
+}
+
+// planCall is one in-flight singleflight compilation. Waiters block on
+// done and then read entry, which the compiler sets before closing.
+type planCall struct {
+	done  chan struct{}
+	entry *planEntry
+}
+
+// planShardCap is the per-shard resident-plan cap derived from the
+// registry-wide bound.
+func (r *Registry) planShardCap() int {
+	cap := r.maxPlans / len(r.shards)
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// planFor returns the compiled plan for q against tbl, or nil when the
+// query is served by the interpreter. q.From must already be
+// canonicalized to tbl.Name (Query does this), so the normalized SQL
+// is casing-stable and lands on the table's own shard.
+func (r *Registry) planFor(tbl *table.Table, q *sqlparse.Query) *plan.Plan {
+	key := q.String()
+	sh := r.shardFor(tbl.Name)
+
+	sh.mu.RLock()
+	pe, ok := sh.plans[key]
+	sh.mu.RUnlock()
+	if ok {
+		r.touchPlan(pe)
+		r.metrics.planCacheHits.Inc()
+		return pe.plan
+	}
+
+	sh.mu.Lock()
+	if pe, ok := sh.plans[key]; ok {
+		sh.mu.Unlock()
+		r.touchPlan(pe)
+		r.metrics.planCacheHits.Inc()
+		return pe.plan
+	}
+	if c, ok := sh.planFlight[key]; ok {
+		sh.mu.Unlock()
+		<-c.done
+		r.touchPlan(c.entry)
+		r.metrics.planCacheHits.Inc()
+		return c.entry.plan
+	}
+	c := &planCall{done: make(chan struct{})}
+	sh.planFlight[key] = c
+	sh.mu.Unlock()
+	r.metrics.planCacheMisses.Inc()
+
+	// Compile outside the lock; a panicking compile degrades to the
+	// interpreter (cached as a rejection) instead of wedging the key.
+	pe = &planEntry{}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				pe.plan = nil
+			}
+		}()
+		if compiled, err := plan.Compile(tbl, q); err == nil {
+			pe.plan = compiled
+		}
+	}()
+	r.planCompiles.Add(1)
+	pe.lastUsed.Store(r.useClock.Add(1))
+
+	var evicted int64
+	sh.mu.Lock()
+	delete(sh.planFlight, key)
+	sh.plans[key] = pe
+	for limit := r.planShardCap(); len(sh.plans) > limit; {
+		victim := ""
+		oldest := int64(math.MaxInt64)
+		for k, e := range sh.plans {
+			if k == key {
+				continue // never evict the entry just installed
+			}
+			if lu := e.lastUsed.Load(); lu < oldest || (lu == oldest && (victim == "" || k < victim)) {
+				oldest, victim = lu, k
+			}
+		}
+		if victim == "" {
+			break
+		}
+		delete(sh.plans, victim)
+		evicted++
+	}
+	sh.mu.Unlock()
+	c.entry = pe
+	close(c.done)
+	if evicted > 0 {
+		r.planEvictions.Add(evicted)
+		r.metrics.planEvictions.Add(evicted)
+	}
+	return pe.plan
+}
+
+// touchPlan stamps the plan's LRU clock.
+func (r *Registry) touchPlan(pe *planEntry) {
+	pe.lastUsed.Store(r.useClock.Add(1))
+}
+
+// PlanCompiles returns how many plan compilations have actually run —
+// cache hits and singleflight waiters do not count. Ops surface and
+// the dedup tests' observable.
+func (r *Registry) PlanCompiles() int64 { return r.planCompiles.Load() }
+
+// PlanEvictions returns how many cached plans have been evicted.
+func (r *Registry) PlanEvictions() int64 { return r.planEvictions.Load() }
+
+// PlanCount returns the number of resident cached plans (rejections
+// included), the repro_plans gauge.
+func (r *Registry) PlanCount() int {
+	var n int
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		n += len(sh.plans)
+		sh.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,283 @@
+package serve_test
+
+// Plan-cache behavior under concurrency: one compilation per key no
+// matter how many queries race (singleflight), LRU eviction bounded by
+// WithMaxPlans, eviction never corrupting an in-flight execution
+// (plans are immutable; the churn test verifies results while evicting
+// under -race), cached interpreter fallbacks, the forced-interpreter
+// escape hatch, and the explain:true wire surface.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	apiv1 "repro/internal/api/v1"
+	"repro/internal/exec"
+	"repro/internal/serve"
+	"repro/internal/sqlparse"
+)
+
+const planSQL = "SELECT region, AVG(amount), COUNT(*) FROM sales WHERE amount > 50 GROUP BY region"
+
+func TestPlanCacheSingleflight(t *testing.T) {
+	reg := serve.NewRegistry(serve.WithShards(1))
+	if err := reg.RegisterTable(salesTable(t)); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	const workers = 32
+	var wg sync.WaitGroup
+	answers := make([]*serve.QueryAnswer, workers)
+	errs := make([]error, workers)
+	start := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			answers[i], errs[i] = reg.Query(context.Background(), planSQL, serve.QueryOptions{Mode: serve.ModeExact})
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if answers[i].Plan == nil {
+			t.Fatalf("worker %d: expected a compiled plan, got interpreter fallback", i)
+		}
+	}
+	if got := reg.PlanCompiles(); got != 1 {
+		t.Fatalf("%d racing queries compiled %d plans, want exactly 1 (singleflight)", workers, got)
+	}
+	if got := reg.PlanCount(); got != 1 {
+		t.Fatalf("PlanCount() = %d, want 1", got)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	reg := serve.NewRegistry(serve.WithShards(1), serve.WithMaxPlans(1))
+	if err := reg.RegisterTable(salesTable(t)); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	sqlA := "SELECT region, AVG(amount) FROM sales GROUP BY region"
+	sqlB := "SELECT region, SUM(amount) FROM sales GROUP BY region"
+	for _, sql := range []string{sqlA, sqlB, sqlA} {
+		if _, err := reg.Query(context.Background(), sql, serve.QueryOptions{Mode: serve.ModeExact}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// cap 1: A compiles, B compiles and evicts A, A compiles again and
+	// evicts B
+	if got := reg.PlanCompiles(); got != 3 {
+		t.Fatalf("PlanCompiles() = %d, want 3 (cap-1 cache thrashing)", got)
+	}
+	if got := reg.PlanEvictions(); got != 2 {
+		t.Fatalf("PlanEvictions() = %d, want 2", got)
+	}
+	if got := reg.PlanCount(); got != 1 {
+		t.Fatalf("PlanCount() = %d, want 1 (cap)", got)
+	}
+}
+
+// TestPlanCacheEvictionNeverTears churns a cap-2 cache with eight
+// distinct queries from many goroutines, checking every answer against
+// the interpreter's. Plans are immutable — eviction drops the cache's
+// reference, never the executing goroutine's — so results must stay
+// exact while the cache thrashes. Run under -race in CI.
+func TestPlanCacheEvictionNeverTears(t *testing.T) {
+	tbl := salesTable(t)
+	reg := serve.NewRegistry(serve.WithShards(1), serve.WithMaxPlans(2))
+	if err := reg.RegisterTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	queries := make([]string, 8)
+	wants := make([]*exec.Result, 8)
+	for i := range queries {
+		queries[i] = fmt.Sprintf(
+			"SELECT region, SUM(amount), COUNT(*) FROM sales WHERE amount > %d GROUP BY region", i*10)
+		q, err := sqlparse.Parse(queries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := exec.Run(tbl, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = want
+	}
+
+	const workers = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qi := (w + i) % len(queries)
+				ans, err := reg.Query(context.Background(), queries[qi], serve.QueryOptions{Mode: serve.ModeExact})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				want := wants[qi]
+				if len(ans.Result.Rows) != len(want.Rows) {
+					t.Errorf("worker %d: %d rows, want %d", w, len(ans.Result.Rows), len(want.Rows))
+					return
+				}
+				for r := range want.Rows {
+					for a := range want.Rows[r].Aggs {
+						if math.Float64bits(ans.Result.Rows[r].Aggs[a]) != math.Float64bits(want.Rows[r].Aggs[a]) {
+							t.Errorf("worker %d: row %d agg %d = %v, want %v",
+								w, r, a, ans.Result.Rows[r].Aggs[a], want.Rows[r].Aggs[a])
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := reg.PlanCount(); got > 2 {
+		t.Fatalf("PlanCount() = %d, want <= 2 (cap)", got)
+	}
+	if reg.PlanEvictions() == 0 {
+		t.Fatal("churning 8 queries through a cap-2 cache should evict")
+	}
+}
+
+// TestPlanCacheFallback: a query outside the plannable subset (IF with
+// mixed-kind branches) is served by the interpreter, yields correct
+// results, and its rejection is cached — one Compile, ever.
+func TestPlanCacheFallback(t *testing.T) {
+	reg := serve.NewRegistry(serve.WithShards(1))
+	if err := reg.RegisterTable(salesTable(t)); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	sql := "SELECT COUNT_IF(IF(amount > 50, amount, region) > 0) FROM sales"
+	ans, err := reg.Query(context.Background(), sql, serve.QueryOptions{Mode: serve.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Plan != nil {
+		t.Fatal("mixed-kind IF should be unplannable")
+	}
+	if len(ans.Result.Rows) != 1 {
+		t.Fatalf("fallback result has %d rows, want 1", len(ans.Result.Rows))
+	}
+	if got := reg.PlanCompiles(); got != 1 {
+		t.Fatalf("PlanCompiles() = %d, want 1", got)
+	}
+	if got := reg.PlanCount(); got != 1 {
+		t.Fatalf("PlanCount() = %d, want 1 (rejection cached)", got)
+	}
+	if _, err := reg.Query(context.Background(), sql, serve.QueryOptions{Mode: serve.ModeExact}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.PlanCompiles(); got != 1 {
+		t.Fatalf("repeat query recompiled: PlanCompiles() = %d, want 1 (cached rejection)", got)
+	}
+}
+
+// TestPlanCacheForcedInterpreter: ExecInterpreted bypasses the planner
+// entirely and answers match the planned path bit-for-bit.
+func TestPlanCacheForcedInterpreter(t *testing.T) {
+	reg := serve.NewRegistry()
+	if err := reg.RegisterTable(salesTable(t)); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	forced, err := reg.Query(context.Background(), planSQL, serve.QueryOptions{
+		Mode: serve.ModeExact, Executor: serve.ExecInterpreted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Plan != nil {
+		t.Fatal("ExecInterpreted must not plan")
+	}
+	if got := reg.PlanCompiles(); got != 0 {
+		t.Fatalf("ExecInterpreted compiled %d plans, want 0", got)
+	}
+
+	planned, err := reg.Query(context.Background(), planSQL, serve.QueryOptions{Mode: serve.ModeExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.Plan == nil {
+		t.Fatal("auto executor should plan this query")
+	}
+	if len(forced.Result.Rows) != len(planned.Result.Rows) {
+		t.Fatalf("executor row counts diverge: %d vs %d", len(forced.Result.Rows), len(planned.Result.Rows))
+	}
+	for r := range forced.Result.Rows {
+		for a := range forced.Result.Rows[r].Aggs {
+			if math.Float64bits(forced.Result.Rows[r].Aggs[a]) != math.Float64bits(planned.Result.Rows[r].Aggs[a]) {
+				t.Fatalf("row %d agg %d: interpreter %v vs columnar %v",
+					r, a, forced.Result.Rows[r].Aggs[a], planned.Result.Rows[r].Aggs[a])
+			}
+		}
+	}
+}
+
+// TestQueryExplainHTTP covers the wire surface: explain:true returns
+// the operator tree and the executor tag; without it, no plan is
+// attached but the executor is still reported.
+func TestQueryExplainHTTP(t *testing.T) {
+	ts, _ := startServer(t)
+
+	var resp apiv1.QueryResponse
+	body := fmt.Sprintf(`{"sql": %q, "mode": "exact", "explain": true}`, planSQL)
+	if code := post(t, ts.URL+apiv1.Path(apiv1.RouteQuery), body, &resp); code != 200 {
+		t.Fatalf("query returned %d", code)
+	}
+	if resp.Executor != apiv1.ExecutorColumnar {
+		t.Fatalf("executor = %q, want %q", resp.Executor, apiv1.ExecutorColumnar)
+	}
+	if resp.Plan == nil || resp.Plan.Op != "output" {
+		t.Fatalf("explain:true should attach an output-rooted plan, got %+v", resp.Plan)
+	}
+	node, ops := resp.Plan, []string{}
+	for node != nil {
+		ops = append(ops, node.Op)
+		if len(node.Children) == 0 {
+			break
+		}
+		node = node.Children[0]
+	}
+	if ops[len(ops)-1] != "scan" {
+		t.Fatalf("plan chain %v should bottom out at scan", ops)
+	}
+	if src := node.Detail["source"]; src != "table" {
+		t.Fatalf("exact-mode scan source = %v, want table", src)
+	}
+
+	var plain apiv1.QueryResponse
+	body = fmt.Sprintf(`{"sql": %q, "mode": "exact"}`, planSQL)
+	if code := post(t, ts.URL+apiv1.Path(apiv1.RouteQuery), body, &plain); code != 200 {
+		t.Fatalf("query returned %d", code)
+	}
+	if plain.Plan != nil {
+		t.Fatal("without explain:true no plan should be attached")
+	}
+	if plain.Executor != apiv1.ExecutorColumnar {
+		t.Fatalf("executor = %q, want %q", plain.Executor, apiv1.ExecutorColumnar)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/ingest"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/samplers"
 	"repro/internal/sqlparse"
 	"repro/internal/table"
@@ -308,6 +309,12 @@ type Registry struct {
 	refreshes atomic.Int64
 	closed    atomic.Bool
 
+	// maxPlans bounds the resident compiled-plan cache (plancache.go);
+	// planCompiles and planEvictions are its activity counters.
+	maxPlans      int
+	planCompiles  atomic.Int64
+	planEvictions atomic.Int64
+
 	// obs is the registry's metrics registry (exposed at GET /metrics);
 	// metrics holds the resolved handles the hot paths increment. Both
 	// are created unconditionally — observing an unscrapped registry
@@ -319,7 +326,7 @@ type Registry struct {
 // NewRegistry returns an empty registry with DefaultShards shards and
 // no sample byte budget; see WithShards and WithMaxSampleBytes.
 func NewRegistry(opts ...Option) *Registry {
-	r := &Registry{shards: make([]*shard, DefaultShards)}
+	r := &Registry{shards: make([]*shard, DefaultShards), maxPlans: DefaultMaxPlans}
 	for _, o := range opts {
 		o(r)
 	}
@@ -691,9 +698,24 @@ const (
 	ModeExact
 )
 
+// ExecutorChoice selects the execution engine for one Query call.
+type ExecutorChoice int
+
+// Executor choices: auto runs the compiled columnar plan when the
+// query is plannable (falling back to the interpreter otherwise);
+// ExecInterpreted forces the row interpreter — the reference oracle —
+// which the differential tests and benchmarks pin against.
+const (
+	ExecAuto ExecutorChoice = iota
+	ExecInterpreted
+)
+
 // QueryOptions tunes one Query call.
 type QueryOptions struct {
 	Mode QueryMode
+	// Executor selects the execution engine (default ExecAuto: the
+	// compiled columnar plan when available).
+	Executor ExecutorChoice
 	// Compare additionally runs the exact query so the caller can report
 	// true per-group errors next to the estimates. Ignored when the
 	// answer is already exact.
@@ -721,6 +743,10 @@ type QueryAnswer struct {
 	// ExactResult is the ground truth, present only when
 	// QueryOptions.Compare was set and the answer is approximate.
 	ExactResult *exec.Result
+	// Plan is the compiled physical plan that computed Result; nil when
+	// the row interpreter answered (forced, or the query is outside the
+	// planner's subset).
+	Plan *plan.Plan
 }
 
 // Query parses sql, resolves its FROM table against the registry and
@@ -747,6 +773,9 @@ func (r *Registry) Query(ctx context.Context, sql string, opt QueryOptions) (*Qu
 		// table_not_found like every other route's unknown-table case
 		return nil, fmt.Errorf("serve: %w: %q", ErrUnknownTable, q.From)
 	}
+	// canonicalize FROM so the plan-cache key (the normalized SQL) is
+	// casing-stable across clients
+	q.From = tbl.Name
 	ans := &QueryAnswer{Table: tbl.Name}
 
 	// MIN/MAX/VAR/STDDEV have no unbiased weighted estimator: a sample
@@ -798,12 +827,36 @@ func (r *Registry) Query(ctx context.Context, sql string, opt QueryOptions) (*Qu
 		}
 	}
 	tr.Phase("exec")
-	res, err := exec.Run(tbl, q)
+	res, err := r.runQuery(tbl, q, nil, nil, opt, ans)
 	if err != nil {
 		return nil, err
 	}
 	ans.Result = res
 	return ans, nil
+}
+
+// runQuery executes q over tbl (exact when rows is nil, weighted
+// otherwise) through the compiled columnar plan when one is available,
+// falling back to the row interpreter — for queries outside the
+// planner's subset, when the caller forces ExecInterpreted, or when a
+// cached plan no longer binds (stale schema). The chosen plan is
+// recorded on ans for EXPLAIN.
+func (r *Registry) runQuery(tbl *table.Table, q *sqlparse.Query, rows []int32, weights []float64, opt QueryOptions, ans *QueryAnswer) (*exec.Result, error) {
+	if opt.Executor != ExecInterpreted {
+		if p := r.planFor(tbl, q); p != nil {
+			res, err := p.Execute(tbl, rows, weights)
+			if err == nil {
+				ans.Plan = p
+				return res, nil
+			}
+			// bind failure: fall through to the interpreter
+		}
+		r.metrics.planFallbacks.Inc()
+	}
+	if rows == nil {
+		return exec.Run(tbl, q)
+	}
+	return exec.RunWeighted(tbl, q, rows, weights)
 }
 
 // answerFromEntry evaluates q over one built sample. Streaming entries
@@ -813,12 +866,14 @@ func (r *Registry) Query(ctx context.Context, sql string, opt QueryOptions) (*Qu
 func (r *Registry) answerFromEntry(ctx context.Context, ans *QueryAnswer, tbl *table.Table, e *Entry, q *sqlparse.Query, opt QueryOptions) (*QueryAnswer, error) {
 	obs.TraceFromContext(ctx).Phase("exec")
 	execTbl := e.execTable(tbl)
-	res, err := exec.RunWeighted(execTbl, q, e.Sample.Rows, e.Sample.Weights)
+	res, err := r.runQuery(execTbl, q, e.Sample.Rows, e.Sample.Weights, opt, ans)
 	if err != nil {
 		return nil, err
 	}
 	ans.Result, ans.Entry = res, e
 	if opt.Compare {
+		// the comparison baseline stays on the interpreter: it is the
+		// reference oracle the estimate is being judged against
 		exact, err := exec.Run(execTbl, q)
 		if err != nil {
 			return nil, err

@@ -17,6 +17,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 // Version identifies the daemon build in /healthz; override it at link
@@ -683,6 +684,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.ChosenBudget = ans.Entry.Budget
 			resp.AchievedCV = apiv1.Float64(ans.Entry.AchievedCV)
 			resp.TargetMet = &met
+		}
+	}
+	resp.Executor = apiv1.ExecutorInterpreted
+	if ans.Plan != nil {
+		resp.Executor = apiv1.ExecutorColumnar
+		if req.Explain {
+			in := plan.ExplainInput{Source: "table"}
+			if ans.Entry != nil {
+				in.Source = "sample"
+				in.Rows = ans.Entry.Sample.Len()
+				in.SampleKey = ans.Entry.Key
+				in.TargetCV = ans.Entry.TargetCV
+			} else if tbl, ok := s.reg.Table(ans.Table); ok {
+				in.Rows = tbl.NumRows()
+			}
+			resp.Plan = ans.Plan.Explain(in)
 		}
 	}
 	// compare mode: index the exact answer once (O(G)), then O(1) per
