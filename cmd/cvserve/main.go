@@ -30,6 +30,14 @@
 // another, and -max-sample-bytes bounds resident sample memory with
 // least-recently-used eviction (live streaming samples are pinned).
 //
+// With -data-dir the daemon is durable: every streaming table keeps a
+// write-ahead log and periodic checkpoints under the directory, built
+// static samples spill to disk, and a restart — clean or kill -9 —
+// recovers both, replaying the WAL suffix so streaming samples come
+// back bit-identical. -fsync picks the durability policy (always /
+// interval / never) and -checkpoint-bytes bounds WAL disk usage per
+// table (docs/ARCHITECTURE.md describes the recovery protocol).
+//
 // Observability (docs/OBSERVABILITY.md): every request is logged
 // structured via log/slog (-log-format picks text or JSON) with its
 // route, status, duration and X-Request-ID; GET /metrics serves the
@@ -60,6 +68,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/serve"
 	"repro/internal/table"
+	"repro/internal/wal"
 )
 
 // tableFlags collects repeated -table name=path flags.
@@ -85,6 +94,9 @@ func main() {
 		maxSampleBytes  = flag.Int64("max-sample-bytes", 0, "resident sample memory budget in bytes: least-recently-used samples are evicted once built samples exceed it (0 = unbounded)")
 		shards          = flag.Int("shards", 0, "registry shard count; tables hash to shards so load on one table never locks out another (0 = default)")
 		defaultTargetCV = flag.Float64("default-target-cv", 0, "autoscale POST /v1/samples requests that name no budget, rate or target_cv to this per-group CV goal (0 = sizing stays mandatory)")
+		dataDir         = flag.String("data-dir", "", "durable state directory: streaming tables get a write-ahead log and checkpoints, built samples spill to disk, and a restart recovers both (empty = in-memory only)")
+		fsync           = flag.String("fsync", "interval", "WAL durability policy under -data-dir: always (fsync before acknowledging), interval (background fsync), never (leave flushing to the OS)")
+		checkpointBytes = flag.Int64("checkpoint-bytes", 0, "cut a checkpoint and truncate covered WAL segments once a table's log exceeds this many bytes (0 = 4 MiB default; with -data-dir)")
 		tables          tableFlags
 	)
 	flag.Var(&tables, "table", "table to serve, as name=path.csv (repeatable)")
@@ -109,6 +121,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cvserve: -default-target-cv must be non-negative")
 		os.Exit(2)
 	}
+	if *checkpointBytes < 0 {
+		fmt.Fprintln(os.Stderr, "cvserve: -checkpoint-bytes must be non-negative")
+		os.Exit(2)
+	}
+	var popts serve.PersistOptions
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cvserve:", err)
+			os.Exit(2)
+		}
+		popts = serve.PersistOptions{Dir: *dataDir, Fsync: policy, CheckpointBytes: *checkpointBytes}
+	}
 	logger, err := newLogger(*logFormat)
 	fatalIf(err)
 
@@ -117,7 +142,8 @@ func main() {
 	// and /healthz (plus this line) reports it to fleet operators.
 	logger.Info("starting", "version", serve.Version, "go", runtime.Version())
 
-	reg := serve.NewRegistry(serve.WithMaxSampleBytes(*maxSampleBytes), serve.WithShards(*shards))
+	reg := serve.NewRegistry(serve.WithMaxSampleBytes(*maxSampleBytes), serve.WithShards(*shards),
+		serve.WithPersistence(popts))
 	defer reg.Close()
 	reg.SetStreamDefaults(ingest.Policy{MaxPending: *refreshRows, Interval: *refreshInterval})
 	for _, spec := range tables {
@@ -127,6 +153,16 @@ func main() {
 		fatalIf(reg.RegisterTable(tbl))
 		logger.Info("loaded table",
 			"table", name, "rows", tbl.NumRows(), "cols", tbl.NumCols(), "path", path)
+	}
+	// recovery runs after the CSV loads: a recovered streaming table is
+	// newer than its -load snapshot and replaces it
+	if *dataDir != "" {
+		rep, err := reg.Recover(context.Background())
+		fatalIf(err)
+		logger.Info("recovered state",
+			"dir", *dataDir, "tables", rep.Tables, "replayed_records", rep.ReplayedRecords,
+			"torn_tails", rep.TornTails, "spilled_samples", rep.SpilledSamples,
+			"duration", rep.Duration)
 	}
 
 	app := serve.NewServer(reg,

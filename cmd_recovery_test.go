@@ -1,0 +1,356 @@
+package repro
+
+// Crash-recovery end to end: kill -9 a durable cvserve mid-stream,
+// corrupt the WAL tail the way a crash would, restart on the same
+// -data-dir and check the daemon comes back with the same generation
+// and the same answers — bit-identical against an uninterrupted control
+// run, since WAL replay reproduces the sampler's RNG consumption. The
+// second test drives enough appends through a small checkpoint
+// threshold to watch checkpoints truncate the WAL (bounded disk), then
+// recovers from the resulting mid-life checkpoint with exact results
+// intact.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startCvserveProc is startCvserve returning the process too, for tests
+// that kill -9 mid-run instead of letting cleanup reap the daemon.
+func startCvserveProc(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill(); _ = cmd.Wait() })
+	addrCh := make(chan string, 1)
+	go func() {
+		scanner := bufio.NewScanner(stdout)
+		for scanner.Scan() {
+			if _, addr, ok := strings.Cut(scanner.Text(), "listening on "); ok {
+				addrCh <- strings.TrimSpace(addr)
+				return
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case base := <-addrCh:
+		if base == "" {
+			t.Fatal("cvserve never reported its address")
+		}
+		return cmd, base
+	case <-time.After(10 * time.Second):
+		t.Fatal("cvserve never reported its address")
+	}
+	return nil, ""
+}
+
+// sigkill terminates the daemon without any chance to flush — the crash
+// being simulated — and reaps the process.
+func sigkill(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+}
+
+func postJSON(t *testing.T, base, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, data
+}
+
+// queryGroups runs a sample-mode GROUP BY query and returns group key →
+// (aggs, se), plus the serving sample's generation.
+func queryGroups(t *testing.T, base, sql string) map[string][]float64 {
+	t.Helper()
+	code, body := postJSON(t, base, "/v1/query", `{"sql": "`+sql+`", "mode": "sample"}`)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, body)
+	}
+	var qr struct {
+		Groups []struct {
+			Key  []string   `json:"key"`
+			Aggs []*float64 `json:"aggs"`
+			SE   []*float64 `json:"se"`
+		} `json:"groups"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	out := make(map[string][]float64, len(qr.Groups))
+	for _, g := range qr.Groups {
+		var vals []float64
+		for _, v := range append(g.Aggs, g.SE...) {
+			if v == nil {
+				t.Fatalf("null agg/se in group %v: %s", g.Key, body)
+			}
+			vals = append(vals, *v)
+		}
+		out[strings.Join(g.Key, "\x00")] = vals
+	}
+	return out
+}
+
+func exactCount(t *testing.T, base string) float64 {
+	t.Helper()
+	code, body := postJSON(t, base, "/v1/query", `{"sql": "SELECT COUNT(*) FROM sales", "mode": "exact"}`)
+	if code != http.StatusOK {
+		t.Fatalf("exact count: %d %s", code, body)
+	}
+	var qr struct {
+		Groups []struct {
+			Aggs []*float64 `json:"aggs"`
+		} `json:"groups"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+	if len(qr.Groups) != 1 || len(qr.Groups[0].Aggs) != 1 || qr.Groups[0].Aggs[0] == nil {
+		t.Fatalf("exact count groups: %s", body)
+	}
+	return *qr.Groups[0].Aggs[0]
+}
+
+// healthPersistence fetches the /healthz persistence block and the
+// streaming generation of sales.
+type persistenceHealth struct {
+	WalSegments       int    `json:"wal_segments"`
+	WalBytes          int64  `json:"wal_bytes"`
+	Checkpoints       int64  `json:"checkpoints"`
+	TruncatedSegments int64  `json:"truncated_segments"`
+	RecoveredTables   int64  `json:"recovered_tables"`
+	ReplayedRecords   int64  `json:"replayed_records"`
+	TornTails         int64  `json:"torn_tails"`
+	Errors            int64  `json:"errors"`
+	Dir               string `json:"dir"`
+}
+
+func healthPersistence(t *testing.T, base string) (persistenceHealth, uint64) {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		StreamTables map[string]struct {
+			Generation uint64 `json:"generation"`
+		} `json:"stream_tables"`
+		Persistence *persistenceHealth `json:"persistence"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Persistence == nil {
+		t.Fatal("healthz has no persistence block on a -data-dir daemon")
+	}
+	return *h.Persistence, h.StreamTables["sales"].Generation
+}
+
+// streamAndFeed registers the deterministic streaming workload (fixed
+// seed and budget) and drives batches rounds of append+refresh, plus
+// one final unrefreshed batch left pending.
+func streamAndFeed(t *testing.T, base string, rounds int) {
+	t.Helper()
+	code, body := postJSON(t, base, "/v1/tables/sales/stream", `{
+		"queries": [{"group_by": ["region"], "aggs": [{"column": "amount"}]}],
+		"budget": 300, "seed": 42
+	}`)
+	if code != http.StatusCreated {
+		t.Fatalf("stream: %d %s", code, body)
+	}
+	for i := 0; i < rounds; i++ {
+		appendBatch(t, base, i)
+		if code, body := postJSON(t, base, "/v1/tables/sales/refresh", ""); code != http.StatusOK {
+			t.Fatalf("refresh %d: %d %s", i, code, body)
+		}
+	}
+	appendBatch(t, base, rounds) // pending at the crash
+}
+
+// appendBatch posts a deterministic 30-row batch (schema region,
+// amount, qty) varying by round.
+func appendBatch(t *testing.T, base string, round int) {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(`{"rows": [`)
+	for i := 0; i < 30; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		region := []string{"NA", "EU", "APAC"}[(round+i)%3]
+		amt := 90 + float64((round*31+i*7)%40)
+		sb.WriteString(`["` + region + `", ` + jsonFloat(amt) + `, 2]`)
+	}
+	sb.WriteString(`]}`)
+	if code, body := postJSON(t, base, "/v1/tables/sales/rows", sb.String()); code != http.StatusOK {
+		t.Fatalf("append round %d: %d %s", round, code, body)
+	}
+}
+
+func jsonFloat(f float64) string {
+	b, _ := json.Marshal(f)
+	return string(b)
+}
+
+// TestCmdCvserveCrashRecoveryBitIdentical: kill -9 a -fsync=always
+// daemon with acknowledged appends and a pending tail, garble the WAL
+// tail the way a torn write would, restart on the same -data-dir, and
+// require the recovered daemon to answer the streaming query
+// bit-identically to an uninterrupted daemon fed the same operations.
+func TestCmdCvserveCrashRecoveryBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "cvserve")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "sales.csv")
+	writeSalesCSV(t, in)
+	dataDir := filepath.Join(dir, "data")
+	const sql = "SELECT region, AVG(amount) FROM sales GROUP BY region"
+
+	// the crashing run: fsync=always so every acknowledged append is
+	// durable at the moment of the kill
+	cmd1, base1 := startCvserveProc(t, bin, "-load", "sales="+in, "-data-dir", dataDir, "-fsync", "always")
+	streamAndFeed(t, base1, 2)
+	preKill := queryGroups(t, base1, sql)
+	_, preGen := healthPersistence(t, base1)
+	sigkill(t, cmd1)
+
+	// the crash signature: a torn (partially written) record at the WAL
+	// tail, which recovery must truncate away rather than reject
+	segs, err := filepath.Glob(filepath.Join(dataDir, "tables", "sales", "wal", "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments under the data dir: %v %v", segs, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x99, 0x00, 0x00, 0x00, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// restart on the same data dir; the CSV loads too, and the recovered
+	// stream must take over from it
+	_, base2 := startCvserveProc(t, bin, "-load", "sales="+in, "-data-dir", dataDir, "-fsync", "always")
+	ph, gen := healthPersistence(t, base2)
+	if ph.RecoveredTables != 1 || ph.TornTails != 1 || ph.Errors != 0 {
+		t.Fatalf("recovery health %+v, want 1 recovered table, 1 torn tail, 0 errors", ph)
+	}
+	if ph.ReplayedRecords == 0 {
+		t.Fatalf("recovery health %+v, want replayed records", ph)
+	}
+	if gen != preGen {
+		t.Fatalf("recovered generation %d, want %d", gen, preGen)
+	}
+	recovered := queryGroups(t, base2, sql)
+
+	// the control: an uninterrupted in-memory daemon fed the exact same
+	// operations (same seed, same batches, same publication points)
+	_, base3 := startCvserveProc(t, bin, "-load", "sales="+in)
+	streamAndFeed(t, base3, 2)
+	control := queryGroups(t, base3, sql)
+
+	for name, want := range map[string]map[string][]float64{"pre-kill": preKill, "control": control} {
+		if len(recovered) != len(want) {
+			t.Fatalf("recovered answer has %d groups, %s has %d", len(recovered), name, len(want))
+		}
+		for key, vals := range want {
+			got, ok := recovered[key]
+			if !ok || len(got) != len(vals) {
+				t.Fatalf("group %q: recovered %v, %s %v", key, got, name, vals)
+			}
+			for i := range vals {
+				if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+					t.Fatalf("group %q value %d: recovered %v != %s %v (replay diverged)",
+						key, i, got[i], name, vals[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCmdCvserveCrashRecoveryBoundsWal: a small -checkpoint-bytes makes
+// checkpoints cut and truncate during normal streaming, so WAL disk
+// stays bounded; a kill -9 then recovers from the mid-life checkpoint
+// with the generation and exact results intact.
+func TestCmdCvserveCrashRecoveryBoundsWal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildTool(t, "cvserve")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "sales.csv")
+	writeSalesCSV(t, in)
+	dataDir := filepath.Join(dir, "data")
+	const checkpointBytes = 16 << 10
+
+	cmd1, base1 := startCvserveProc(t, bin, "-load", "sales="+in,
+		"-data-dir", dataDir, "-fsync", "always", "-checkpoint-bytes", "16384")
+	streamAndFeed(t, base1, 25)
+	ph, preGen := healthPersistence(t, base1)
+	if ph.Checkpoints == 0 || ph.TruncatedSegments == 0 {
+		t.Fatalf("persistence health %+v, want checkpoints and truncated segments > 0", ph)
+	}
+	if ph.WalBytes > 3*checkpointBytes {
+		t.Fatalf("wal bytes = %d not bounded by truncation (threshold %d)", ph.WalBytes, checkpointBytes)
+	}
+	preCount := exactCount(t, base1)
+	sigkill(t, cmd1)
+
+	// on-disk WAL footprint stays bounded too (truncation deleted
+	// covered segments, not just stopped counting them)
+	var diskBytes int64
+	segs, _ := filepath.Glob(filepath.Join(dataDir, "tables", "sales", "wal", "*.seg"))
+	for _, s := range segs {
+		if fi, err := os.Stat(s); err == nil {
+			diskBytes += fi.Size()
+		}
+	}
+	if diskBytes == 0 || diskBytes > 3*checkpointBytes {
+		t.Fatalf("wal disk footprint %d bytes, want within ~%d", diskBytes, checkpointBytes)
+	}
+
+	_, base2 := startCvserveProc(t, bin, "-load", "sales="+in,
+		"-data-dir", dataDir, "-fsync", "always", "-checkpoint-bytes", "16384")
+	ph2, gen := healthPersistence(t, base2)
+	if ph2.RecoveredTables != 1 || ph2.Errors != 0 {
+		t.Fatalf("recovery health %+v, want 1 recovered table and 0 errors", ph2)
+	}
+	if gen != preGen {
+		t.Fatalf("recovered generation %d, want %d", gen, preGen)
+	}
+	if got := exactCount(t, base2); got != preCount {
+		t.Fatalf("exact COUNT(*) after recovery = %g, want %g", got, preCount)
+	}
+}

@@ -320,6 +320,42 @@ type Health struct {
 	// health — generation, refresh count and last-refresh duration — so
 	// an operator can spot a stalled or slow stream from /healthz alone.
 	StreamTables map[string]StreamHealth `json:"stream_tables,omitempty"`
+
+	// Persistence reports the WAL/spill durability layer; absent when
+	// the daemon runs without -data-dir.
+	Persistence *PersistenceHealth `json:"persistence,omitempty"`
+}
+
+// PersistenceHealth is the durability layer's digest in Health: WAL
+// footprint and lag, checkpoint/truncation activity, spill counts and
+// the outcome of boot recovery.
+type PersistenceHealth struct {
+	// Dir is the data directory; Fsync the WAL durability policy
+	// ("always", "interval" or "never").
+	Dir   string `json:"dir"`
+	Fsync string `json:"fsync"`
+	// WalSegments / WalBytes total the live WAL segment files across
+	// streaming tables.
+	WalSegments int   `json:"wal_segments"`
+	WalBytes    int64 `json:"wal_bytes"`
+	// WalLagRecords is the number of WAL records past the last
+	// checkpoint — the replay debt a crash right now would pay.
+	WalLagRecords uint64 `json:"wal_lag_records"`
+	// Checkpoints counts checkpoint cuts; TruncatedSegments the WAL
+	// segments they deleted.
+	Checkpoints       int64 `json:"checkpoints"`
+	TruncatedSegments int64 `json:"truncated_segments"`
+	// SpilledSamples is the number of spilled static samples on disk.
+	SpilledSamples int `json:"spilled_samples"`
+	// RecoveredTables / ReplayedRecords / TornTails / ReplayMS
+	// summarize the boot recovery that produced this process's state.
+	RecoveredTables int64   `json:"recovered_tables"`
+	ReplayedRecords int64   `json:"replayed_records"`
+	TornTails       int64   `json:"torn_tails"`
+	ReplayMS        float64 `json:"replay_ms"`
+	// Errors counts persistence faults (failed fsyncs, unreadable
+	// spills); the daemon keeps serving from memory when one occurs.
+	Errors int64 `json:"errors"`
 }
 
 // StreamHealth is one live table's refresh digest in Health.

@@ -33,10 +33,12 @@ import (
 )
 
 // Client talks to one cvserve daemon. It is safe for concurrent use;
-// all state is the base URL and the underlying *http.Client.
+// all state is the base URL, the underlying *http.Client and the
+// retry policy.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // New returns a client for the daemon at baseURL (scheme + host
@@ -44,8 +46,9 @@ type Client struct {
 // daemons behind a routing proxy). hc == nil uses http.DefaultClient.
 // Builds and autoscale searches can run long, so callers wanting
 // timeouts should set them per call via context rather than a blanket
-// http.Client.Timeout.
-func New(baseURL string, hc *http.Client) (*Client, error) {
+// http.Client.Timeout. Idempotent requests retry transient failures
+// under DefaultRetry unless WithRetry overrides it (retry.go).
+func New(baseURL string, hc *http.Client, opts ...Option) (*Client, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
 		return nil, fmt.Errorf("client: bad server URL %q: %w", baseURL, err)
@@ -59,48 +62,83 @@ func New(baseURL string, hc *http.Client) (*Client, error) {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(u.String(), "/"), hc: hc}, nil
+	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: hc, retry: DefaultRetry}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
 }
 
 // BaseURL returns the normalized server base URL.
 func (c *Client) BaseURL() string { return c.base }
 
 // do sends one request and decodes the response: into out on 2xx, into
-// an *APIError otherwise. in == nil sends no body.
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+// an *APIError otherwise. in == nil sends no body. Idempotent requests
+// retry transient failures (transport errors, 502/503/504) under the
+// client's RetryPolicy; non-idempotent ones get exactly one attempt.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
 			return fmt.Errorf("client: encoding %s %s: %w", method, path, err)
 		}
+	}
+	// one ID for all attempts of one logical request, so the server's
+	// logs show the retries as what they are
+	reqID := obs.NewRequestID()
+	attempts := 1
+	if idempotent {
+		attempts = c.retry.MaxAttempts
+	}
+	for attempt := 0; ; attempt++ {
+		err, retryable := c.attempt(ctx, method, path, reqID, data, in != nil, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable || attempt+1 >= attempts || ctx.Err() != nil {
+			return err
+		}
+		if sleepCtx(ctx, c.retry.backoff(attempt)) != nil {
+			return err // canceled mid-backoff: report the attempt's error
+		}
+	}
+}
+
+// attempt runs one HTTP round trip. retryable reports whether the
+// failure is transient enough that an idempotent request may try again.
+func (c *Client) attempt(ctx context.Context, method, path, reqID string, data []byte, hasBody bool, out any) (err error, retryable bool) {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
+		return fmt.Errorf("client: %s %s: %w", method, path, err), false
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	// every request carries an ID the server adopts as its trace ID and
 	// echoes back; on failure it lands in APIError.RequestID, so one
 	// string ties a client-side error to the server's logs and traces
-	req.Header.Set(apiv1.HeaderRequestID, obs.NewRequestID())
+	req.Header.Set(apiv1.HeaderRequestID, reqID)
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
+		// a transport error means the request may never have arrived;
+		// the retry loop checks ctx itself, so cancellation stops here
+		return fmt.Errorf("client: %s %s: %w", method, path, err), true
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return decodeError(resp)
+		return decodeError(resp), retryableStatus(resp.StatusCode)
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err), false
 		}
 	}
-	return nil
+	return nil, false
 }
 
 // decodeError turns a non-2xx response into an *APIError. A body that
@@ -129,7 +167,7 @@ func tablePath(route, name string) string {
 // runtime) and registry/latency counters.
 func (c *Client) Healthz(ctx context.Context) (*apiv1.Health, error) {
 	var out apiv1.Health
-	if err := c.do(ctx, http.MethodGet, apiv1.Path(apiv1.RouteHealthz), nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, apiv1.Path(apiv1.RouteHealthz), nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -138,7 +176,7 @@ func (c *Client) Healthz(ctx context.Context) (*apiv1.Health, error) {
 // Tables lists the registered tables; live ones carry stream state.
 func (c *Client) Tables(ctx context.Context) ([]apiv1.Table, error) {
 	var out apiv1.TablesList
-	if err := c.do(ctx, http.MethodGet, apiv1.Path(apiv1.RouteTables), nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, apiv1.Path(apiv1.RouteTables), nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out.Tables, nil
@@ -148,7 +186,7 @@ func (c *Client) Tables(ctx context.Context) ([]apiv1.Table, error) {
 // counters.
 func (c *Client) Samples(ctx context.Context) (*apiv1.SamplesList, error) {
 	var out apiv1.SamplesList
-	if err := c.do(ctx, http.MethodGet, apiv1.Path(apiv1.RouteListSamples), nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, apiv1.Path(apiv1.RouteListSamples), nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -159,7 +197,7 @@ func (c *Client) Samples(ctx context.Context) (*apiv1.SamplesList, error) {
 // equal request built before; Sample.Cached distinguishes the two.
 func (c *Client) BuildSample(ctx context.Context, req apiv1.BuildRequest) (*apiv1.Sample, error) {
 	var out apiv1.Sample
-	if err := c.do(ctx, http.MethodPost, apiv1.Path(apiv1.RouteBuildSample), req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, apiv1.Path(apiv1.RouteBuildSample), req, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -169,7 +207,7 @@ func (c *Client) BuildSample(ctx context.Context, req apiv1.BuildRequest) (*apiv
 // exactly, or from an autoscaled sample when req.TargetCV is set.
 func (c *Client) Query(ctx context.Context, req apiv1.QueryRequest) (*apiv1.QueryResponse, error) {
 	var out apiv1.QueryResponse
-	if err := c.do(ctx, http.MethodPost, apiv1.Path(apiv1.RouteQuery), req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, apiv1.Path(apiv1.RouteQuery), req, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -179,7 +217,7 @@ func (c *Client) Query(ctx context.Context, req apiv1.QueryRequest) (*apiv1.Quer
 // one; generation 1 publishes before it returns.
 func (c *Client) MakeStreaming(ctx context.Context, table string, req apiv1.StreamRequest) (*apiv1.StreamState, error) {
 	var out apiv1.StreamState
-	if err := c.do(ctx, http.MethodPost, tablePath(apiv1.RouteStreamTable, table), req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, tablePath(apiv1.RouteStreamTable, table), req, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -190,7 +228,7 @@ func (c *Client) MakeStreaming(ctx context.Context, table string, req apiv1.Stre
 // appended.
 func (c *Client) AppendRows(ctx context.Context, table string, rows [][]any) (*apiv1.AppendResponse, error) {
 	var out apiv1.AppendResponse
-	if err := c.do(ctx, http.MethodPost, tablePath(apiv1.RouteAppendRows, table), apiv1.AppendRequest{Rows: rows}, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, tablePath(apiv1.RouteAppendRows, table), apiv1.AppendRequest{Rows: rows}, &out, false); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -200,7 +238,7 @@ func (c *Client) AppendRows(ctx context.Context, table string, rows [][]any) (*a
 // generation now and returns the freshly installed sample.
 func (c *Client) Refresh(ctx context.Context, table string) (*apiv1.Sample, error) {
 	var out apiv1.Sample
-	if err := c.do(ctx, http.MethodPost, tablePath(apiv1.RouteRefreshTable, table), nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, tablePath(apiv1.RouteRefreshTable, table), nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil

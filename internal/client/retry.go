@@ -1,0 +1,90 @@
+package client
+
+// Retry with jittered exponential backoff for idempotent requests, so
+// callers ride out the window where a daemon is restarting (and, with
+// -data-dir, replaying its WAL) behind a load balancer. A request is
+// retried only when the attempt could not have taken effect or taking
+// effect twice is harmless: transport errors, 502/503/504. The GET
+// methods and the idempotent POSTs (BuildSample is keyed and cached,
+// Query is read-only, Refresh returns the current generation when
+// nothing is pending) opt in; MakeStreaming and AppendRows never retry
+// — replaying an append would duplicate rows, and the server cannot
+// tell a retry from a new batch.
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// DefaultRetry is the policy New installs: up to 4 attempts, backoff
+// starting at 50ms and capped at 2s, with equal jitter.
+var DefaultRetry = RetryPolicy{MaxAttempts: 4, Base: 50 * time.Millisecond, Max: 2 * time.Second}
+
+// RetryPolicy bounds the client's retry loop for idempotent requests.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first;
+	// values below 1 mean 1 (retries off).
+	MaxAttempts int
+	// Base is the backoff before the first retry; attempt i waits
+	// min(Base<<i, Max), jittered. Zero values take DefaultRetry's.
+	Base time.Duration
+	Max  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.Base <= 0 {
+		p.Base = DefaultRetry.Base
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultRetry.Max
+	}
+	return p
+}
+
+// backoff returns the jittered wait before retry number attempt
+// (0-based): equal jitter over min(Base<<attempt, Max), i.e. half the
+// window deterministic, half uniform — retries spread out instead of
+// synchronizing across clients hammering a recovering daemon.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	b := p.Max
+	if attempt < 30 { // avoid the shift overflowing
+		if d := p.Base << attempt; d < b {
+			b = d
+		}
+	}
+	half := b / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// Option configures a Client at New time.
+type Option func(*Client)
+
+// WithRetry overrides DefaultRetry. WithRetry(RetryPolicy{MaxAttempts:
+// 1}) disables retries entirely.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p.withDefaults() }
+}
+
+// retryableStatus reports whether an HTTP status may be retried: only
+// the gateway-transient trio, where the request plausibly never reached
+// a healthy daemon. 4xx are deterministic contract errors and 500 may
+// have had effects.
+func retryableStatus(code int) bool {
+	return code == 502 || code == 503 || code == 504
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

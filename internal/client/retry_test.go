@@ -1,0 +1,171 @@
+package client_test
+
+// Retry behavior: idempotent requests ride out transient failures
+// (503s, dropped connections) with bounded attempts, non-idempotent
+// appends never fire twice, and cancellation cuts the backoff short.
+// The fake servers here count attempts — the client's only observable.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	apiv1 "repro/internal/api/v1"
+	"repro/internal/client"
+)
+
+// fastRetry keeps test backoffs in the microsecond range.
+var fastRetry = client.RetryPolicy{MaxAttempts: 4, Base: time.Microsecond, Max: time.Millisecond}
+
+// flakyServer fails the first fail requests with status, then delegates
+// to ok. It returns the attempt counter.
+func flakyServer(t *testing.T, fail int, status int, ok http.HandlerFunc) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(fail) {
+			http.Error(w, `{"error":{"code":"unavailable","message":"restarting"}}`, status)
+			return
+		}
+		ok(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func retryClient(t *testing.T, url string, p client.RetryPolicy) *client.Client {
+	t.Helper()
+	c, err := client.New(url, nil, client.WithRetry(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRetryIdempotentPOSTSurvives503(t *testing.T) {
+	ts, calls := flakyServer(t, 2, http.StatusServiceUnavailable, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"table":"sales","rows":[]}`))
+	})
+	c := retryClient(t, ts.URL, fastRetry)
+	if _, err := c.Query(context.Background(), apiv1.QueryRequest{SQL: "SELECT COUNT(*) FROM sales"}); err != nil {
+		t.Fatalf("query should survive two 503s: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (two failures + success)", got)
+	}
+}
+
+func TestRetryStopsAtMaxAttempts(t *testing.T) {
+	ts, calls := flakyServer(t, 1<<30, http.StatusServiceUnavailable, nil)
+	c := retryClient(t, ts.URL, fastRetry)
+	_, err := c.Healthz(context.Background())
+	if err == nil {
+		t.Fatal("want an error once attempts are exhausted")
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want the final 503 APIError, got %v", err)
+	}
+	if got := calls.Load(); got != int64(fastRetry.MaxAttempts) {
+		t.Fatalf("server saw %d attempts, want %d", got, fastRetry.MaxAttempts)
+	}
+}
+
+func TestRetryNonIdempotentAppendNeverRetries(t *testing.T) {
+	ts, calls := flakyServer(t, 1<<30, http.StatusServiceUnavailable, nil)
+	c := retryClient(t, ts.URL, fastRetry)
+	if _, err := c.AppendRows(context.Background(), "sales", [][]any{{"NA", "widget", 1.0}}); err == nil {
+		t.Fatal("append against a 503 server should fail")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("append fired %d times, want exactly 1 (a retried append could duplicate rows)", got)
+	}
+	if _, err := c.MakeStreaming(context.Background(), "sales", apiv1.StreamRequest{}); err == nil {
+		t.Fatal("stream registration against a 503 server should fail")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("stream registration retried (%d total calls, want 2)", got)
+	}
+}
+
+func TestRetryDeterministicErrorsDontRetry(t *testing.T) {
+	ts, calls := flakyServer(t, 1<<30, http.StatusNotFound, nil)
+	c := retryClient(t, ts.URL, fastRetry)
+	if _, err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("want the 404 surfaced")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("a 404 was retried: %d attempts, want 1", got)
+	}
+}
+
+func TestRetryTransportErrors(t *testing.T) {
+	// the connection drops mid-flight twice before the server answers
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(ts.Close)
+	c := retryClient(t, ts.URL, fastRetry)
+	if _, err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("healthz should survive two dropped connections: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestRetryHonorsContextDuringBackoff(t *testing.T) {
+	ts, calls := flakyServer(t, 1<<30, http.StatusServiceUnavailable, nil)
+	// long backoff so cancellation lands inside the sleep
+	c := retryClient(t, ts.URL, client.RetryPolicy{
+		MaxAttempts: 10, Base: 10 * time.Second, Max: 10 * time.Second,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Healthz(ctx)
+	if err == nil {
+		t.Fatal("want an error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v to cut the backoff short", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (the rest canceled away)", got)
+	}
+}
+
+func TestRetryKeepsOneRequestID(t *testing.T) {
+	var ids []string
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ids = append(ids, r.Header.Get(apiv1.HeaderRequestID))
+		if calls.Add(1) <= 2 {
+			http.Error(w, "down", http.StatusBadGateway)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(ts.Close)
+	c := retryClient(t, ts.URL, fastRetry)
+	if _, err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] == "" || ids[0] != ids[1] || ids[1] != ids[2] {
+		t.Fatalf("attempts must share one request ID for log correlation, got %v", ids)
+	}
+}

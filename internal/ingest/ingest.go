@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/samplers"
 	"repro/internal/table"
+	"repro/internal/wal"
 )
 
 // DefaultCapacity is the per-stratum reservoir capacity used when
@@ -75,6 +76,16 @@ type Config struct {
 	Seed int64
 	// Policy selects the automatic refresh triggers.
 	Policy Policy
+	// Paused creates the stream without starting its automatic refresh
+	// loop; call Resume once it should run. Recovery uses this so WAL
+	// replay — which re-drives Append and Refresh in logged order —
+	// cannot race a policy-triggered refresh that would consume sampler
+	// RNG draws at unlogged points.
+	Paused bool
+	// FirstGeneration, when > 0, numbers the stream's first publication
+	// FirstGeneration instead of 1, so generations stay monotone across
+	// a recovery that resumes from a checkpoint.
+	FirstGeneration uint64
 }
 
 // validate rejects configurations the sampler would choke on later.
@@ -116,6 +127,11 @@ type Publication struct {
 	// BuiltAt and BuildDuration time the finalize + snapshot cut.
 	BuiltAt       time.Time
 	BuildDuration time.Duration
+	// WalSeq is the WAL sequence number of this publication's refresh
+	// record; every logged append this snapshot covers has a smaller
+	// sequence, so a checkpoint at this generation may truncate the WAL
+	// through WalSeq. Zero when the stream has no WAL attached.
+	WalSeq uint64
 }
 
 // Stream is one live table: a growing private buffer, the resident
@@ -134,12 +150,15 @@ type Stream struct {
 	gen     uint64
 	last    *Publication
 	publish func(*Publication)
+	wal     *wal.Log // nil until SetWAL; appends/refreshes are logged when set
 
 	kick        chan struct{} // threshold crossings wake the loop
 	stop        chan struct{}
 	loopDone    chan struct{}
+	loopStarted atomic.Bool
 	closeOnce   sync.Once
 	refreshErrs atomic.Int64
+	walErrs     atomic.Int64
 }
 
 // New registers a streaming table: seed's rows are copied into the
@@ -206,6 +225,9 @@ func New(seed *table.Table, cfg Config, publish func(*Publication)) (*Stream, er
 	if err := core.StreamTable(s.sampler, s.tbl); err != nil {
 		return nil, err
 	}
+	if cfg.FirstGeneration > 0 {
+		s.gen = cfg.FirstGeneration - 1
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.tbl.NumRows() > 0 {
@@ -217,9 +239,33 @@ func New(seed *table.Table, cfg Config, publish func(*Publication)) (*Stream, er
 		// table is immediately registered and exactly queryable
 		s.publishLocked(&Publication{Snapshot: s.tbl.Snapshot(), BuiltAt: time.Now()})
 	}
-	go s.loop()
+	if !cfg.Paused {
+		s.Resume()
+	}
 	return s, nil
 }
+
+// Resume starts the automatic refresh loop of a stream created with
+// Config.Paused. Calling it more than once (or on an unpaused stream)
+// is a no-op.
+func (s *Stream) Resume() {
+	if s.loopStarted.CompareAndSwap(false, true) {
+		go s.loop()
+	}
+}
+
+// SetWAL attaches a write-ahead log: from now on every append batch and
+// every publication is logged before it is applied. Recovery attaches
+// the log only after replay, so replayed operations are not re-logged.
+func (s *Stream) SetWAL(l *wal.Log) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal = l
+}
+
+// WalErrors counts WAL refresh-record writes that failed (the
+// publication still served; the failure surfaces here and in metrics).
+func (s *Stream) WalErrors() int64 { return s.walErrs.Load() }
 
 // Name returns the stream's table name.
 func (s *Stream) Name() string { return s.name }
@@ -349,6 +395,20 @@ func (s *Stream) Append(rows [][]any) (AppendStatus, error) {
 		}
 		coerced[i] = c
 	}
+	// log before apply: a batch the WAL cannot record is rejected whole,
+	// so memory never holds rows a restart would lose. The write is
+	// buffered (no fsync under s.mu); the serving layer calls Commit
+	// after this returns.
+	if s.wal != nil && len(coerced) > 0 {
+		payload, err := wal.EncodeRows(coerced)
+		if err == nil {
+			_, err = s.wal.Append(wal.TypeRows, payload)
+		}
+		if err != nil {
+			return AppendStatus{Pending: s.pending, Rows: s.tbl.NumRows(), Generation: s.gen},
+				fmt.Errorf("ingest: wal append: %w", err)
+		}
+	}
 	key := make(table.GroupKey, len(s.attrIdx))
 	vals := make([]float64, len(s.aggIdx))
 	for _, row := range coerced {
@@ -435,6 +495,17 @@ func (s *Stream) publishLocked(pub *Publication) {
 	s.gen++
 	pub.Generation = s.gen
 	pub.Rows = pub.Snapshot.NumRows()
+	// log the publication point: replay must re-finalize exactly here,
+	// because the sampler consumes RNG draws at every finalize and a
+	// shifted refresh would diverge the reservoir state
+	if s.wal != nil {
+		seq, err := s.wal.Append(wal.TypeRefresh, wal.EncodeRefresh(s.gen))
+		if err != nil {
+			s.walErrs.Add(1)
+		} else {
+			pub.WalSeq = seq
+		}
+	}
 	s.pending = 0
 	s.last = pub
 	if s.publish != nil {
@@ -478,5 +549,9 @@ func (s *Stream) loop() {
 // automatically anymore. Safe to call more than once.
 func (s *Stream) Close() {
 	s.closeOnce.Do(func() { close(s.stop) })
-	<-s.loopDone
+	// a paused stream whose loop never started has nothing to wait for
+	// (loopDone would never close)
+	if s.loopStarted.Load() {
+		<-s.loopDone
+	}
 }

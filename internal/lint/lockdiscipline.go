@@ -264,9 +264,11 @@ func selectHasDefault(s *ast.SelectStmt) bool {
 // blockingCall reports whether call resolves to a function from the
 // known-blocking table, naming it for the diagnostic. The table covers
 // the operations the serving path actually performs: sleeps, waits,
-// network and subprocess calls, singleflight builds, and ingest stream
+// network and subprocess calls, singleflight builds, ingest stream
 // operations (Append/Refresh/Close take the stream's own mutex and do
-// I/O-sized work).
+// I/O-sized work), and fsync-bearing durability calls — os.File.Sync
+// and the WAL's Sync/Commit, which can stall for the disk's worst-case
+// flush latency and must never run under a shard lock.
 func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	fn := calleeFunc(info, call)
 	if fn == nil {
@@ -299,6 +301,11 @@ func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 		return pkg + "." + qual, true
 	case strings.HasSuffix(pkg, "ingest") && recv == "Stream" &&
 		(name == "Append" || name == "Refresh" || name == "Close"):
+		return pkg + "." + qual, true
+	case pkg == "os" && recv == "File" && name == "Sync":
+		return "os.File.Sync", true
+	case strings.HasSuffix(pkg, "wal") && recv == "Log" &&
+		(name == "Sync" || name == "Commit"):
 		return pkg + "." + qual, true
 	}
 	return "", false

@@ -3,8 +3,11 @@
 package a
 
 import (
+	"os"
 	"sync"
 	"time"
+
+	"lockdiscipline/wal"
 )
 
 type shard struct {
@@ -13,6 +16,8 @@ type shard struct {
 	kick   chan struct{}
 	done   chan struct{}
 	wg     sync.WaitGroup
+	log    *wal.Log
+	f      *os.File
 }
 
 func (s *shard) bad() {
@@ -71,6 +76,26 @@ func (s *shard) goodClosure() func() {
 	return func() {
 		<-s.done
 	}
+}
+
+// badFsync fsyncs inside the critical section: a disk flush can stall
+// every reader behind the shard lock for the device's worst-case
+// latency.
+func (s *shard) badFsync() {
+	s.mu.Lock()
+	_ = s.f.Sync()     // want `call to os\.File\.Sync may block while s\.mu is held`
+	_ = s.log.Sync()   // want `call to lockdiscipline/wal\.Log\.Sync may block while s\.mu is held`
+	_ = s.log.Commit() // want `call to lockdiscipline/wal\.Log\.Commit may block while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// goodWal appends under the lock (buffered, no fsync) and commits only
+// after the unlock — the registry's persistCommit pattern.
+func (s *shard) goodWal() {
+	s.mu.Lock()
+	_, _ = s.log.Append(1, nil)
+	s.mu.Unlock()
+	_ = s.log.Commit()
 }
 
 func (s *shard) allowed() {

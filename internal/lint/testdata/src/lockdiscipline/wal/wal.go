@@ -1,0 +1,11 @@
+// Package wal is a stand-in for the repo's WAL with its fsync-bearing
+// surface (Sync, Commit), so lockdiscipline testdata can exercise the
+// durability entries of the blocking table. Append is buffered and
+// deliberately absent from the table.
+package wal
+
+type Log struct{}
+
+func (l *Log) Append(typ byte, payload []byte) (uint64, error) { return 0, nil }
+func (l *Log) Sync() error                                     { return nil }
+func (l *Log) Commit() error                                   { return nil }

@@ -103,6 +103,7 @@ func (r *Registry) maybeEvict() {
 		v.sh.mu.Lock()
 		// re-verify under the write lock: the entry may have been
 		// replaced (streaming refresh) or evicted since the scan
+		evicted := false
 		if e, present := v.sh.entries[v.key]; present && !v.sh.pinnedLocked(e) {
 			delete(v.sh.entries, v.key)
 			r.residentBytes.Add(-e.size)
@@ -110,8 +111,15 @@ func (r *Registry) maybeEvict() {
 			r.evictedBytes.Add(e.size)
 			r.metrics.evictions.Inc()
 			r.metrics.evictedBytes.Add(e.size)
+			evicted = true
 		}
 		v.sh.mu.Unlock()
+		// the spill file goes with the entry (outside the shard lock):
+		// an evicted sample must not resurrect from disk on its next
+		// build
+		if evicted {
+			r.dropSpilled(v.key)
+		}
 	}
 }
 

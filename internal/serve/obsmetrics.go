@@ -80,6 +80,34 @@ const (
 	// MetricPlans gauges the resident compiled-plan cache (cached
 	// interpreter-fallback decisions included).
 	MetricPlans = "repro_plans"
+	// MetricWalSegments / MetricWalBytes gauge the live WAL segment
+	// files and their total size across all streaming tables.
+	MetricWalSegments = "repro_wal_segments"
+	MetricWalBytes    = "repro_wal_bytes"
+	// MetricWalLagRecords gauges the records appended past the last
+	// checkpoint — the replay debt a crash right now would pay.
+	MetricWalLagRecords = "repro_wal_lag_records"
+	// MetricWalCheckpoints counts checkpoint cuts;
+	// MetricWalTruncatedSegments the WAL segments they deleted.
+	MetricWalCheckpoints       = "repro_wal_checkpoints_total"
+	MetricWalTruncatedSegments = "repro_wal_truncated_segments_total"
+	// MetricWalReplayedRecords counts WAL records re-applied during boot
+	// recovery; MetricWalReplayDuration is the per-boot histogram of
+	// recovery wall time.
+	MetricWalReplayedRecords = "repro_wal_replayed_records_total"
+	MetricWalReplayDuration  = "repro_wal_replay_duration_seconds"
+	// MetricWalTornTails counts torn segment tails truncated at boot
+	// (the expected crash signature).
+	MetricWalTornTails = "repro_wal_torn_tails_total"
+	// MetricWalSpilledSamples gauges the spilled static samples on disk;
+	// MetricWalSpillSaves / MetricWalSpillLoads count samples written to
+	// and warmed from disk.
+	MetricWalSpilledSamples = "repro_wal_spilled_samples"
+	MetricWalSpillSaves     = "repro_wal_spill_saves_total"
+	MetricWalSpillLoads     = "repro_wal_spill_loads_total"
+	// MetricWalErrors counts persistence faults (failed fsyncs,
+	// unreadable spills); the daemon keeps serving from memory.
+	MetricWalErrors = "repro_wal_errors_total"
 )
 
 // srvMetrics holds the resolved metric handles the serving hot paths
@@ -100,6 +128,15 @@ type srvMetrics struct {
 	planFallbacks    *obs.Counter
 	planEvictions    *obs.Counter
 
+	walCheckpoints     *obs.Counter
+	walTruncatedSegs   *obs.Counter
+	walReplayedRecords *obs.Counter
+	walReplayDuration  *obs.Histogram
+	walTornTails       *obs.Counter
+	walSpillSaves      *obs.Counter
+	walSpillLoads      *obs.Counter
+	walErrors          *obs.Counter
+
 	ingestRows      *obs.CounterVec
 	refreshes       *obs.CounterVec
 	refreshDuration *obs.HistogramVec
@@ -115,26 +152,34 @@ type srvMetrics struct {
 // drift from the source of truth.
 func newSrvMetrics(reg *obs.Registry, r *Registry) *srvMetrics {
 	m := &srvMetrics{
-		buildCacheHits:   reg.Counter(MetricBuildCacheHits, "Build requests answered from the sample cache."),
-		buildCacheMisses: reg.Counter(MetricBuildCacheMisses, "Build requests that ran the sampler."),
-		inflightWaits:    reg.Counter(MetricBuildInflightWaits, "Build requests deduplicated onto an in-flight build of the same key."),
-		builds:           reg.Counter(MetricBuilds, "Sampler builds executed (cache hits and dedups excluded)."),
-		buildDuration:    reg.Histogram(MetricBuildDuration, "Sampler build duration."),
-		autoscaleProbes:  reg.Counter(MetricAutoscaleProbes, "Budgets evaluated by autoscale searches."),
-		findHits:         reg.Counter(MetricFindHits, "Find calls that located a covering sample."),
-		findMisses:       reg.Counter(MetricFindMisses, "Find calls with no covering sample."),
-		evictions:        reg.Counter(MetricEvictions, "Entries evicted by the sample byte budget."),
-		evictedBytes:     reg.Counter(MetricEvictedBytes, "Estimated bytes freed by eviction."),
-		planCacheHits:    reg.Counter(MetricPlanCacheHits, "Query executions answered by a cached compiled plan."),
-		planCacheMisses:  reg.Counter(MetricPlanCacheMisses, "Query executions that compiled a plan."),
-		planFallbacks:    reg.Counter(MetricPlanFallbacks, "Query executions served by the row interpreter."),
-		planEvictions:    reg.Counter(MetricPlanEvictions, "Compiled plans evicted by the plan-cache cap."),
-		ingestRows:       reg.CounterVec(MetricIngestRows, "Rows appended to a streaming table.", "table"),
-		refreshes:        reg.CounterVec(MetricStreamRefreshes, "Sample generations published by a streaming table.", "table"),
-		refreshDuration:  reg.HistogramVec(MetricStreamRefreshDuration, "Streaming refresh build duration.", "table"),
-		generation:       reg.GaugeVec(MetricStreamGeneration, "Latest published generation of a streaming table.", "table"),
-		httpRequests:     reg.CounterVec(MetricHTTPRequests, "HTTP requests served, by route pattern and status code.", "route", "code"),
-		httpDuration:     reg.HistogramVec(MetricHTTPDuration, "HTTP request duration, by route pattern.", "route"),
+		buildCacheHits:     reg.Counter(MetricBuildCacheHits, "Build requests answered from the sample cache."),
+		buildCacheMisses:   reg.Counter(MetricBuildCacheMisses, "Build requests that ran the sampler."),
+		inflightWaits:      reg.Counter(MetricBuildInflightWaits, "Build requests deduplicated onto an in-flight build of the same key."),
+		builds:             reg.Counter(MetricBuilds, "Sampler builds executed (cache hits and dedups excluded)."),
+		buildDuration:      reg.Histogram(MetricBuildDuration, "Sampler build duration."),
+		autoscaleProbes:    reg.Counter(MetricAutoscaleProbes, "Budgets evaluated by autoscale searches."),
+		findHits:           reg.Counter(MetricFindHits, "Find calls that located a covering sample."),
+		findMisses:         reg.Counter(MetricFindMisses, "Find calls with no covering sample."),
+		evictions:          reg.Counter(MetricEvictions, "Entries evicted by the sample byte budget."),
+		evictedBytes:       reg.Counter(MetricEvictedBytes, "Estimated bytes freed by eviction."),
+		planCacheHits:      reg.Counter(MetricPlanCacheHits, "Query executions answered by a cached compiled plan."),
+		planCacheMisses:    reg.Counter(MetricPlanCacheMisses, "Query executions that compiled a plan."),
+		planFallbacks:      reg.Counter(MetricPlanFallbacks, "Query executions served by the row interpreter."),
+		planEvictions:      reg.Counter(MetricPlanEvictions, "Compiled plans evicted by the plan-cache cap."),
+		walCheckpoints:     reg.Counter(MetricWalCheckpoints, "Checkpoint cuts written by the persistence layer."),
+		walTruncatedSegs:   reg.Counter(MetricWalTruncatedSegments, "WAL segments deleted by checkpoint truncation."),
+		walReplayedRecords: reg.Counter(MetricWalReplayedRecords, "WAL records re-applied during boot recovery."),
+		walReplayDuration:  reg.Histogram(MetricWalReplayDuration, "Boot recovery wall time."),
+		walTornTails:       reg.Counter(MetricWalTornTails, "Torn WAL segment tails truncated at boot."),
+		walSpillSaves:      reg.Counter(MetricWalSpillSaves, "Static samples spilled to disk."),
+		walSpillLoads:      reg.Counter(MetricWalSpillLoads, "Static samples warmed from a disk spill."),
+		walErrors:          reg.Counter(MetricWalErrors, "Persistence faults (failed fsyncs, unreadable spills)."),
+		ingestRows:         reg.CounterVec(MetricIngestRows, "Rows appended to a streaming table.", "table"),
+		refreshes:          reg.CounterVec(MetricStreamRefreshes, "Sample generations published by a streaming table.", "table"),
+		refreshDuration:    reg.HistogramVec(MetricStreamRefreshDuration, "Streaming refresh build duration.", "table"),
+		generation:         reg.GaugeVec(MetricStreamGeneration, "Latest published generation of a streaming table.", "table"),
+		httpRequests:       reg.CounterVec(MetricHTTPRequests, "HTTP requests served, by route pattern and status code.", "route", "code"),
+		httpDuration:       reg.HistogramVec(MetricHTTPDuration, "HTTP request duration, by route pattern.", "route"),
 	}
 	reg.GaugeFunc(MetricResidentBytes, "Estimated resident bytes of all built samples.",
 		r.ResidentSampleBytes)
@@ -151,6 +196,22 @@ func newSrvMetrics(reg *obs.Registry, r *Registry) *srvMetrics {
 	})
 	reg.GaugeFunc(MetricPlans, "Resident cached compiled plans.", func() int64 {
 		return int64(r.PlanCount())
+	})
+	reg.GaugeFunc(MetricWalSegments, "Live WAL segment files across all streaming tables.", func() int64 {
+		s, _ := r.PersistenceStatus()
+		return int64(s.WalSegments)
+	})
+	reg.GaugeFunc(MetricWalBytes, "Total bytes across live WAL segments.", func() int64 {
+		s, _ := r.PersistenceStatus()
+		return s.WalBytes
+	})
+	reg.GaugeFunc(MetricWalLagRecords, "WAL records appended past the last checkpoint.", func() int64 {
+		s, _ := r.PersistenceStatus()
+		return int64(s.WalLagRecords)
+	})
+	reg.GaugeFunc(MetricWalSpilledSamples, "Spilled static samples on disk.", func() int64 {
+		s, _ := r.PersistenceStatus()
+		return int64(s.SpilledSamples)
 	})
 	return m
 }

@@ -237,6 +237,111 @@ func TestPlanCacheForcedInterpreter(t *testing.T) {
 	}
 }
 
+// TestPlanCacheSurvivesSampleEviction is the evict→rebuild regression
+// test: a sample budget too small for any sample means every build is
+// evicted right after it answers, so the second identical query rebuilds
+// the sample while hitting the cached plan. The cached plan must bind to
+// the *rebuilt* entry, not anything from the evicted one — verified by
+// bit-comparing against the interpreter oracle over the same rebuild.
+func TestPlanCacheSurvivesSampleEviction(t *testing.T) {
+	reg := serve.NewRegistry(serve.WithShards(1), serve.WithMaxSampleBytes(100))
+	if err := reg.RegisterTable(salesTable(t)); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	// TargetCV makes the query build its own sample (Find misses every
+	// time here, since the budget evicts each build immediately)
+	sql := "SELECT region, AVG(amount) FROM sales GROUP BY region"
+	opt := serve.QueryOptions{Mode: serve.ModeSample, TargetCV: 0.2}
+	first, err := reg.Query(context.Background(), sql, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Plan == nil || first.Entry == nil {
+		t.Fatalf("want a planned sample answer, got plan=%v entry=%v", first.Plan, first.Entry)
+	}
+	if reg.Evictions() == 0 {
+		t.Fatal("a 100-byte budget should evict every sample immediately")
+	}
+	builds := reg.Builds()
+
+	second, err := reg.Query(context.Background(), sql, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Builds() != builds+1 {
+		t.Fatalf("second query should rebuild the evicted sample (builds %d -> %d)", builds, reg.Builds())
+	}
+	if got := reg.PlanCompiles(); got != 1 {
+		t.Fatalf("PlanCompiles() = %d, want 1 (rebuild must reuse the cached plan)", got)
+	}
+	// the oracle: the interpreter over the same deterministic rebuild
+	oracle, err := reg.Query(context.Background(), sql, serve.QueryOptions{
+		Mode: serve.ModeSample, TargetCV: 0.2, Executor: serve.ExecInterpreted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ans := range []*serve.QueryAnswer{first, second} {
+		if len(ans.Result.Rows) != len(oracle.Result.Rows) {
+			t.Fatalf("row counts diverge from oracle: %d vs %d", len(ans.Result.Rows), len(oracle.Result.Rows))
+		}
+		for r := range oracle.Result.Rows {
+			for a := range oracle.Result.Rows[r].Aggs {
+				if math.Float64bits(ans.Result.Rows[r].Aggs[a]) != math.Float64bits(oracle.Result.Rows[r].Aggs[a]) {
+					t.Fatalf("row %d agg %d: planned %v vs oracle %v",
+						r, a, ans.Result.Rows[r].Aggs[a], oracle.Result.Rows[r].Aggs[a])
+				}
+			}
+		}
+	}
+}
+
+// TestPlanCacheRebindsAcrossStreamSnapshots compiles a plan whose WHERE
+// names a string value absent from the snapshot it compiled against,
+// then refreshes the stream with rows carrying that value. The cached
+// plan must rebind its dictionary predicate to the new snapshot — a
+// binding frozen at compile time would keep filtering everything out.
+func TestPlanCacheRebindsAcrossStreamSnapshots(t *testing.T) {
+	reg := newStreamingRegistry(t, streamCfg(300))
+	sql := "SELECT region, COUNT(*) FROM sales WHERE region = 'LATAM' GROUP BY region"
+	opt := serve.QueryOptions{Mode: serve.ModeExact}
+	before, err := reg.Query(context.Background(), sql, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Plan == nil {
+		t.Fatal("string-equality WHERE should be plannable")
+	}
+	if len(before.Result.Rows) != 0 {
+		t.Fatalf("LATAM groups before append = %d, want 0", len(before.Result.Rows))
+	}
+
+	rows := make([][]any, 7)
+	for i := range rows {
+		rows[i] = []any{"LATAM", "widget", 150.0 + float64(i)}
+	}
+	if _, err := reg.Append("sales", rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Refresh("sales"); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := reg.Query(context.Background(), sql, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.PlanCompiles(); got != 1 {
+		t.Fatalf("PlanCompiles() = %d, want 1 (the refresh must not force a recompile)", got)
+	}
+	if len(after.Result.Rows) != 1 || after.Result.Rows[0].Aggs[0] != 7 {
+		t.Fatalf("LATAM groups after refresh = %+v, want one group counting 7 (stale dictionary binding?)",
+			after.Result.Rows)
+	}
+}
+
 // TestQueryExplainHTTP covers the wire surface: explain:true returns
 // the operator tree and the executor tag; without it, no plan is
 // attached but the executor is still reported.

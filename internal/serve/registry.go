@@ -321,6 +321,11 @@ type Registry struct {
 	// costs one atomic add per event.
 	obs     *obs.Registry
 	metrics *srvMetrics
+
+	// persist is the optional durability layer (persist.go): WAL-backed
+	// streaming tables plus spilled static samples. nil without
+	// WithPersistence.
+	persist *persister
 }
 
 // NewRegistry returns an empty registry with DefaultShards shards and
@@ -510,8 +515,16 @@ func (r *Registry) Build(ctx context.Context, req BuildRequest) (entry *Entry, c
 
 	// The expensive part runs outside the lock: the shard stays
 	// readable (and other keys buildable) while CVOPT allocates and
-	// draws.
+	// draws. A spilled sample from a previous process warms the key
+	// without rebuilding; fresh builds spill for the next restart.
+	if e, ok := r.loadSpilled(key, tbl); ok {
+		c.entry = e
+		return c.entry, true, nil
+	}
 	c.entry, c.err = r.buildEntry(ctx, key, tbl, req)
+	if c.err == nil {
+		r.saveSpilled(c.entry, tbl)
+	}
 	return c.entry, false, c.err
 }
 

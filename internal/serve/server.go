@@ -338,6 +338,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	if ps, ok := s.reg.PersistenceStatus(); ok {
+		h.Persistence = &apiv1.PersistenceHealth{
+			Dir:               ps.Dir,
+			Fsync:             ps.Fsync,
+			WalSegments:       ps.WalSegments,
+			WalBytes:          ps.WalBytes,
+			WalLagRecords:     ps.WalLagRecords,
+			Checkpoints:       ps.Checkpoints,
+			TruncatedSegments: ps.TruncatedSegments,
+			SpilledSamples:    ps.SpilledSamples,
+			RecoveredTables:   ps.RecoveredTables,
+			ReplayedRecords:   ps.ReplayedRecords,
+			TornTails:         ps.TornTails,
+			ReplayMS:          float64(ps.ReplayDuration.Microseconds()) / 1000,
+			Errors:            ps.Errors,
+		}
+	}
 	writeJSON(w, http.StatusOK, h)
 }
 

@@ -44,7 +44,8 @@ var (
 // streamState is the registry's handle on one streaming table.
 type streamState struct {
 	stream *ingest.Stream
-	key    string // the entry key publications swap
+	key    string        // the entry key publications swap
+	cfg    ingest.Config // resolved config, persisted with checkpoints
 }
 
 // streamKey is the registry key every generation of a streaming table's
@@ -153,19 +154,34 @@ func (r *Registry) startStream(sh *shard, name string, seed *table.Table, cfg in
 	st, err := ingest.New(seed, cfg, func(pub *ingest.Publication) {
 		r.installPublication(sh, name, key, cfg, pub)
 	})
-	sh.mu.Lock()
 	if err != nil {
+		sh.mu.Lock()
 		delete(sh.streams, name)
 		sh.mu.Unlock()
 		return err
 	}
+	// make the table durable before it becomes reachable: checkpoint-0
+	// plus an attached WAL, so no append can slip in unlogged
+	if r.persist != nil {
+		if err := r.attachPersistence(st, name, cfg); err != nil {
+			sh.mu.Lock()
+			delete(sh.streams, name)
+			sh.mu.Unlock()
+			st.Close()
+			return err
+		}
+	}
+	sh.mu.Lock()
 	if r.closed.Load() {
 		delete(sh.streams, name)
 		sh.mu.Unlock()
 		st.Close()
+		if r.persist != nil {
+			r.detachPersistence(name)
+		}
 		return fmt.Errorf("serve: %w", ErrClosed)
 	}
-	sh.streams[name] = &streamState{stream: st, key: key}
+	sh.streams[name] = &streamState{stream: st, key: key, cfg: cfg}
 	sh.mu.Unlock()
 	return nil
 }
@@ -249,6 +265,12 @@ func (r *Registry) Append(name string, rows [][]any) (ingest.AppendStatus, error
 	status, err := st.stream.Append(rows)
 	if err == nil && status.Appended > 0 {
 		r.metrics.ingestRows.With(st.stream.Name()).Add(int64(status.Appended))
+		// durability point: the batch's WAL record is fsynced (per
+		// policy) before the append is acknowledged; runs outside every
+		// lock
+		if cerr := r.persistCommit(st.stream.Name()); cerr != nil {
+			return status, cerr
+		}
 	}
 	return status, err
 }
@@ -263,6 +285,9 @@ func (r *Registry) Refresh(name string) (*Entry, error) {
 	}
 	if _, err := st.stream.Refresh(); err != nil {
 		return nil, fmt.Errorf("serve: refreshing %q: %w", name, err)
+	}
+	if err := r.persistCommit(st.stream.Name()); err != nil {
+		return nil, err
 	}
 	sh := r.shardFor(name)
 	sh.mu.RLock()
@@ -378,5 +403,16 @@ func (r *Registry) Close() {
 	}
 	for _, st := range states {
 		st.stream.Close()
+		// flush: rows appended (and acknowledged) since the last refresh
+		// must reach a publication, not die with the process — the loop
+		// is stopped, so this races nothing
+		if st.stream.Pending() > 0 {
+			// best-effort: Refresh only errors on an empty stream, which
+			// has nothing to flush
+			_, _ = st.stream.Refresh()
+		}
 	}
+	// the final publications above are checkpointed and the WAL synced
+	// before file handles close
+	r.closePersist()
 }

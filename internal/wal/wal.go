@@ -1,0 +1,607 @@
+// Package wal implements the durability layer under cvserve's streaming
+// tables: a segmented, CRC-checksummed write-ahead log plus the binary
+// codecs for table checkpoints and spilled sample entries.
+//
+// Log layout: a directory of fixed-prefix segment files
+// (wal-%016x.seg), each opening with a 20-byte header (magic, first
+// sequence number, header CRC) followed by length-prefixed records:
+//
+//	[u32 length = 1+len(payload)] [u32 crc32c(type ‖ payload)] [u8 type] [payload]
+//
+// Sequence numbers are implicit — firstSeq plus the record's index in
+// its segment — and globally monotone across segments, so a checkpoint
+// can name the exact prefix it covers and TruncateThrough can delete
+// covered segments without renumbering anything.
+//
+// Crash tolerance: Open validates every segment. A torn tail (partial
+// or checksum-failing record at the end of the *last* segment) is the
+// expected crash signature and is truncated away; corruption anywhere
+// else means bytes the log previously reported durable are gone, and
+// Open refuses to continue.
+//
+// Locking: the Log's mutex covers in-memory state and buffered writes
+// only. Sync (and Commit under SyncAlways) fsyncs with the mutex
+// released — reprolint's lockdiscipline analyzer enforces the same rule
+// on callers: no fsync while holding a shard or stream lock.
+package wal
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record types carried in the log.
+const (
+	// TypeRows is a batch of schema-coerced appended rows (EncodeRows).
+	TypeRows byte = 1
+	// TypeRefresh marks a publication point: the sampler finalized and
+	// published the generation in the payload (EncodeRefresh). Logged so
+	// replay reproduces the exact interleaving of appends and finalizes,
+	// which the sampler's RNG consumption depends on.
+	TypeRefresh byte = 2
+)
+
+// SyncPolicy controls when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs on every Commit — no acknowledged append is lost
+	// to a crash.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs from a background ticker (Options.SyncEvery);
+	// a crash can lose the last interval's appends but never corrupts.
+	SyncInterval
+	// SyncNever leaves flushing to the OS. Fastest; a crash can lose any
+	// unflushed suffix.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -fsync flag values to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size.
+	// Default 1 MiB.
+	SegmentBytes int64
+	// Policy selects the fsync discipline. Default SyncAlways.
+	Policy SyncPolicy
+	// SyncEvery is the background fsync period under SyncInterval.
+	// Default 100ms.
+	SyncEvery time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Record is one replayed log entry.
+type Record struct {
+	Seq     uint64
+	Type    byte
+	Payload []byte
+}
+
+const (
+	segPrefix   = "wal-"
+	segSuffix   = ".seg"
+	walMagic    = "cvwal001"
+	headerSize  = len(walMagic) + 8 + 4 // magic + firstSeq + crc
+	frameSize   = 4 + 4 + 1             // length + crc + type
+	maxRecBytes = 1 << 30               // guard against corrupt length prefixes
+)
+
+type segment struct {
+	path     string
+	firstSeq uint64
+	lastSeq  uint64 // 0 when empty (header only)
+	size     int64
+}
+
+// Log is a segmented write-ahead log. Safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	active   *os.File
+	activeSz int64
+	segs     []segment
+	seq      uint64 // last assigned sequence number
+	synced   uint64 // last sequence known durable
+	// rotated-out segment files not yet fsynced; Sync flushes and closes
+	// them so rotation never blocks on IO
+	pending  []*os.File
+	dirf     *os.File
+	dirDirty bool
+	closed   bool
+
+	tornTails int
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+}
+
+// Open opens (or creates) the log in dir, validating every segment.
+// Torn tails on the final segment are truncated away and counted;
+// corruption elsewhere is fatal.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range names {
+		n := e.Name()
+		if strings.HasPrefix(n, segPrefix) && strings.HasSuffix(n, segSuffix) {
+			paths = append(paths, filepath.Join(dir, n))
+		}
+	}
+	sort.Strings(paths)
+
+	for i, p := range paths {
+		seg, torn, err := scanSegment(p, i == len(paths)-1)
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			l.tornTails++
+		}
+		// the oldest surviving segment sets the baseline (earlier segments
+		// may have been truncated away after a checkpoint); from there on,
+		// sequence numbering must be continuous
+		if i == 0 {
+			l.seq = seg.firstSeq - 1
+		} else if seg.firstSeq != l.seq+1 {
+			return nil, fmt.Errorf("%w: %s: first seq %d, want %d", ErrCorrupt, p, seg.firstSeq, l.seq+1)
+		}
+		if seg.lastSeq > 0 {
+			l.seq = seg.lastSeq
+		}
+		l.segs = append(l.segs, seg)
+	}
+	l.synced = l.seq
+
+	if len(l.segs) == 0 {
+		if err := l.newSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	} else {
+		tail := &l.segs[len(l.segs)-1]
+		f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		l.active = f
+		l.activeSz = tail.size
+	}
+
+	if d, err := os.Open(dir); err == nil {
+		l.dirf = d
+	}
+
+	if opts.Policy == SyncInterval {
+		l.stopSync = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// scanSegment validates one segment file. For the last segment a torn
+// tail is truncated in place; for earlier segments it is an error.
+func scanSegment(path string, last bool) (segment, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return segment{}, false, err
+	}
+	if len(data) < headerSize || string(data[:len(walMagic)]) != walMagic {
+		return segment{}, false, fmt.Errorf("%w: %s: bad segment header", ErrCorrupt, path)
+	}
+	hr := &reader{buf: data, off: len(walMagic)}
+	firstSeq := hr.u64()
+	hcrc := hr.u32()
+	if hr.err != nil || hcrc != crc32.Checksum(data[:len(walMagic)+8], castagnoli) {
+		return segment{}, false, fmt.Errorf("%w: %s: segment header checksum", ErrCorrupt, path)
+	}
+
+	off := headerSize
+	good := off
+	count := uint64(0)
+	torn := false
+	for off < len(data) {
+		n, cerr := checkRecord(data, off)
+		if cerr != nil {
+			if !last {
+				return segment{}, false, fmt.Errorf("%w: %s: record %d at offset %d: %v", ErrCorrupt, path, count+1, off, cerr)
+			}
+			torn = true
+			break
+		}
+		off += n
+		good = off
+		count++
+	}
+	if torn {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return segment{}, false, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	seg := segment{path: path, firstSeq: firstSeq, size: int64(good)}
+	if count > 0 {
+		seg.lastSeq = firstSeq + count - 1
+	}
+	return seg, torn, nil
+}
+
+// checkRecord validates the record framed at data[off:], returning its
+// total framed length.
+func checkRecord(data []byte, off int) (int, error) {
+	if off+8 > len(data) {
+		return 0, fmt.Errorf("truncated frame")
+	}
+	r := &reader{buf: data, off: off}
+	n := int(r.u32())
+	crc := r.u32()
+	if n < 1 || n > maxRecBytes {
+		return 0, fmt.Errorf("implausible record length %d", n)
+	}
+	if off+8+n > len(data) {
+		return 0, fmt.Errorf("truncated record body")
+	}
+	body := data[off+8 : off+8+n]
+	if crc32.Checksum(body, castagnoli) != crc {
+		return 0, fmt.Errorf("record checksum mismatch")
+	}
+	return 8 + n, nil
+}
+
+// newSegmentLocked rotates to a fresh segment whose first record will
+// carry sequence number firstSeq. Caller holds l.mu.
+func (l *Log) newSegmentLocked(firstSeq uint64) error {
+	if l.active != nil {
+		if l.opts.Policy == SyncNever {
+			l.active.Close()
+		} else {
+			// keep the handle so the next Sync can fsync it before close
+			l.pending = append(l.pending, l.active)
+		}
+		l.active = nil
+	}
+	path := filepath.Join(l.dir, fmt.Sprintf("%s%016x%s", segPrefix, firstSeq, segSuffix))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	w := &writer{}
+	w.buf = append(w.buf, walMagic...)
+	w.u64(firstSeq)
+	w.u32(crc32.Checksum(w.buf, castagnoli))
+	if _, err := f.Write(w.buf); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	l.active = f
+	l.activeSz = int64(headerSize)
+	l.segs = append(l.segs, segment{path: path, firstSeq: firstSeq, size: int64(headerSize)})
+	l.dirDirty = true
+	return nil
+}
+
+// Append writes one record and returns its sequence number. The write
+// is buffered by the OS; durability follows the sync policy (call
+// Commit for SyncAlways semantics). Append itself never fsyncs, so it
+// is safe to call with stream-level locks held.
+func (l *Log) Append(typ byte, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	frame := int64(frameSize + len(payload))
+	if l.activeSz > int64(headerSize) && l.activeSz+frame > l.opts.SegmentBytes {
+		if err := l.newSegmentLocked(l.seq + 1); err != nil {
+			return 0, err
+		}
+	}
+	w := &writer{buf: make([]byte, 0, frame)}
+	w.u32(uint32(1 + len(payload)))
+	body := make([]byte, 0, 1+len(payload))
+	body = append(body, typ)
+	body = append(body, payload...)
+	w.u32(crc32.Checksum(body, castagnoli))
+	w.buf = append(w.buf, body...)
+	if _, err := l.active.Write(w.buf); err != nil {
+		return 0, err
+	}
+	l.seq++
+	l.activeSz += frame
+	tail := &l.segs[len(l.segs)-1]
+	tail.size = l.activeSz
+	tail.lastSeq = l.seq
+	return l.seq, nil
+}
+
+// Sync makes every appended record durable. The fsync runs with l.mu
+// released: the lock only captures which files need flushing and, on
+// success, records the new durable horizon.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	target := l.seq
+	if target == l.synced && !l.dirDirty {
+		l.mu.Unlock()
+		return nil
+	}
+	files := make([]*os.File, 0, len(l.pending)+1)
+	files = append(files, l.pending...)
+	rotated := len(l.pending)
+	l.pending = nil
+	if l.active != nil {
+		files = append(files, l.active)
+	}
+	dirf := l.dirf
+	flushDir := l.dirDirty
+	l.dirDirty = false
+	l.mu.Unlock()
+
+	var firstErr error
+	for _, f := range files {
+		if err := f.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if flushDir && dirf != nil {
+		if err := dirf.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	l.mu.Lock()
+	if firstErr == nil {
+		if target > l.synced {
+			l.synced = target
+		}
+		for _, f := range files[:rotated] {
+			f.Close()
+		}
+	} else {
+		// keep rotated handles queued so a later Sync can retry them
+		l.pending = append(files[:rotated:rotated], l.pending...)
+		l.dirDirty = l.dirDirty || flushDir
+	}
+	l.mu.Unlock()
+	return firstErr
+}
+
+// Commit applies the configured durability policy to everything
+// appended so far: an fsync under SyncAlways, a no-op otherwise.
+func (l *Log) Commit() error {
+	if l.opts.Policy == SyncAlways {
+		return l.Sync()
+	}
+	return nil
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = l.Sync()
+		case <-l.stopSync:
+			return
+		}
+	}
+}
+
+// Replay streams records with sequence numbers > from to fn, in order.
+// It must be called before the first Append (segments are re-read from
+// disk, so interleaved writes would be missed). fn errors abort the
+// replay; ctx is checked between records.
+func (l *Log) Replay(ctx context.Context, from uint64, fn func(Record) error) error {
+	l.mu.Lock()
+	segs := make([]segment, len(l.segs))
+	copy(segs, l.segs)
+	l.mu.Unlock()
+
+	for _, seg := range segs {
+		if seg.lastSeq != 0 && seg.lastSeq <= from {
+			continue
+		}
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return err
+		}
+		off := headerSize
+		seq := seg.firstSeq - 1
+		for off < len(data) {
+			n, cerr := checkRecord(data, off)
+			if cerr != nil {
+				return fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, seg.path, off, cerr)
+			}
+			seq++
+			if seq > from {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				body := data[off+8 : off+n]
+				rec := Record{Seq: seq, Type: body[0], Payload: body[1:]}
+				if err := fn(rec); err != nil {
+					return err
+				}
+			}
+			off += n
+		}
+	}
+	return nil
+}
+
+// TruncateThrough removes whole segments whose records are all covered
+// by seq (typically a checkpoint's covered sequence). The active
+// segment is never removed, so sequence numbering stays continuous.
+// Returns the number of segments deleted.
+func (l *Log) TruncateThrough(seq uint64) (int, error) {
+	l.mu.Lock()
+	var drop []segment
+	keep := l.segs[:0]
+	for i, s := range l.segs {
+		if i < len(l.segs)-1 && s.lastSeq != 0 && s.lastSeq <= seq {
+			drop = append(drop, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	l.segs = keep
+	// close any rotated-but-unsynced handle for a dropped segment; its
+	// bytes are covered by the checkpoint, so losing them is fine
+	if len(drop) > 0 && len(l.pending) > 0 {
+		byName := make(map[string]bool, len(drop))
+		for _, s := range drop {
+			byName[s.path] = true
+		}
+		pending := l.pending[:0]
+		for _, f := range l.pending {
+			if byName[f.Name()] {
+				f.Close()
+			} else {
+				pending = append(pending, f)
+			}
+		}
+		l.pending = pending
+	}
+	if len(drop) > 0 {
+		l.dirDirty = true
+	}
+	l.mu.Unlock()
+
+	var firstErr error
+	for _, s := range drop {
+		if err := os.Remove(s.path); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return len(drop), firstErr
+}
+
+// Close stops the background syncer, flushes per policy and releases
+// all file handles. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+
+	if l.stopSync != nil {
+		close(l.stopSync)
+		<-l.syncDone
+	}
+	var err error
+	if l.opts.Policy != SyncNever {
+		err = l.Sync()
+	}
+
+	l.mu.Lock()
+	l.closed = true
+	for _, f := range l.pending {
+		f.Close()
+	}
+	l.pending = nil
+	if l.active != nil {
+		l.active.Close()
+		l.active = nil
+	}
+	if l.dirf != nil {
+		l.dirf.Close()
+		l.dirf = nil
+	}
+	l.mu.Unlock()
+	return err
+}
+
+// LastSeq returns the sequence number of the most recent append.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Segments returns the number of live segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// SizeBytes returns the total bytes across live segments.
+func (l *Log) SizeBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, s := range l.segs {
+		n += s.size
+	}
+	return n
+}
+
+// TornTails reports how many torn segment tails Open truncated away.
+func (l *Log) TornTails() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tornTails
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+var _ io.Closer = (*Log)(nil)
