@@ -175,6 +175,7 @@ var benchNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 var requiredScenarios = []string{
 	"build", "query_sample", "query_exact", "append",
 	"exec_interpreted", "exec_planned", "exec_plan_cold",
+	"qos_baseline", "qos_coalesced", "qos_shed",
 	"metrics_render",
 }
 

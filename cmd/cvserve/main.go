@@ -38,6 +38,14 @@
 // interval / never) and -checkpoint-bytes bounds WAL disk usage per
 // table (docs/ARCHITECTURE.md describes the recovery protocol).
 //
+// Under heavy traffic the optional QoS front end (-max-inflight)
+// bounds concurrent execution with a queue, answers overflow with 429 +
+// Retry-After, coalesces identical queries arriving within
+// -coalesce-window into one executor pass, degrades target_cv queries
+// to the cheapest resident sample instead of queueing them, and
+// enforces -tenant-limits token buckets keyed by X-API-Token
+// (docs/ARCHITECTURE.md, "The QoS front end").
+//
 // Observability (docs/OBSERVABILITY.md): every request is logged
 // structured via log/slog (-log-format picks text or JSON) with its
 // route, status, duration and X-Request-ID; GET /metrics serves the
@@ -66,6 +74,7 @@ import (
 	"time"
 
 	"repro/internal/ingest"
+	"repro/internal/qos"
 	"repro/internal/serve"
 	"repro/internal/table"
 	"repro/internal/wal"
@@ -97,6 +106,10 @@ func main() {
 		dataDir         = flag.String("data-dir", "", "durable state directory: streaming tables get a write-ahead log and checkpoints, built samples spill to disk, and a restart recovers both (empty = in-memory only)")
 		fsync           = flag.String("fsync", "interval", "WAL durability policy under -data-dir: always (fsync before acknowledging), interval (background fsync), never (leave flushing to the OS)")
 		checkpointBytes = flag.Int64("checkpoint-bytes", 0, "cut a checkpoint and truncate covered WAL segments once a table's log exceeds this many bytes (0 = 4 MiB default; with -data-dir)")
+		maxInflight     = flag.Int("max-inflight", 0, "QoS admission limit: how many queries/builds may execute at once; excess waits in a bounded queue, overflow gets 429 + Retry-After (0 = QoS front end off)")
+		coalesceWindow  = flag.Duration("coalesce-window", 0, "QoS coalescing window: identical queries arriving within it share one executor pass (0 = off; needs -max-inflight)")
+		tenantLimits    = flag.String("tenant-limits", "", "QoS per-tenant request budgets keyed by X-API-Token, as token=rate[:burst],... with * as the default bucket (empty = off; needs -max-inflight)")
+		ingestHorizon   = flag.Int("ingest-horizon-rows", 0, "warn on /healthz once a streaming table holds more than this many resident rows (0 = off)")
 		tables          tableFlags
 	)
 	flag.Var(&tables, "table", "table to serve, as name=path.csv (repeatable)")
@@ -124,6 +137,27 @@ func main() {
 	if *checkpointBytes < 0 {
 		fmt.Fprintln(os.Stderr, "cvserve: -checkpoint-bytes must be non-negative")
 		os.Exit(2)
+	}
+	if *maxInflight < 0 || *ingestHorizon < 0 {
+		fmt.Fprintln(os.Stderr, "cvserve: -max-inflight and -ingest-horizon-rows must be non-negative")
+		os.Exit(2)
+	}
+	if *maxInflight == 0 && (*coalesceWindow != 0 || *tenantLimits != "") {
+		fmt.Fprintln(os.Stderr, "cvserve: -coalesce-window and -tenant-limits need -max-inflight")
+		os.Exit(2)
+	}
+	var fe *qos.FrontEnd
+	if *maxInflight > 0 {
+		var err error
+		fe, err = qos.New(qos.Config{
+			MaxInflight:    *maxInflight,
+			CoalesceWindow: *coalesceWindow,
+			TenantLimits:   *tenantLimits,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cvserve:", err)
+			os.Exit(2)
+		}
 	}
 	var popts serve.PersistOptions
 	if *dataDir != "" {
@@ -165,9 +199,18 @@ func main() {
 			"duration", rep.Duration)
 	}
 
-	app := serve.NewServer(reg,
+	sopts := []serve.ServerOption{
 		serve.WithDefaultTargetCV(*defaultTargetCV),
-		serve.WithLogger(logger))
+		serve.WithLogger(logger),
+		serve.WithIngestHorizonRows(*ingestHorizon),
+	}
+	if fe != nil {
+		sopts = append(sopts, serve.WithQoS(fe))
+		logger.Info("qos front end",
+			"max_inflight", *maxInflight, "coalesce_window", *coalesceWindow,
+			"tenant_limits", *tenantLimits != "")
+	}
+	app := serve.NewServer(reg, sopts...)
 
 	ln, err := net.Listen("tcp", *addr)
 	fatalIf(err)

@@ -204,11 +204,17 @@ type QueryResponse struct {
 	// Autoscaled answers only: the CV goal of the sample that answered,
 	// the budget the search chose, the predicted worst per-group CV at
 	// that budget (absent when infinite) and whether the goal was met.
-	TargetCV     float64    `json:"target_cv,omitempty"`
-	ChosenBudget int        `json:"chosen_budget,omitempty"`
-	AchievedCV   *float64   `json:"achieved_cv,omitempty"`
-	TargetMet    *bool      `json:"target_met,omitempty"`
-	Sets         [][]string `json:"sets"`
+	TargetCV     float64  `json:"target_cv,omitempty"`
+	ChosenBudget int      `json:"chosen_budget,omitempty"`
+	AchievedCV   *float64 `json:"achieved_cv,omitempty"`
+	TargetMet    *bool    `json:"target_met,omitempty"`
+	// Degraded reports that load shedding answered this target_cv query
+	// from the cheapest already-resident sample instead of building (or
+	// queueing for) the autoscaled one: the estimate is honest but the
+	// requested CV goal was not enforced — AchievedCV (when present)
+	// reports the guarantee of the sample that actually answered.
+	Degraded bool       `json:"degraded,omitempty"`
+	Sets     [][]string `json:"sets"`
 	AggLabels    []string   `json:"agg_labels"`
 	Groups       []Group    `json:"groups"`
 	// Executor names the engine that computed the answer:
@@ -230,10 +236,15 @@ type StreamRequest struct {
 	Queries []QuerySpec `json:"queries"`
 	// Budget is the absolute per-generation row budget; Rate (in
 	// (0, 1]) spends a fraction of the current rows instead, so the
-	// sample grows with the stream. Exactly one must be set.
-	Budget int     `json:"budget,omitempty"`
-	Rate   float64 `json:"rate,omitempty"`
-	Norm   string  `json:"norm,omitempty"`
+	// sample grows with the stream. TargetCV re-runs the autoscale
+	// search at every refresh instead, so the sample keeps the CV goal
+	// as the table grows; MaxBudget caps each search (0 = current
+	// rows). Exactly one of budget, rate and target_cv must be set.
+	Budget    int     `json:"budget,omitempty"`
+	Rate      float64 `json:"rate,omitempty"`
+	TargetCV  float64 `json:"target_cv,omitempty"`
+	MaxBudget int     `json:"max_budget,omitempty"`
+	Norm      string  `json:"norm,omitempty"`
 	P      float64 `json:"p,omitempty"`
 	Seed   int64   `json:"seed,omitempty"`
 	// Capacity is the per-stratum reservoir capacity (the streaming
@@ -321,6 +332,15 @@ type Health struct {
 	// an operator can spot a stalled or slow stream from /healthz alone.
 	StreamTables map[string]StreamHealth `json:"stream_tables,omitempty"`
 
+	// Warnings lists operator-actionable conditions that do not fail
+	// liveness — today, streaming tables whose in-memory buffer exceeds
+	// the daemon's -ingest-horizon-rows.
+	Warnings []string `json:"warnings,omitempty"`
+
+	// QoS reports the admission-control front end; absent when the
+	// daemon runs without one (no -max-inflight).
+	QoS *QoSHealth `json:"qos,omitempty"`
+
 	// Persistence reports the WAL/spill durability layer; absent when
 	// the daemon runs without -data-dir.
 	Persistence *PersistenceHealth `json:"persistence,omitempty"`
@@ -371,4 +391,34 @@ type StreamHealth struct {
 	Pending int `json:"pending"`
 	// RefreshErrors counts failed automatic refreshes.
 	RefreshErrors int64 `json:"refresh_errors"`
+	// ResidentRows is the stream's in-memory buffer size (every row
+	// ingested so far); the row-horizon warning in Health.Warnings fires
+	// off this number.
+	ResidentRows int `json:"resident_rows"`
+}
+
+// QoSHealth is the admission-control front end's digest in Health.
+type QoSHealth struct {
+	// MaxInflight / MaxQueue are the configured capacity: requests
+	// executing concurrently and requests parked waiting for a slot.
+	MaxInflight int `json:"max_inflight"`
+	MaxQueue    int `json:"max_queue"`
+	// Inflight / Queued are the current occupancy.
+	Inflight int `json:"inflight"`
+	Queued   int `json:"queued"`
+	// Admitted / Rejected / Shed count admission outcomes: requests
+	// granted a slot (queued-then-admitted included), requests refused
+	// with 429, and target_cv queries degraded to a resident sample
+	// under pressure.
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Shed     int64 `json:"shed"`
+	// Coalesced counts query requests that shared another request's
+	// executor pass; Batches counts the passes that served more than one
+	// request.
+	Coalesced int64 `json:"coalesced"`
+	Batches   int64 `json:"batches"`
+	// TenantRejected counts requests refused by a per-tenant token
+	// bucket (a subset of Rejected).
+	TenantRejected int64 `json:"tenant_rejected"`
 }

@@ -60,6 +60,11 @@ const (
 	// value that does not coerce to its column's type). The batch is
 	// atomic: nothing was appended.
 	CodeAppendFailed = "append_failed"
+	// CodeOverloaded — 429: admission control refused the request — the
+	// inflight and queue limits are full, or the tenant's token bucket is
+	// empty. The response carries a Retry-After header (whole seconds);
+	// the typed client backs off at least that long before retrying.
+	CodeOverloaded = "overloaded"
 )
 
 // Codes lists every error code, for exhaustiveness checks (the client
@@ -76,6 +81,7 @@ var Codes = []string{
 	CodeBuildFailed,
 	CodeQueryFailed,
 	CodeAppendFailed,
+	CodeOverloaded,
 }
 
 // StatusOf returns the HTTP status a code is served under — the
@@ -96,6 +102,8 @@ func StatusOf(code string) int {
 		return http.StatusUnsupportedMediaType
 	case CodeBuildFailed, CodeQueryFailed, CodeAppendFailed:
 		return http.StatusUnprocessableEntity
+	case CodeOverloaded:
+		return http.StatusTooManyRequests
 	}
 	return http.StatusInternalServerError
 }

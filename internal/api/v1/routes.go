@@ -40,6 +40,19 @@ var Routes = []string{
 // /debug/requests and the error body (APIError.RequestID).
 const HeaderRequestID = "X-Request-ID"
 
+// HeaderAPIToken identifies the calling tenant for per-tenant QoS: a
+// daemon started with -tenant-limits matches this header's value
+// against its token-bucket table (an unlisted token falls back to the
+// "*" default when one is configured). The header is optional — a
+// request without one is only subject to the global admission limits.
+const HeaderAPIToken = "X-API-Token"
+
+// HeaderRetryAfter is the standard Retry-After header every 429
+// (overloaded) response carries: the server's estimate, in whole
+// seconds, of when capacity will free up. The typed client's retry
+// policy uses it as a backoff floor.
+const HeaderRetryAfter = "Retry-After"
+
 // Path returns a route constant's URL path — the pattern with its
 // method prefix stripped ("POST /v1/query" → "/v1/query"). The client
 // builds its request URLs through this, so a renamed route moves both

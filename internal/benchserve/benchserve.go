@@ -16,11 +16,15 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	apiv1 "repro/internal/api/v1"
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/qos"
 	"repro/internal/serve"
 	"repro/internal/table"
 )
@@ -250,6 +254,61 @@ func Scenarios(ctx context.Context) []Scenario {
 			},
 		},
 		{
+			// a thundering herd of identical queries with no coalescing:
+			// every request pays its own executor pass. One op = one herd
+			// of herdSize concurrent HTTP queries.
+			Name: "qos_baseline",
+			Run: func(b *testing.B) {
+				runHerd(ctx, b, 0)
+			},
+		},
+		{
+			// the same herd through the coalescing window: requests
+			// arriving within the window share one executor pass, so the
+			// herd costs ~one pass instead of herdSize
+			Name: "qos_coalesced",
+			Run: func(b *testing.B) {
+				runHerd(ctx, b, 2*time.Millisecond)
+			},
+		},
+		{
+			// a herd of target_cv queries against a saturated admission
+			// controller: every query degrades onto the resident sample
+			// instead of queueing, measuring the shed path end to end
+			Name: "qos_shed",
+			Run: func(b *testing.B) {
+				fe, err := qos.New(qos.Config{MaxInflight: 1, MaxQueue: -1, ShedSlots: herdSize})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reg := serve.NewRegistry()
+				defer reg.Close()
+				if err := reg.RegisterTable(execTable("benchx")); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := reg.Build(ctx, serve.BuildRequest{
+					Table: "benchx", Queries: benchSpecs(), Budget: 256, Seed: 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				ts := httptest.NewServer(serve.NewServer(reg, serve.WithQoS(fe)))
+				defer ts.Close()
+				// saturate the only slot so every herd query sheds
+				release, ok := fe.Admission.TryAcquire()
+				if !ok {
+					b.Fatal("TryAcquire on idle controller")
+				}
+				defer release()
+				body := `{"sql": "SELECT region, AVG(amount) FROM benchx GROUP BY region", "target_cv": 0.5}`
+				client := herdClient()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fireHerd(b, client, ts.URL, body)
+				}
+			},
+		},
+		{
 			// one /metrics scrape against a populated registry: the cost
 			// an operator's Prometheus pays per scrape interval
 			Name: "metrics_render",
@@ -272,6 +331,85 @@ func Scenarios(ctx context.Context) []Scenario {
 			},
 		},
 	}
+}
+
+// herdSize is the thundering-herd width of the qos_* scenarios: how
+// many identical-class queries hit the front end concurrently per op.
+const herdSize = 64
+
+// herdClient returns an HTTP client with enough idle connections that
+// herd iterations reuse sockets instead of measuring connection churn.
+func herdClient() *http.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = herdSize
+	tr.MaxIdleConnsPerHost = herdSize
+	return &http.Client{Transport: tr}
+}
+
+// fireHerd sends herdSize concurrent identical POST /v1/query requests
+// and waits for all of them; any non-200 fails the benchmark.
+func fireHerd(b *testing.B, client *http.Client, baseURL, body string) {
+	b.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, herdSize)
+	start := make(chan struct{})
+	for i := 0; i < herdSize; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			resp, err := client.Post(baseURL+apiv1.Path(apiv1.RouteQuery), "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("herd query returned %d", resp.StatusCode)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+}
+
+// runHerd measures thundering-herd latency through the QoS front end:
+// one op is one herd of herdSize concurrent identical exact-mode
+// queries over the 32k-row executor table. window 0 is the baseline
+// (admission only); a positive window coalesces the herd into a
+// handful of shared executor passes.
+func runHerd(ctx context.Context, b *testing.B, window time.Duration) {
+	b.Helper()
+	// the queue holds the whole herd: the scenario measures pass
+	// sharing vs per-request passes, not rejection timing (whether the
+	// default queue overflows depends on goroutine scheduling speed)
+	fe, err := qos.New(qos.Config{MaxInflight: 8, MaxQueue: herdSize, CoalesceWindow: window})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	defer reg.Close()
+	if err := reg.RegisterTable(execTable("benchx")); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.NewServer(reg, serve.WithQoS(fe)))
+	defer ts.Close()
+	body := `{"sql": "SELECT region, AVG(amount), SUM(amount * qty), COUNT(*) FROM benchx WHERE amount > 12 GROUP BY region", "mode": "exact"}`
+	client := herdClient()
+	// warm the path (parse + plan caches, TCP connections) outside the
+	// measured region
+	fireHerd(b, client, ts.URL, body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fireHerd(b, client, ts.URL, body)
+	}
+	_ = ctx
 }
 
 // Run measures every scenario in order and returns their results.

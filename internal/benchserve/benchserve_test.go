@@ -11,7 +11,8 @@ import (
 func TestScenarioNamesStable(t *testing.T) {
 	scs := Scenarios(context.Background())
 	want := []string{"build", "query_sample", "query_exact", "append",
-		"exec_interpreted", "exec_planned", "exec_plan_cold", "metrics_render"}
+		"exec_interpreted", "exec_planned", "exec_plan_cold",
+		"qos_baseline", "qos_coalesced", "qos_shed", "metrics_render"}
 	if len(scs) != len(want) {
 		t.Fatalf("got %d scenarios, want %d", len(scs), len(want))
 	}
@@ -41,8 +42,8 @@ func TestRunSingleIteration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 8 {
-		t.Fatalf("got %d results, want 8", len(results))
+	if len(results) != 11 {
+		t.Fatalf("got %d results, want 11", len(results))
 	}
 	for _, r := range results {
 		if r.Iterations < 1 || r.NsPerOp <= 0 {

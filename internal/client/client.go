@@ -22,11 +22,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	apiv1 "repro/internal/api/v1"
 	"repro/internal/obs"
@@ -36,9 +39,10 @@ import (
 // all state is the base URL, the underlying *http.Client and the
 // retry policy.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry RetryPolicy
+	base     string
+	hc       *http.Client
+	retry    RetryPolicy
+	apiToken string
 }
 
 // New returns a client for the daemon at baseURL (scheme + host
@@ -99,7 +103,15 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any, idemp
 		if !retryable || attempt+1 >= attempts || ctx.Err() != nil {
 			return err
 		}
-		if sleepCtx(ctx, c.retry.backoff(attempt)) != nil {
+		wait := c.retry.backoff(attempt)
+		// an overloaded server's Retry-After is a floor, not a hint to
+		// ignore: hammering it sooner only deepens the queue it is
+		// shedding
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.RetryAfter > wait {
+			wait = apiErr.RetryAfter
+		}
+		if sleepCtx(ctx, wait) != nil {
 			return err // canceled mid-backoff: report the attempt's error
 		}
 	}
@@ -123,6 +135,9 @@ func (c *Client) attempt(ctx context.Context, method, path, reqID string, data [
 	// echoes back; on failure it lands in APIError.RequestID, so one
 	// string ties a client-side error to the server's logs and traces
 	req.Header.Set(apiv1.HeaderRequestID, reqID)
+	if c.apiToken != "" {
+		req.Header.Set(apiv1.HeaderAPIToken, c.apiToken)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// a transport error means the request may never have arrived;
@@ -149,11 +164,15 @@ func (c *Client) attempt(ctx context.Context, method, path, reqID string, data [
 func decodeError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	id := resp.Header.Get(apiv1.HeaderRequestID)
+	var retryAfter time.Duration
+	if secs, err := strconv.Atoi(resp.Header.Get(apiv1.HeaderRetryAfter)); err == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
 	var env apiv1.Error
 	if err := json.Unmarshal(data, &env); err == nil && env.Message != "" {
-		return &APIError{Status: resp.StatusCode, Code: env.Code, Message: env.Message, RequestID: id}
+		return &APIError{Status: resp.StatusCode, Code: env.Code, Message: env.Message, RequestID: id, RetryAfter: retryAfter}
 	}
-	return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data)), RequestID: id}
+	return &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data)), RequestID: id, RetryAfter: retryAfter}
 }
 
 // tablePath resolves a /v1/tables/{name}/... route constant against a

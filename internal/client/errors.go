@@ -3,6 +3,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	apiv1 "repro/internal/api/v1"
 )
@@ -53,6 +54,11 @@ var (
 	// ErrAppendFailed: a row batch was rejected atomically (422,
 	// append_failed).
 	ErrAppendFailed = errors.New("append failed")
+	// ErrOverloaded: the server refused the request under load — the
+	// admission queue was full or a tenant bucket was empty (429,
+	// overloaded). The response's Retry-After hint is surfaced on
+	// APIError.RetryAfter, and the retry loop waits at least that long.
+	ErrOverloaded = errors.New("server overloaded")
 )
 
 // sentinels maps each contract code to its sentinel; APIError.Unwrap
@@ -70,6 +76,7 @@ var sentinels = map[string]error{
 	apiv1.CodeBuildFailed:      ErrBuildFailed,
 	apiv1.CodeQueryFailed:      ErrQueryFailed,
 	apiv1.CodeAppendFailed:     ErrAppendFailed,
+	apiv1.CodeOverloaded:       ErrOverloaded,
 }
 
 // SentinelFor returns the sentinel error for a contract code, or nil
@@ -93,6 +100,10 @@ type APIError struct {
 	// the daemon's log line and /debug/requests trace for this request.
 	// Empty when the response carried no echo (e.g. a proxy error).
 	RequestID string
+	// RetryAfter is the server's Retry-After hint, zero when the
+	// response carried none. On overloaded responses the retry loop
+	// never sleeps less than this before the next attempt.
+	RetryAfter time.Duration
 }
 
 // Error implements error.

@@ -1,0 +1,177 @@
+package client_test
+
+// The client half of the overload contract: 429s resolve to
+// ErrOverloaded via errors.Is, the Retry-After hint is surfaced and
+// floors the retry backoff, and WithAPIToken identifies the tenant.
+// Stub servers pin the exact wire bytes; the live-server tests prove
+// the contract against a real serve.Server with a QoS front end.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	apiv1 "repro/internal/api/v1"
+	"repro/internal/client"
+	"repro/internal/qos"
+	"repro/internal/serve"
+)
+
+// overloadedServer answers the first fail requests with the canonical
+// overloaded response (429, code "overloaded", Retry-After: secs),
+// then delegates to ok.
+func overloadedServer(t *testing.T, fail int, secs string, ok http.HandlerFunc) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(fail) {
+			w.Header().Set(apiv1.HeaderRetryAfter, secs)
+			http.Error(w, `{"code":"overloaded","error":"admission queue full"}`,
+				http.StatusTooManyRequests)
+			return
+		}
+		ok(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func TestOverloadedSentinelAndRetryAfter(t *testing.T) {
+	ts, calls := overloadedServer(t, 1<<30, "2", nil)
+	c := retryClient(t, ts.URL, client.RetryPolicy{MaxAttempts: 1})
+	_, err := c.Query(context.Background(), apiv1.QueryRequest{SQL: "SELECT COUNT(*) FROM sales"})
+	if !errors.Is(err, client.ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %T", err)
+	}
+	if apiErr.Status != http.StatusTooManyRequests || apiErr.Code != apiv1.CodeOverloaded {
+		t.Fatalf("APIError = %+v", apiErr)
+	}
+	if apiErr.RetryAfter != 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want 2s", apiErr.RetryAfter)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts with retries disabled, want 1", got)
+	}
+}
+
+func TestRetryHonorsRetryAfterHint(t *testing.T) {
+	// One 429 with Retry-After: 1, then success. fastRetry's backoff is
+	// microseconds, so an elapsed time near a full second proves the
+	// hint floored the wait.
+	ts, calls := overloadedServer(t, 1, "1", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"table":"sales","rows":[]}`))
+	})
+	c := retryClient(t, ts.URL, fastRetry)
+	start := time.Now()
+	if _, err := c.Query(context.Background(), apiv1.QueryRequest{SQL: "SELECT COUNT(*) FROM sales"}); err != nil {
+		t.Fatalf("query should survive one 429: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retry waited only %v; the Retry-After: 1 hint was ignored", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+}
+
+func TestWithAPITokenHeader(t *testing.T) {
+	var tokens []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		v, present := r.Header[http.CanonicalHeaderKey(apiv1.HeaderAPIToken)]
+		if present {
+			tokens = append(tokens, v[0])
+		} else {
+			tokens = append(tokens, "<absent>")
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(ts.Close)
+
+	withToken, err := client.New(ts.URL, nil, client.WithAPIToken("team-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := withToken.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	anonymous, err := client.New(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := anonymous.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(tokens) != 2 || tokens[0] != "team-a" || tokens[1] != "<absent>" {
+		t.Fatalf("X-API-Token per request = %v, want [team-a <absent>]", tokens)
+	}
+}
+
+// startQoSServer spins up a real serve.Server with a QoS front end and
+// a client with retries disabled, so each call maps to one admission
+// decision.
+func startQoSServer(t *testing.T, cfg qos.Config, opts ...client.Option) (*client.Client, *qos.FrontEnd) {
+	t.Helper()
+	fe, err := qos.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistry()
+	t.Cleanup(reg.Close)
+	if err := reg.RegisterTable(salesTable(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.NewServer(reg, serve.WithQoS(fe)))
+	t.Cleanup(ts.Close)
+	opts = append(opts, client.WithRetry(client.RetryPolicy{MaxAttempts: 1}))
+	c, err := client.New(ts.URL, nil, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, fe
+}
+
+func TestLiveServerOverloaded(t *testing.T) {
+	c, fe := startQoSServer(t, qos.Config{MaxInflight: 1, MaxQueue: -1})
+
+	release, ok := fe.Admission.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire on idle controller")
+	}
+	_, err := c.Query(context.Background(), apiv1.QueryRequest{SQL: "SELECT region, AVG(amount) FROM sales GROUP BY region"})
+	if !errors.Is(err, client.ErrOverloaded) {
+		t.Fatalf("saturated live server: want ErrOverloaded, got %v", err)
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.RetryAfter < time.Second {
+		t.Fatalf("live 429 must carry a Retry-After of >= 1s: %v", err)
+	}
+
+	// Capacity back → the same request succeeds.
+	release()
+	if _, err := c.Query(context.Background(), apiv1.QueryRequest{SQL: "SELECT region, AVG(amount) FROM sales GROUP BY region"}); err != nil {
+		t.Fatalf("query after release: %v", err)
+	}
+}
+
+func TestLiveServerTenantLimit(t *testing.T) {
+	c, _ := startQoSServer(t, qos.Config{MaxInflight: 8, TenantLimits: "team-a=1:1"},
+		client.WithAPIToken("team-a"))
+
+	req := apiv1.QueryRequest{SQL: "SELECT region, AVG(amount) FROM sales GROUP BY region"}
+	if _, err := c.Query(context.Background(), req); err != nil {
+		t.Fatalf("first request in the bucket: %v", err)
+	}
+	_, err := c.Query(context.Background(), req)
+	if !errors.Is(err, client.ErrOverloaded) {
+		t.Fatalf("drained tenant bucket: want ErrOverloaded, got %v", err)
+	}
+}

@@ -69,12 +69,20 @@ func WithRetry(p RetryPolicy) Option {
 	return func(c *Client) { c.retry = p.withDefaults() }
 }
 
-// retryableStatus reports whether an HTTP status may be retried: only
-// the gateway-transient trio, where the request plausibly never reached
-// a healthy daemon. 4xx are deterministic contract errors and 500 may
-// have had effects.
+// WithAPIToken sends token as the X-API-Token header on every request,
+// identifying this client to the server's per-tenant QoS limits. The
+// empty string sends no header (the server's default/anonymous lane).
+func WithAPIToken(token string) Option {
+	return func(c *Client) { c.apiToken = token }
+}
+
+// retryableStatus reports whether an HTTP status may be retried: the
+// gateway-transient trio, where the request plausibly never reached a
+// healthy daemon, plus 429 — an explicit "come back later" from QoS
+// admission, whose Retry-After hint floors the backoff. Other 4xx are
+// deterministic contract errors and 500 may have had effects.
 func retryableStatus(code int) bool {
-	return code == 502 || code == 503 || code == 504
+	return code == 429 || code == 502 || code == 503 || code == 504
 }
 
 // sleepCtx waits d or until ctx is done, whichever comes first.

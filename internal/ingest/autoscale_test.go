@@ -1,0 +1,101 @@
+package ingest_test
+
+// Autoscaled streams: Config.TargetCV re-runs the budget search on
+// every refresh, so the published guarantee tracks the ingested data
+// instead of decaying as rows arrive.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ingest"
+)
+
+func TestConfigSizingValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  ingest.Config
+		want string
+	}{
+		{"budget and target", ingest.Config{Budget: 100, TargetCV: 0.1}, "exactly one"},
+		{"rate and target", ingest.Config{Rate: 0.1, TargetCV: 0.1}, "exactly one"},
+		{"all three", ingest.Config{Budget: 100, Rate: 0.1, TargetCV: 0.1}, "exactly one"},
+		{"none", ingest.Config{}, "required"},
+		{"negative target", ingest.Config{TargetCV: -0.1}, "target CV"},
+		{"max budget alone", ingest.Config{Budget: 100, MaxBudget: 500}, "requires target_cv"},
+		{"negative max budget", ingest.Config{TargetCV: 0.1, MaxBudget: -1}, "max budget"},
+	}
+	for _, tc := range cases {
+		tc.cfg.Queries = salesQueries()
+		_, err := ingest.New(seedTable(t, 100), tc.cfg, nil)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestAutoscaledStreamRefreshesGuarantee(t *testing.T) {
+	var pubs collectPubs
+	s, err := ingest.New(seedTable(t, 2000), ingest.Config{
+		Queries:  salesQueries(),
+		TargetCV: 0.05,
+		Seed:     7,
+	}, pubs.publish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	got := pubs.snapshot()
+	if len(got) != 1 {
+		t.Fatalf("got %d publications, want 1", len(got))
+	}
+	first := got[0]
+	if first.TargetCV != 0.05 || !first.TargetMet {
+		t.Fatalf("seed publication guarantee: %+v", first)
+	}
+	if first.AchievedCV <= 0 || first.AchievedCV > 0.05 {
+		t.Fatalf("achieved CV %v outside (0, target]", first.AchievedCV)
+	}
+	if first.Budget <= 0 || first.Budget >= 2000 {
+		t.Fatalf("autoscaled budget %d should be a real sub-population budget", first.Budget)
+	}
+
+	// More data, same target: the search re-runs over the grown
+	// population and the new generation carries its own fresh guarantee.
+	if _, err := s.Append(rowBatch(2000, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	got = pubs.snapshot()
+	second := got[len(got)-1]
+	if second.Generation != 2 || second.Rows != 5000 {
+		t.Fatalf("second publication: gen=%d rows=%d", second.Generation, second.Rows)
+	}
+	if second.TargetCV != 0.05 || !second.TargetMet || second.AchievedCV > 0.05 {
+		t.Fatalf("refreshed guarantee: %+v", second)
+	}
+}
+
+func TestAutoscaledStreamCapBestEffort(t *testing.T) {
+	var pubs collectPubs
+	s, err := ingest.New(seedTable(t, 2000), ingest.Config{
+		Queries:   salesQueries(),
+		TargetCV:  0.0001, // unreachable under the cap
+		MaxBudget: 10,
+		Seed:      7,
+	}, pubs.publish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p := pubs.snapshot()[0]
+	if p.TargetMet {
+		t.Fatalf("10 rows cannot hit CV 0.0001, yet TargetMet: %+v", p)
+	}
+	if p.Budget != 10 || p.AchievedCV <= 0.0001 {
+		t.Fatalf("cap-bound publication: budget=%d achieved=%v", p.Budget, p.AchievedCV)
+	}
+}

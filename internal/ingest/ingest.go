@@ -66,6 +66,16 @@ type Config struct {
 	// Rate is the fractional alternative: each refresh spends
 	// Rate × (current rows), so the sample grows with the stream.
 	Rate float64
+	// TargetCV is the autoscaled alternative: each refresh re-runs the
+	// budget search over the rows ingested so far and spends the
+	// smallest budget whose predicted worst per-group CV meets the
+	// target — the guarantee tracks the data instead of decaying with
+	// it. Exactly one of Budget, Rate and TargetCV must be set.
+	TargetCV float64
+	// MaxBudget caps the autoscale search per refresh (0 = the current
+	// row count). When the cap binds, the publication reports
+	// TargetMet false with the CV it did achieve. Requires TargetCV.
+	MaxBudget int
 	// Capacity is the per-stratum reservoir capacity (0 =
 	// DefaultCapacity). Allocations beyond it are clipped with the
 	// surplus redistributed, exactly as in core.StreamSampler.
@@ -93,15 +103,27 @@ func (c Config) validate() error {
 	if len(c.Queries) == 0 {
 		return errors.New("ingest: streaming config needs at least one query")
 	}
+	sizings := 0
+	for _, set := range []bool{c.Budget > 0, c.Rate != 0, c.TargetCV != 0} {
+		if set {
+			sizings++
+		}
+	}
 	switch {
 	case c.Budget < 0:
 		return fmt.Errorf("ingest: negative budget %d", c.Budget)
-	case c.Budget > 0 && c.Rate != 0:
-		return errors.New("ingest: set budget or rate, not both")
-	case c.Budget == 0 && c.Rate == 0:
-		return errors.New("ingest: one of budget or rate is required")
+	case sizings > 1:
+		return errors.New("ingest: set exactly one of budget, rate and target_cv")
+	case sizings == 0:
+		return errors.New("ingest: one of budget, rate or target_cv is required")
 	case c.Rate < 0 || c.Rate > 1:
 		return fmt.Errorf("ingest: rate must be in (0, 1], got %g", c.Rate)
+	case c.TargetCV < 0 || math.IsInf(c.TargetCV, 1) || math.IsNaN(c.TargetCV):
+		return fmt.Errorf("ingest: target CV must be positive and finite, got %g", c.TargetCV)
+	case c.MaxBudget < 0:
+		return fmt.Errorf("ingest: negative max budget %d", c.MaxBudget)
+	case c.MaxBudget > 0 && c.TargetCV == 0:
+		return errors.New("ingest: max budget requires target_cv")
 	case c.Capacity < 0:
 		return fmt.Errorf("ingest: negative reservoir capacity %d", c.Capacity)
 	}
@@ -124,6 +146,13 @@ type Publication struct {
 	Budget int
 	// Rows is Snapshot's row count, recorded for ops surfaces.
 	Rows int
+	// TargetCV, AchievedCV and TargetMet report the autoscale guarantee
+	// when Config.TargetCV sized this generation: the predicted worst
+	// per-group CV at Budget and whether it met the target (false means
+	// MaxBudget bound the search). All zero for budget/rate streams.
+	TargetCV   float64
+	AchievedCV float64
+	TargetMet  bool
 	// BuiltAt and BuildDuration time the finalize + snapshot cut.
 	BuiltAt       time.Time
 	BuildDuration time.Duration
@@ -463,14 +492,33 @@ func (s *Stream) refreshLocked() (*Publication, error) {
 	if rows == 0 {
 		return nil, errors.New("ingest: no rows ingested yet")
 	}
+	start := time.Now()
 	m := s.cfg.Budget
+	var auto *core.AutoscaleResult
 	if s.cfg.Rate > 0 {
 		m = int(float64(rows) * s.cfg.Rate)
 		if m < 1 {
 			m = 1
 		}
+	} else if s.cfg.TargetCV > 0 {
+		// re-run the budget search over the rows ingested so far. The
+		// search is pure evaluation (statistics pass + probes, no RNG),
+		// so WAL replay re-derives the same budget at the same point and
+		// the sampler's reservoir state stays deterministic.
+		plan, err := core.NewPlan(s.tbl, s.cfg.Queries)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: autoscale refresh: %w", err)
+		}
+		res, err := plan.Autoscale(core.AutoscaleParams{
+			TargetCV:  s.cfg.TargetCV,
+			MaxBudget: s.cfg.MaxBudget,
+			Opts:      s.cfg.Opts,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ingest: autoscale refresh: %w", err)
+		}
+		m, auto = res.Budget, res
 	}
-	start := time.Now()
 	ss, err := s.sampler.Finalize(m, s.cfg.Opts)
 	if err != nil {
 		return nil, err
@@ -483,6 +531,11 @@ func (s *Stream) refreshLocked() (*Publication, error) {
 		Rows:          rows,
 		BuiltAt:       start,
 		BuildDuration: time.Since(start),
+	}
+	if auto != nil {
+		pub.TargetCV = auto.TargetCV
+		pub.AchievedCV = auto.AchievedCV
+		pub.TargetMet = auto.Met
 	}
 	s.publishLocked(pub)
 	return pub, nil

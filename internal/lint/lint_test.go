@@ -13,7 +13,7 @@ import (
 const testdata = "testdata/src"
 
 func TestLockDiscipline(t *testing.T) {
-	linttest.Run(t, testdata, lint.LockDiscipline, "lockdiscipline/a")
+	linttest.Run(t, testdata, lint.LockDiscipline, "lockdiscipline/a", "lockdiscipline/gate")
 }
 
 func TestAtomicHits(t *testing.T) {

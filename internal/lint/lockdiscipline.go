@@ -266,9 +266,12 @@ func selectHasDefault(s *ast.SelectStmt) bool {
 // the operations the serving path actually performs: sleeps, waits,
 // network and subprocess calls, singleflight builds, ingest stream
 // operations (Append/Refresh/Close take the stream's own mutex and do
-// I/O-sized work), and fsync-bearing durability calls — os.File.Sync
-// and the WAL's Sync/Commit, which can stall for the disk's worst-case
-// flush latency and must never run under a shard lock.
+// I/O-sized work), fsync-bearing durability calls — os.File.Sync and
+// the WAL's Sync/Commit, which can stall for the disk's worst-case
+// flush latency and must never run under a shard lock — and the QoS
+// front end's waits: Controller.Acquire parks in the admission queue
+// and Coalescer.Do sleeps out the batching window, so both belong
+// after the unlock (TryAcquire/TryShed are the non-blocking probes).
 func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 	fn := calleeFunc(info, call)
 	if fn == nil {
@@ -301,6 +304,10 @@ func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
 		return pkg + "." + qual, true
 	case strings.HasSuffix(pkg, "ingest") && recv == "Stream" &&
 		(name == "Append" || name == "Refresh" || name == "Close"):
+		return pkg + "." + qual, true
+	case strings.HasSuffix(pkg, "qos") && recv == "Controller" && name == "Acquire":
+		return pkg + "." + qual, true
+	case strings.HasSuffix(pkg, "qos") && recv == "Coalescer" && name == "Do":
 		return pkg + "." + qual, true
 	case pkg == "os" && recv == "File" && name == "Sync":
 		return "os.File.Sync", true

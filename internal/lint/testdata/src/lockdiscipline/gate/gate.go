@@ -1,0 +1,57 @@
+// Package gate is lockdiscipline golden testdata for the QoS front
+// end: admission waits and coalesced passes must never run under a
+// shard lock, or one queued request stalls every reader on the shard.
+package gate
+
+import (
+	"context"
+	"sync"
+
+	"lockdiscipline/qos"
+)
+
+type front struct {
+	mu   sync.Mutex
+	ctl  *qos.Controller
+	coal *qos.Coalescer
+	n    int
+}
+
+// badAcquire parks in the admission queue with the lock held.
+func (f *front) badAcquire(ctx context.Context) {
+	f.mu.Lock()
+	release, err := f.ctl.Acquire(ctx) // want `call to lockdiscipline/qos\.Controller\.Acquire may block while f\.mu is held`
+	f.mu.Unlock()
+	if err == nil {
+		release()
+	}
+}
+
+// badCoalesce runs a coalesced pass under the lock: the leader sleeps
+// out the batching window while holding it.
+func (f *front) badCoalesce(ctx context.Context) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, _, _ = f.coal.Do(ctx, "k", func() (any, error) { return nil, nil }) // want `call to lockdiscipline/qos\.Coalescer\.Do may block while f\.mu is held`
+}
+
+// goodTryAcquire is the non-blocking admission probe; it is safe under
+// the lock, the way the shed path checks for a free slot.
+func (f *front) goodTryAcquire() {
+	f.mu.Lock()
+	if release, ok := f.ctl.TryAcquire(); ok {
+		f.n++
+		release()
+	}
+	f.mu.Unlock()
+}
+
+// goodAcquire waits only after the unlock.
+func (f *front) goodAcquire(ctx context.Context) {
+	f.mu.Lock()
+	f.n++
+	f.mu.Unlock()
+	if release, err := f.ctl.Acquire(ctx); err == nil {
+		release()
+	}
+}

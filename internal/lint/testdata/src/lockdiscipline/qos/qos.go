@@ -1,0 +1,20 @@
+// Package qos is a stand-in for the repo's QoS front end, so
+// lockdiscipline testdata can exercise its blocking-table entries:
+// Controller.Acquire parks in the admission queue and Coalescer.Do
+// sleeps out the batching window. TryAcquire and TryShed are the
+// non-blocking probes and deliberately absent from the table.
+package qos
+
+import "context"
+
+type Controller struct{}
+
+func (c *Controller) Acquire(ctx context.Context) (func(), error) { return func() {}, nil }
+func (c *Controller) TryAcquire() (func(), bool)                  { return func() {}, true }
+func (c *Controller) TryShed() (func(), bool)                     { return func() {}, true }
+
+type Coalescer struct{}
+
+func (c *Coalescer) Do(ctx context.Context, key string, fn func() (any, error)) (any, bool, error) {
+	return nil, false, nil
+}

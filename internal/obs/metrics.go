@@ -218,6 +218,18 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
 	f.mu.Unlock()
 }
 
+// CounterFunc registers a counter whose value is read at render time —
+// for monotone counts another subsystem already tracks (the QoS front
+// end's admission tallies), so exposition cannot drift from the source
+// of truth. fn must be monotone non-decreasing; the registry does not
+// re-check.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	f := r.register(name, help, typeCounter, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
 // Histogram registers (or returns the existing) unlabeled duration
 // histogram.
 func (r *Registry) Histogram(name, help string) *Histogram {

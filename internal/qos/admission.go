@@ -1,0 +1,216 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned when admission control refuses a request:
+// the in-flight and queue bounds are full, or — for a degradable
+// request — the shed lane is full too. The serve layer maps it to the
+// wire code "overloaded" (429) with a Retry-After header from
+// Controller.RetryAfter.
+var ErrOverloaded = errors.New("qos: overloaded")
+
+// Controller is the admission gate: a semaphore of MaxInflight
+// execution slots with a bounded wait queue in front of it, plus a
+// small separate lane for degraded (load-shed) work. Both bounds are
+// buffered channels, so waiting is allocation-free and wakeups are
+// FIFO-ish without an explicit queue structure.
+//
+// Acquire/TryAcquire/TryShed return a release func; calling it more
+// than once is safe. Release of a full (non-shed) slot feeds an EWMA of
+// service time that RetryAfter turns into the 429 backoff hint.
+type Controller struct {
+	slots chan struct{} // full lane; a buffered token = one running request
+	queue chan struct{} // wait-queue positions; nil when queueing is disabled
+	shed  chan struct{} // degraded lane
+
+	admitted atomic.Int64
+	rejected atomic.Int64
+	shedN    atomic.Int64
+
+	// ewma holds math.Float64bits of the smoothed service time in
+	// seconds; 0 means no observation yet.
+	ewma atomic.Uint64
+
+	now func() time.Time // injectable clock for tests
+}
+
+// NewController builds a Controller. maxInflight must be positive.
+// maxQueue 0 defaults to 2×maxInflight, negative disables queueing;
+// shedSlots 0 defaults to max(1, maxInflight/4).
+func NewController(maxInflight, maxQueue, shedSlots int) (*Controller, error) {
+	if maxInflight <= 0 {
+		return nil, fmt.Errorf("qos: max inflight must be positive, got %d", maxInflight)
+	}
+	if maxQueue == 0 {
+		maxQueue = 2 * maxInflight
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if shedSlots <= 0 {
+		shedSlots = maxInflight / 4
+		if shedSlots < 1 {
+			shedSlots = 1
+		}
+	}
+	c := &Controller{
+		slots: make(chan struct{}, maxInflight),
+		shed:  make(chan struct{}, shedSlots),
+		now:   time.Now,
+	}
+	if maxQueue > 0 {
+		c.queue = make(chan struct{}, maxQueue)
+	}
+	return c, nil
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue when
+// all slots are busy. It returns a release func the caller must invoke
+// when the work finishes. It fails fast with ErrOverloaded when the
+// queue is full (or queueing is disabled), and with ctx.Err() when the
+// caller gives up while queued.
+func (c *Controller) Acquire(ctx context.Context) (func(), error) {
+	select {
+	case c.slots <- struct{}{}:
+		c.admitted.Add(1)
+		return c.release(), nil
+	default:
+	}
+	if c.queue == nil {
+		c.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case c.queue <- struct{}{}:
+	default:
+		c.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer func() { <-c.queue }()
+	select {
+	case c.slots <- struct{}{}:
+		c.admitted.Add(1)
+		return c.release(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TryAcquire claims an execution slot without waiting. The degraded
+// query path uses it: a free slot means full service, a busy daemon
+// means TryShed instead of queueing.
+func (c *Controller) TryAcquire() (func(), bool) {
+	select {
+	case c.slots <- struct{}{}:
+		c.admitted.Add(1)
+		return c.release(), true
+	default:
+		return nil, false
+	}
+}
+
+// TryShed claims a degraded-lane slot without waiting — the admission
+// path for a query that is about to be answered from an already
+// resident sample instead of running the full target_cv search. A full
+// shed lane counts as a rejection.
+func (c *Controller) TryShed() (func(), bool) {
+	select {
+	case c.shed <- struct{}{}:
+		c.shedN.Add(1)
+		var once sync.Once
+		return func() { once.Do(func() { <-c.shed }) }, true
+	default:
+		c.rejected.Add(1)
+		return nil, false
+	}
+}
+
+// release returns the release func for a full-lane slot, recording the
+// slot's service time into the EWMA exactly once.
+func (c *Controller) release() func() {
+	start := c.now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			c.observe(c.now().Sub(start))
+			<-c.slots
+		})
+	}
+}
+
+// ewmaAlpha is the smoothing factor for the service-time average: new
+// observations carry 20% weight, so the estimate settles within a few
+// requests without whipsawing on one slow build.
+const ewmaAlpha = 0.2
+
+// observe folds one service duration into the EWMA (lock-free CAS
+// loop; contention is bounded by release rate).
+func (c *Controller) observe(d time.Duration) {
+	s := d.Seconds()
+	if s < 0 {
+		return
+	}
+	for {
+		old := c.ewma.Load()
+		prev := math.Float64frombits(old)
+		next := s
+		if old != 0 {
+			next = (1-ewmaAlpha)*prev + ewmaAlpha*s
+		}
+		if c.ewma.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// RetryAfter estimates when capacity will free up: the smoothed service
+// time scaled by the queue depth ahead of a new arrival, spread over
+// the slot count, rounded up to whole seconds and clamped to [1s, 60s].
+// It is deliberately coarse — a polite hint, not a schedule.
+func (c *Controller) RetryAfter() time.Duration {
+	svc := math.Float64frombits(c.ewma.Load())
+	if svc <= 0 {
+		svc = 0.05 // no history yet; assume a cheap query mix
+	}
+	waiting := float64(c.Queued() + 1)
+	est := svc * waiting / float64(cap(c.slots))
+	secs := int64(math.Ceil(est))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// MaxInflight returns the execution-slot bound.
+func (c *Controller) MaxInflight() int { return cap(c.slots) }
+
+// MaxQueue returns the wait-queue bound (0 when queueing is disabled).
+func (c *Controller) MaxQueue() int { return cap(c.queue) }
+
+// Inflight returns the number of currently executing full-lane
+// requests.
+func (c *Controller) Inflight() int { return len(c.slots) }
+
+// Queued returns the number of requests parked waiting for a slot.
+func (c *Controller) Queued() int { return len(c.queue) }
+
+// Admitted returns the count of full-lane admissions.
+func (c *Controller) Admitted() int64 { return c.admitted.Load() }
+
+// Rejected returns the count of fail-fast refusals (queue full, shed
+// lane full). Context cancellations while queued are not rejections.
+func (c *Controller) Rejected() int64 { return c.rejected.Load() }
+
+// ShedCount returns the count of degraded-lane admissions.
+func (c *Controller) ShedCount() int64 { return c.shedN.Load() }

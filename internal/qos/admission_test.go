@@ -1,0 +1,321 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(0, 0, 0); err == nil {
+		t.Fatal("NewController(0) should fail")
+	}
+	if _, err := NewController(-3, 0, 0); err == nil {
+		t.Fatal("NewController(-3) should fail")
+	}
+	c, err := NewController(8, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MaxInflight(); got != 8 {
+		t.Fatalf("MaxInflight = %d, want 8", got)
+	}
+	if got := c.MaxQueue(); got != 16 {
+		t.Fatalf("default MaxQueue = %d, want 2x inflight = 16", got)
+	}
+	if got := cap(c.shed); got != 2 {
+		t.Fatalf("default shed slots = %d, want inflight/4 = 2", got)
+	}
+
+	// Tiny controller: shed lane never collapses to zero.
+	c, err = NewController(1, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cap(c.shed); got != 1 {
+		t.Fatalf("shed slots = %d, want floor of 1", got)
+	}
+	if got := c.MaxQueue(); got != 5 {
+		t.Fatalf("MaxQueue = %d, want 5", got)
+	}
+
+	// Negative maxQueue disables queueing.
+	c, err = NewController(2, -1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MaxQueue(); got != 0 {
+		t.Fatalf("MaxQueue = %d, want 0 (disabled)", got)
+	}
+}
+
+func TestAcquireFastPathAndRelease(t *testing.T) {
+	c, err := NewController(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rel1, err := c.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := c.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Inflight(); got != 2 {
+		t.Fatalf("Inflight = %d, want 2", got)
+	}
+	rel1()
+	rel1() // idempotent
+	if got := c.Inflight(); got != 1 {
+		t.Fatalf("Inflight after release = %d, want 1", got)
+	}
+	rel2()
+	if got := c.Admitted(); got != 2 {
+		t.Fatalf("Admitted = %d, want 2", got)
+	}
+}
+
+func TestAcquireQueueFullRejects(t *testing.T) {
+	c, err := NewController(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rel, err := c.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park one waiter in the single queue position.
+	entered := make(chan struct{})
+	got := make(chan error, 1)
+	go func() {
+		close(entered)
+		r, err := c.Acquire(ctx)
+		if err == nil {
+			defer r()
+		}
+		got <- err
+	}()
+	<-entered
+	waitFor(t, func() bool { return c.Queued() == 1 })
+
+	// Queue is now full: the next arrival is refused immediately.
+	if _, err := c.Acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Acquire with full queue = %v, want ErrOverloaded", err)
+	}
+	if got := c.Rejected(); got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+
+	rel()
+	if err := <-got; err != nil {
+		t.Fatalf("queued waiter failed: %v", err)
+	}
+}
+
+func TestAcquireQueueDisabled(t *testing.T) {
+	c, err := NewController(1, -1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, err := c.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Acquire with queueing disabled = %v, want ErrOverloaded", err)
+	}
+}
+
+func TestAcquireContextCanceledWhileQueued(t *testing.T) {
+	c, err := NewController(1, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx)
+		got <- err
+	}()
+	waitFor(t, func() bool { return c.Queued() == 1 })
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter = %v, want context.Canceled", err)
+	}
+	waitFor(t, func() bool { return c.Queued() == 0 })
+	// Cancellation is not a rejection.
+	if got := c.Rejected(); got != 0 {
+		t.Fatalf("Rejected = %d, want 0", got)
+	}
+}
+
+func TestTryAcquireAndTryShed(t *testing.T) {
+	c, err := NewController(1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, ok := c.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire on idle controller should succeed")
+	}
+	if _, ok := c.TryAcquire(); ok {
+		t.Fatal("TryAcquire with full slots should fail")
+	}
+
+	shedRel, ok := c.TryShed()
+	if !ok {
+		t.Fatal("TryShed with free shed lane should succeed")
+	}
+	if _, ok := c.TryShed(); ok {
+		t.Fatal("TryShed with full shed lane should fail")
+	}
+	if got := c.Rejected(); got != 1 {
+		t.Fatalf("Rejected after full shed lane = %d, want 1", got)
+	}
+	shedRel()
+	shedRel() // idempotent
+	if _, ok := c.TryShed(); !ok {
+		t.Fatal("TryShed after release should succeed")
+	}
+	if got := c.ShedCount(); got != 2 {
+		t.Fatalf("ShedCount = %d, want 2", got)
+	}
+	rel()
+}
+
+func TestRetryAfterEstimate(t *testing.T) {
+	c, err := NewController(2, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No history: floor of 1s.
+	if got := c.RetryAfter(); got != time.Second {
+		t.Fatalf("RetryAfter with no history = %v, want 1s", got)
+	}
+
+	// Feed the EWMA with a deterministic clock: 10s service times.
+	now := time.Unix(0, 0)
+	c.now = func() time.Time { return now }
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(10 * time.Second)
+	rel()
+	// First observation sets the EWMA outright: 10s / 2 slots, 0
+	// queued → ceil(10*1/2) = 5s.
+	if got := c.RetryAfter(); got != 5*time.Second {
+		t.Fatalf("RetryAfter = %v, want 5s", got)
+	}
+
+	// A second, faster pass pulls the EWMA down: 0.8*10 + 0.2*0 = 8s.
+	rel, err = c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	if got := c.RetryAfter(); got != 4*time.Second {
+		t.Fatalf("RetryAfter after fast pass = %v, want 4s", got)
+	}
+}
+
+func TestRetryAfterClamp(t *testing.T) {
+	c, err := NewController(1, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	c.now = func() time.Time { return now }
+	rel, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(10 * time.Minute)
+	rel()
+	if got := c.RetryAfter(); got != 60*time.Second {
+		t.Fatalf("RetryAfter = %v, want clamp at 60s", got)
+	}
+	// A negative clock skew must not poison the EWMA.
+	rel, err = c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(-time.Hour)
+	rel()
+	if got := c.RetryAfter(); got != 60*time.Second {
+		t.Fatalf("RetryAfter after skewed release = %v, want 60s", got)
+	}
+}
+
+func TestAcquireConcurrentHerd(t *testing.T) {
+	c, err := NewController(4, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const herd = 64
+	var wg sync.WaitGroup
+	var admitted, overloaded atomic64
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := c.Acquire(context.Background())
+			if errors.Is(err, ErrOverloaded) {
+				overloaded.add(1)
+				return
+			}
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			admitted.add(1)
+			time.Sleep(time.Millisecond)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if admitted.load()+overloaded.load() != herd {
+		t.Fatalf("admitted %d + overloaded %d != %d", admitted.load(), overloaded.load(), herd)
+	}
+	if admitted.load() < 4 {
+		t.Fatalf("admitted = %d, want at least the slot count", admitted.load())
+	}
+	if c.Inflight() != 0 || c.Queued() != 0 {
+		t.Fatalf("leaked slots: inflight=%d queued=%d", c.Inflight(), c.Queued())
+	}
+}
+
+// atomic64 is a tiny test helper (sync/atomic.Int64 spelled out so the
+// test reads without the type noise).
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(n int64) { a.mu.Lock(); a.v += n; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within deadline")
+}

@@ -1,0 +1,116 @@
+package qos
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// flight is one in-progress coalesced execution: the leader runs fn and
+// publishes (val, err) before closing done; followers block on done.
+type flight struct {
+	done    chan struct{}
+	val     any
+	err     error
+	joiners atomic.Int64
+}
+
+// Coalescer batches identical work under load: the first caller of a
+// key becomes the leader, waits `window` for identical calls to pile
+// on, then executes once; every caller of that key during the window
+// (or during the execution itself) gets the leader's result. This is
+// window-batched singleflight — the deliberate extra latency of the
+// window is what turns a thundering herd of identical dashboard
+// queries into one executor pass.
+//
+// Keys must capture everything that affects the answer; the serve
+// layer builds them from the plan cache's normalized SQL plus the
+// table's sample generation, so a refresh between windows never serves
+// a stale answer.
+type Coalescer struct {
+	window time.Duration
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	coalesced atomic.Int64 // followers served from a shared pass
+	batches   atomic.Int64 // passes that served more than one caller
+	passes    atomic.Int64 // leader executions
+}
+
+// NewCoalescer returns a Coalescer with the given batching window. A
+// zero window still deduplicates callers that arrive while a leader is
+// executing, but won't hold work back to wait for them; callers that
+// want coalescing off entirely should not route through a Coalescer.
+func NewCoalescer(window time.Duration) *Coalescer {
+	if window < 0 {
+		window = 0
+	}
+	return &Coalescer{window: window, flights: make(map[string]*flight)}
+}
+
+// Do executes fn once per key per window and fans the result out to
+// every caller that joined. shared reports whether this caller was a
+// follower (its answer came from another caller's pass). The leader
+// runs fn to completion even if its own ctx is canceled mid-window —
+// followers depend on the result — so fn must not be bound to a single
+// caller's cancellation (the serve layer wraps it over a detached
+// context). A follower whose ctx is canceled while waiting returns
+// ctx.Err.
+func (c *Coalescer) Do(ctx context.Context, key string, fn func() (any, error)) (val any, shared bool, err error) {
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		f.joiners.Add(1)
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			c.coalesced.Add(1)
+			return f.val, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	if c.window > 0 {
+		t := time.NewTimer(c.window)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			// The leader is leaving, but followers may already be
+			// waiting: stop batching and execute now rather than strand
+			// them (fn is detached from this ctx by contract).
+			t.Stop()
+		}
+	}
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+	close(f.done)
+
+	c.passes.Add(1)
+	if f.joiners.Load() > 0 {
+		c.batches.Add(1)
+	}
+	return f.val, false, f.err
+}
+
+// Coalesced returns the number of callers served from another caller's
+// executor pass.
+func (c *Coalescer) Coalesced() int64 { return c.coalesced.Load() }
+
+// Batches returns the number of passes that served more than one
+// caller.
+func (c *Coalescer) Batches() int64 { return c.batches.Load() }
+
+// Passes returns the total number of leader executions.
+func (c *Coalescer) Passes() int64 { return c.passes.Load() }
+
+// Window returns the configured batching window.
+func (c *Coalescer) Window() time.Duration { return c.window }

@@ -1,0 +1,187 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCoalesceSharesOnePass(t *testing.T) {
+	c := NewCoalescer(30 * time.Millisecond)
+	var calls atomic64
+	fn := func() (any, error) {
+		calls.add(1)
+		return "answer", nil
+	}
+
+	const herd = 16
+	var wg sync.WaitGroup
+	var shared atomic64
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, wasShared, err := c.Do(context.Background(), "k", fn)
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			if val != "answer" {
+				t.Errorf("val = %v, want answer", val)
+			}
+			if wasShared {
+				shared.add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := calls.load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	if got := shared.load(); got != herd-1 {
+		t.Fatalf("shared = %d, want %d followers", got, herd-1)
+	}
+	if got := c.Coalesced(); got != herd-1 {
+		t.Fatalf("Coalesced = %d, want %d", got, herd-1)
+	}
+	if got := c.Batches(); got != 1 {
+		t.Fatalf("Batches = %d, want 1", got)
+	}
+	if got := c.Passes(); got != 1 {
+		t.Fatalf("Passes = %d, want 1", got)
+	}
+}
+
+func TestCoalesceDistinctKeysRunSeparately(t *testing.T) {
+	c := NewCoalescer(10 * time.Millisecond)
+	var wg sync.WaitGroup
+	var calls atomic64
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := c.Do(context.Background(), key, func() (any, error) {
+				calls.add(1)
+				return key, nil
+			})
+			if err != nil {
+				t.Errorf("Do(%s): %v", key, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := calls.load(); got != 4 {
+		t.Fatalf("fn ran %d times, want 4 (one per key)", got)
+	}
+	if got := c.Batches(); got != 0 {
+		t.Fatalf("Batches = %d, want 0 (no sharing happened)", got)
+	}
+}
+
+func TestCoalesceErrorFansOut(t *testing.T) {
+	c := NewCoalescer(20 * time.Millisecond)
+	boom := errors.New("boom")
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, errs[i] = c.Do(context.Background(), "k", func() (any, error) {
+				return nil, boom
+			})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("caller %d: err = %v, want boom", i, err)
+		}
+	}
+}
+
+func TestCoalesceFollowerCancel(t *testing.T) {
+	c := NewCoalescer(2 * time.Second) // window far longer than the test
+	leaderCtx, stopLeader := context.WithCancel(context.Background())
+	defer stopLeader()
+	go func() {
+		_, _, _ = c.Do(leaderCtx, "k", func() (any, error) {
+			return nil, nil
+		})
+	}()
+	// Wait for the leader's flight to exist so we join as a follower.
+	waitFor(t, func() bool {
+		c.mu.Lock()
+		_, ok := c.flights["k"]
+		c.mu.Unlock()
+		return ok
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, wasShared, err := c.Do(ctx, "k", func() (any, error) { return nil, nil })
+	if !wasShared {
+		t.Fatal("second caller should have joined the flight")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled follower = %v, want context.Canceled", err)
+	}
+}
+
+func TestCoalesceLeaderCancelStillExecutes(t *testing.T) {
+	c := NewCoalescer(time.Hour) // would hang forever if cancel didn't cut the window
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	val, _, err := c.Do(ctx, "k", func() (any, error) { return 42, nil })
+	if err != nil || val != 42 {
+		t.Fatalf("Do = (%v, %v), want (42, nil)", val, err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("canceled leader waited %v, should have executed immediately", elapsed)
+	}
+}
+
+func TestCoalesceZeroWindow(t *testing.T) {
+	c := NewCoalescer(0)
+	if got := c.Window(); got != 0 {
+		t.Fatalf("Window = %v, want 0", got)
+	}
+	val, wasShared, err := c.Do(context.Background(), "k", func() (any, error) {
+		return "v", nil
+	})
+	if err != nil || val != "v" || wasShared {
+		t.Fatalf("Do = (%v, %v, %v), want (v, false, nil)", val, wasShared, err)
+	}
+	// Negative windows normalize to zero.
+	if got := NewCoalescer(-time.Second).Window(); got != 0 {
+		t.Fatalf("negative window = %v, want 0", got)
+	}
+}
+
+func TestCoalesceNextWindowAfterExecution(t *testing.T) {
+	c := NewCoalescer(5 * time.Millisecond)
+	var calls atomic64
+	fn := func() (any, error) {
+		calls.add(1)
+		return calls.load(), nil
+	}
+	v1, _, err := c.Do(context.Background(), "k", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _, err := c.Do(context.Background(), "k", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 == v2 {
+		t.Fatalf("sequential windows shared a result (%v); want separate passes", v1)
+	}
+	if got := calls.load(); got != 2 {
+		t.Fatalf("fn ran %d times, want 2", got)
+	}
+}

@@ -1,0 +1,124 @@
+// Package qos is the heavy-traffic front end of the serving stack: the
+// layer between the HTTP handlers and the registry that decides, for
+// every request, whether it runs now, waits briefly, shares another
+// request's work, degrades to a cheaper answer, or is refused with a
+// retry hint. It has three cooperating parts:
+//
+//   - Admission control (admission.go): a bounded in-flight limit with a
+//     bounded wait queue behind it. A request past both bounds is not
+//     parked — it fails fast with ErrOverloaded and a Retry-After
+//     estimate, so a thundering herd sees 429s in milliseconds instead
+//     of timeouts in minutes.
+//
+//   - Query coalescing (coalesce.go): queries landing within a small
+//     window that normalize to the same key (table, group-by, filter
+//     class, sample generation — the serve layer builds the key from
+//     the plan cache's normalized SQL) share one executor pass, with
+//     the shared answer fanned back out per caller. Under a herd of
+//     identical dashboard queries the daemon does O(1) work instead of
+//     O(callers).
+//
+//   - Tenant token buckets (tenant.go): per-API-token rate limits, so
+//     one hot tenant saturates its own bucket instead of the daemon.
+//
+// Load shedding is the fourth behavior but lives mostly in the serve
+// layer: when admission would refuse a target_cv query, the registry
+// degrades it to the cheapest already-resident covering sample and
+// reports achieved_cv/degraded honestly — the autoscaler run in
+// reverse. The Controller's shed lane bounds how much of that degraded
+// work runs concurrently.
+//
+// The package is dependency-free within the repo (no api/v1, no serve
+// imports): it speaks errors, durations and counters, and the serve
+// layer translates those to wire codes, headers and metrics.
+package qos
+
+import (
+	"time"
+)
+
+// Config sizes a FrontEnd.
+type Config struct {
+	// MaxInflight bounds requests executing concurrently (the admission
+	// semaphore). Required: <= 0 is an error at New.
+	MaxInflight int
+	// MaxQueue bounds requests parked waiting for a slot. 0 defaults to
+	// 2 × MaxInflight; negative disables queueing entirely (full slots
+	// reject immediately).
+	MaxQueue int
+	// ShedSlots bounds degraded (load-shed) executions, a lane separate
+	// from MaxInflight so cheap degraded answers still flow when the
+	// main lane is saturated. 0 defaults to max(1, MaxInflight/4).
+	ShedSlots int
+	// CoalesceWindow is how long the first query of a coalescing key
+	// waits for identical queries to pile on before executing once for
+	// all of them. 0 disables coalescing (FrontEnd.Coalescer stays nil).
+	CoalesceWindow time.Duration
+	// TenantLimits is the per-tenant rate-limit table in
+	// ParseTenantLimits syntax ("alice=100,bob=5:20,*=50"); empty
+	// disables tenant limiting (FrontEnd.Tenants stays nil).
+	TenantLimits string
+}
+
+// FrontEnd bundles the three QoS parts the serve layer consults. Nil
+// Coalescer / Tenants mean that part is disabled; Admission is always
+// present.
+type FrontEnd struct {
+	Admission *Controller
+	Coalescer *Coalescer
+	Tenants   *TenantLimiter
+}
+
+// New builds a FrontEnd from cfg, validating the tenant-limit spec.
+func New(cfg Config) (*FrontEnd, error) {
+	ctrl, err := NewController(cfg.MaxInflight, cfg.MaxQueue, cfg.ShedSlots)
+	if err != nil {
+		return nil, err
+	}
+	fe := &FrontEnd{Admission: ctrl}
+	if cfg.CoalesceWindow > 0 {
+		fe.Coalescer = NewCoalescer(cfg.CoalesceWindow)
+	}
+	if cfg.TenantLimits != "" {
+		tl, err := ParseTenantLimits(cfg.TenantLimits)
+		if err != nil {
+			return nil, err
+		}
+		fe.Tenants = tl
+	}
+	return fe, nil
+}
+
+// Stats is a point-in-time snapshot of the front end's counters, for
+// /healthz and the repro_qos_* metric series.
+type Stats struct {
+	MaxInflight, MaxQueue int
+	Inflight, Queued      int
+	Admitted, Rejected    int64
+	Shed                  int64
+	Coalesced, Batches    int64
+	TenantRejected        int64
+}
+
+// Stats snapshots the front end. Each field is read atomically; the
+// snapshot as a whole is not a consistent cut (counters advance while
+// it is taken), which is fine for an ops surface.
+func (f *FrontEnd) Stats() Stats {
+	s := Stats{
+		MaxInflight: f.Admission.MaxInflight(),
+		MaxQueue:    f.Admission.MaxQueue(),
+		Inflight:    f.Admission.Inflight(),
+		Queued:      f.Admission.Queued(),
+		Admitted:    f.Admission.Admitted(),
+		Rejected:    f.Admission.Rejected(),
+		Shed:        f.Admission.ShedCount(),
+	}
+	if f.Coalescer != nil {
+		s.Coalesced = f.Coalescer.Coalesced()
+		s.Batches = f.Coalescer.Batches()
+	}
+	if f.Tenants != nil {
+		s.TenantRejected = f.Tenants.Rejected()
+	}
+	return s
+}

@@ -1,0 +1,187 @@
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxDynamicTenants bounds the buckets created lazily for tokens that
+// only match the "*" default — an attacker cycling random tokens must
+// not grow the bucket map without bound. Past the cap, unlisted tokens
+// share one overflow bucket (they collectively get one default quota,
+// which under that kind of abuse is the right degradation).
+const maxDynamicTenants = 4096
+
+// bucket is a classic token bucket: `rate` tokens per second refill up
+// to `burst`. The zero value is unusable; fill via newBucket.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// take consumes one token if available; otherwise it reports how long
+// until one accrues.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+elapsed*b.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(math.Ceil(need)) * time.Second
+}
+
+// limitSpec is one parsed tenant entry: rate requests/second with a
+// burst allowance.
+type limitSpec struct {
+	rate  float64
+	burst float64
+}
+
+// TenantLimiter maps API tokens to token buckets. Tokens listed in the
+// -tenant-limits spec get their own bucket; unlisted tokens fall back
+// to the "*" default (each getting its own bucket at the default rate,
+// up to maxDynamicTenants) or pass freely when no default is set.
+type TenantLimiter struct {
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+	specs    map[string]limitSpec
+	def      *limitSpec
+	overflow *bucket // shared bucket once maxDynamicTenants is hit
+	dynamic  int
+
+	rejected int64
+	now      func() time.Time
+}
+
+// ParseTenantLimits parses a spec like "alice=100,bob=5:20,*=50":
+// comma-separated token=rate entries, rate in requests/second, with an
+// optional :burst suffix (default burst = max(1, rate)). The "*" token
+// sets the default for unlisted tokens; without it, unlisted tokens
+// are not rate-limited.
+func ParseTenantLimits(spec string) (*TenantLimiter, error) {
+	l := &TenantLimiter{
+		buckets: make(map[string]*bucket),
+		specs:   make(map[string]limitSpec),
+		now:     time.Now,
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		token, limits, ok := strings.Cut(part, "=")
+		token = strings.TrimSpace(token)
+		if !ok || token == "" {
+			return nil, fmt.Errorf("qos: tenant limit %q: want token=rate[:burst]", part)
+		}
+		rateStr, burstStr, hasBurst := strings.Cut(limits, ":")
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil || rate <= 0 || math.IsInf(rate, 0) || math.IsNaN(rate) {
+			return nil, fmt.Errorf("qos: tenant limit %q: rate must be a positive number", part)
+		}
+		s := limitSpec{rate: rate, burst: math.Max(1, rate)}
+		if hasBurst {
+			burst, err := strconv.ParseFloat(strings.TrimSpace(burstStr), 64)
+			if err != nil || burst < 1 || math.IsInf(burst, 0) || math.IsNaN(burst) {
+				return nil, fmt.Errorf("qos: tenant limit %q: burst must be a number >= 1", part)
+			}
+			s.burst = burst
+		}
+		if token == "*" {
+			if l.def != nil {
+				return nil, fmt.Errorf("qos: tenant limits: duplicate default %q", part)
+			}
+			def := s
+			l.def = &def
+			continue
+		}
+		if _, dup := l.specs[token]; dup {
+			return nil, fmt.Errorf("qos: tenant limits: duplicate token %q", token)
+		}
+		l.specs[token] = s
+	}
+	if len(l.specs) == 0 && l.def == nil {
+		return nil, fmt.Errorf("qos: tenant limits %q: no entries", spec)
+	}
+	return l, nil
+}
+
+// Allow charges one request to the token's bucket. It returns ok=true
+// when the request may proceed; otherwise retryAfter is how long until
+// the bucket accrues a token. Tokens with no matching entry and no "*"
+// default always pass (rate limiting is opt-in per tenant).
+func (l *TenantLimiter) Allow(token string) (ok bool, retryAfter time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	b := l.buckets[token]
+	if b == nil {
+		if s, listed := l.specs[token]; listed {
+			b = newBucket(s.rate, s.burst, now)
+			l.buckets[token] = b
+		} else if l.def != nil {
+			if l.dynamic >= maxDynamicTenants {
+				if l.overflow == nil {
+					l.overflow = newBucket(l.def.rate, l.def.burst, now)
+				}
+				b = l.overflow
+			} else {
+				b = newBucket(l.def.rate, l.def.burst, now)
+				l.buckets[token] = b
+				l.dynamic++
+			}
+		}
+	}
+	l.mu.Unlock()
+	if b == nil {
+		return true, 0
+	}
+	ok, retryAfter = b.take(now)
+	if !ok {
+		l.mu.Lock()
+		l.rejected++
+		l.mu.Unlock()
+	}
+	return ok, retryAfter
+}
+
+// Rejected returns the count of requests refused by tenant buckets.
+func (l *TenantLimiter) Rejected() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rejected
+}
+
+// Tokens returns the explicitly configured tokens, sorted — an ops/
+// test convenience (the daemon logs them at startup; values are
+// caller-chosen identifiers, not secrets minted here).
+func (l *TenantLimiter) Tokens() []string {
+	out := make([]string, 0, len(l.specs))
+	for t := range l.specs {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasDefault reports whether unlisted tokens are rate-limited via a
+// "*" entry.
+func (l *TenantLimiter) HasDefault() bool { return l.def != nil }

@@ -1,0 +1,207 @@
+package qos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestParseTenantLimits(t *testing.T) {
+	l, err := ParseTenantLimits("alice=100,bob=5:20, *=50 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Tokens(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Fatalf("Tokens = %v, want [alice bob]", got)
+	}
+	if !l.HasDefault() {
+		t.Fatal("HasDefault should be true")
+	}
+	if s := l.specs["alice"]; s.rate != 100 || s.burst != 100 {
+		t.Fatalf("alice spec = %+v, want rate 100 burst 100 (default burst = rate)", s)
+	}
+	if s := l.specs["bob"]; s.rate != 5 || s.burst != 20 {
+		t.Fatalf("bob spec = %+v, want rate 5 burst 20", s)
+	}
+
+	// Low rates keep a burst floor of one full request.
+	l, err = ParseTenantLimits("slow=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := l.specs["slow"]; s.burst != 1 {
+		t.Fatalf("slow burst = %v, want floor of 1", s.burst)
+	}
+}
+
+func TestParseTenantLimitsErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                // no entries
+		"   , ,",          // only empty parts
+		"alice",           // no =
+		"=5",              // empty token
+		"alice=zero",      // non-numeric rate
+		"alice=0",         // zero rate
+		"alice=-2",        // negative rate
+		"alice=NaN",       // NaN rate
+		"alice=5:0",       // burst below 1
+		"alice=5:x",       // non-numeric burst
+		"alice=5,alice=6", // duplicate token
+		"*=5,*=6",         // duplicate default
+	} {
+		if _, err := ParseTenantLimits(spec); err == nil {
+			t.Errorf("ParseTenantLimits(%q) should fail", spec)
+		}
+	}
+}
+
+func TestTenantAllow(t *testing.T) {
+	l, err := ParseTenantLimits("alice=1:2,*=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	l.now = func() time.Time { return now }
+
+	// alice has burst 2: two requests pass, the third waits.
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("alice"); !ok {
+			t.Fatalf("alice request %d should pass", i)
+		}
+	}
+	ok, retry := l.Allow("alice")
+	if ok {
+		t.Fatal("alice's third burst request should be limited")
+	}
+	if retry != time.Second {
+		t.Fatalf("retryAfter = %v, want 1s at rate 1", retry)
+	}
+	if got := l.Rejected(); got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+
+	// Refill: one second accrues one token.
+	now = now.Add(time.Second)
+	if ok, _ := l.Allow("alice"); !ok {
+		t.Fatal("alice should pass after refill")
+	}
+
+	// Unlisted token gets its own default bucket.
+	if ok, _ := l.Allow("mallory"); !ok {
+		t.Fatal("mallory's first request should pass (default burst 1)")
+	}
+	if ok, _ := l.Allow("mallory"); ok {
+		t.Fatal("mallory's second request should be limited")
+	}
+	// A different unlisted token is not affected by mallory's bucket.
+	if ok, _ := l.Allow("trent"); !ok {
+		t.Fatal("trent should have his own default bucket")
+	}
+}
+
+func TestTenantAllowNoDefault(t *testing.T) {
+	l, err := ParseTenantLimits("alice=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unlisted tokens pass freely when no "*" entry exists.
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("anyone"); !ok {
+			t.Fatal("unlisted token must not be limited without a default")
+		}
+	}
+	if got := l.Rejected(); got != 0 {
+		t.Fatalf("Rejected = %d, want 0", got)
+	}
+}
+
+func TestTenantDynamicBucketCap(t *testing.T) {
+	l, err := ParseTenantLimits("*=1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	l.now = func() time.Time { return now }
+	for i := 0; i < maxDynamicTenants; i++ {
+		if ok, _ := l.Allow(fmt.Sprintf("t%d", i)); !ok {
+			t.Fatalf("tenant %d should pass", i)
+		}
+	}
+	if l.dynamic != maxDynamicTenants {
+		t.Fatalf("dynamic = %d, want %d", l.dynamic, maxDynamicTenants)
+	}
+	// Past the cap, new tokens share the overflow bucket rather than
+	// growing the map.
+	if ok, _ := l.Allow("overflow-1"); !ok {
+		t.Fatal("overflow token should still pass (shared bucket has tokens)")
+	}
+	if ok, _ := l.Allow("overflow-2"); !ok {
+		t.Fatal("second overflow token draws from the same shared bucket")
+	}
+	if len(l.buckets) != maxDynamicTenants {
+		t.Fatalf("bucket map grew to %d, want capped at %d", len(l.buckets), maxDynamicTenants)
+	}
+	if l.overflow == nil {
+		t.Fatal("overflow bucket should exist")
+	}
+}
+
+func TestBucketRefillCapsAtBurst(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBucket(10, 3, now)
+	// Drain the burst.
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.take(now); !ok {
+			t.Fatalf("take %d should succeed", i)
+		}
+	}
+	if ok, _ := b.take(now); ok {
+		t.Fatal("bucket should be empty")
+	}
+	// A long idle period refills to burst, not beyond.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.take(now); !ok {
+			t.Fatalf("post-idle take %d should succeed", i)
+		}
+	}
+	if ok, _ := b.take(now); ok {
+		t.Fatal("refill must cap at burst")
+	}
+}
+
+func TestFrontEndNewAndStats(t *testing.T) {
+	fe, err := New(Config{
+		MaxInflight:    4,
+		CoalesceWindow: time.Millisecond,
+		TenantLimits:   "alice=5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe.Coalescer == nil || fe.Tenants == nil {
+		t.Fatal("coalescer and tenants should be configured")
+	}
+	s := fe.Stats()
+	if s.MaxInflight != 4 || s.MaxQueue != 8 {
+		t.Fatalf("Stats = %+v, want MaxInflight 4 MaxQueue 8", s)
+	}
+
+	// Disabled parts stay nil and Stats tolerates that.
+	fe, err = New(Config{MaxInflight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe.Coalescer != nil || fe.Tenants != nil {
+		t.Fatal("coalescer and tenants should be nil when unconfigured")
+	}
+	_ = fe.Stats()
+
+	// Config errors propagate.
+	if _, err := New(Config{MaxInflight: 0}); err == nil {
+		t.Fatal("New with MaxInflight 0 should fail")
+	}
+	if _, err := New(Config{MaxInflight: 2, TenantLimits: "bad"}); err == nil {
+		t.Fatal("New with a bad tenant spec should fail")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/qos"
 )
 
 // Metric names. All follow the Prometheus conventions: a repro_ prefix,
@@ -108,6 +109,29 @@ const (
 	// MetricWalErrors counts persistence faults (failed fsyncs,
 	// unreadable spills); the daemon keeps serving from memory.
 	MetricWalErrors = "repro_wal_errors_total"
+	// MetricIngestResidentRows gauges each streaming table's resident
+	// buffer rows — the ops signal behind the /healthz row-horizon
+	// warning.
+	MetricIngestResidentRows = "repro_ingest_resident_rows"
+	// MetricQoSInflight / MetricQoSQueued gauge the admission
+	// controller's currently executing and queued requests.
+	MetricQoSInflight = "repro_qos_inflight"
+	MetricQoSQueued   = "repro_qos_queued"
+	// MetricQoSAdmitted / MetricQoSRejected count requests admitted to a
+	// full-service slot and requests refused with 429 overloaded.
+	MetricQoSAdmitted = "repro_qos_admitted_total"
+	MetricQoSRejected = "repro_qos_rejected_total"
+	// MetricQoSShed counts target_cv queries degraded to an
+	// already-resident sample instead of running the full autoscale.
+	MetricQoSShed = "repro_qos_shed_total"
+	// MetricQoSCoalesced counts query requests served from another
+	// request's executor pass; MetricQoSBatches counts passes that served
+	// more than one request.
+	MetricQoSCoalesced = "repro_qos_coalesced_total"
+	MetricQoSBatches   = "repro_qos_batches_total"
+	// MetricQoSTenantRejected counts requests refused by a tenant's
+	// token bucket.
+	MetricQoSTenantRejected = "repro_qos_tenant_rejected_total"
 )
 
 // srvMetrics holds the resolved metric handles the serving hot paths
@@ -141,6 +165,7 @@ type srvMetrics struct {
 	refreshes       *obs.CounterVec
 	refreshDuration *obs.HistogramVec
 	generation      *obs.GaugeVec
+	residentRows    *obs.GaugeVec
 
 	httpRequests *obs.CounterVec
 	httpDuration *obs.HistogramVec
@@ -178,6 +203,7 @@ func newSrvMetrics(reg *obs.Registry, r *Registry) *srvMetrics {
 		refreshes:          reg.CounterVec(MetricStreamRefreshes, "Sample generations published by a streaming table.", "table"),
 		refreshDuration:    reg.HistogramVec(MetricStreamRefreshDuration, "Streaming refresh build duration.", "table"),
 		generation:         reg.GaugeVec(MetricStreamGeneration, "Latest published generation of a streaming table.", "table"),
+		residentRows:       reg.GaugeVec(MetricIngestResidentRows, "Resident buffer rows of a streaming table.", "table"),
 		httpRequests:       reg.CounterVec(MetricHTTPRequests, "HTTP requests served, by route pattern and status code.", "route", "code"),
 		httpDuration:       reg.HistogramVec(MetricHTTPDuration, "HTTP request duration, by route pattern.", "route"),
 	}
@@ -217,10 +243,34 @@ func newSrvMetrics(reg *obs.Registry, r *Registry) *srvMetrics {
 }
 
 // observeStreamPublication records one installed streaming publication.
-func (m *srvMetrics) observeStreamPublication(table string, generation uint64, buildDuration time.Duration) {
+func (m *srvMetrics) observeStreamPublication(table string, generation uint64, rows int, buildDuration time.Duration) {
 	m.refreshes.With(table).Inc()
 	m.generation.With(table).Set(int64(generation))
+	m.residentRows.With(table).Set(int64(rows))
 	if buildDuration > 0 {
 		m.refreshDuration.With(table).Observe(buildDuration)
+	}
+}
+
+// registerQoSMetrics exposes a QoS front end's counters as repro_qos_*
+// series, reading the front end's own atomics at scrape time so the
+// exposition cannot drift from /healthz.
+func registerQoSMetrics(reg *obs.Registry, fe *qos.FrontEnd) {
+	ctrl := fe.Admission
+	reg.GaugeFunc(MetricQoSInflight, "Requests currently holding an admission slot.", func() int64 {
+		return int64(ctrl.Inflight())
+	})
+	reg.GaugeFunc(MetricQoSQueued, "Requests parked in the admission queue.", func() int64 {
+		return int64(ctrl.Queued())
+	})
+	reg.CounterFunc(MetricQoSAdmitted, "Requests admitted to a full-service slot.", ctrl.Admitted)
+	reg.CounterFunc(MetricQoSRejected, "Requests refused with 429 overloaded.", ctrl.Rejected)
+	reg.CounterFunc(MetricQoSShed, "target_cv queries degraded to a resident sample.", ctrl.ShedCount)
+	if co := fe.Coalescer; co != nil {
+		reg.CounterFunc(MetricQoSCoalesced, "Query requests served from another request's executor pass.", co.Coalesced)
+		reg.CounterFunc(MetricQoSBatches, "Coalesced executor passes that served more than one request.", co.Batches)
+	}
+	if tl := fe.Tenants; tl != nil {
+		reg.CounterFunc(MetricQoSTenantRejected, "Requests refused by a tenant token bucket.", tl.Rejected)
 	}
 }

@@ -164,6 +164,8 @@ func toWalConfig(cfg ingest.Config) wal.StreamConfig {
 		Queries:    cfg.Queries,
 		Budget:     cfg.Budget,
 		Rate:       cfg.Rate,
+		TargetCV:   cfg.TargetCV,
+		MaxBudget:  cfg.MaxBudget,
 		Capacity:   cfg.Capacity,
 		Opts:       cfg.Opts,
 		Seed:       cfg.Seed,
@@ -174,13 +176,15 @@ func toWalConfig(cfg ingest.Config) wal.StreamConfig {
 
 func fromWalConfig(c wal.StreamConfig) ingest.Config {
 	return ingest.Config{
-		Queries:  c.Queries,
-		Budget:   c.Budget,
-		Rate:     c.Rate,
-		Capacity: c.Capacity,
-		Opts:     c.Opts,
-		Seed:     c.Seed,
-		Policy:   ingest.Policy{MaxPending: c.MaxPending, Interval: c.Interval},
+		Queries:   c.Queries,
+		Budget:    c.Budget,
+		Rate:      c.Rate,
+		TargetCV:  c.TargetCV,
+		MaxBudget: c.MaxBudget,
+		Capacity:  c.Capacity,
+		Opts:      c.Opts,
+		Seed:      c.Seed,
+		Policy:    ingest.Policy{MaxPending: c.MaxPending, Interval: c.Interval},
 	}
 }
 
@@ -602,6 +606,7 @@ func (r *Registry) loadSpilled(key string, tbl *table.Table) (*Entry, bool) {
 		BuiltAt:       se.BuiltAt,
 		BuildDuration: se.BuildDuration,
 		attrs:         attrs,
+		popRows:       tbl.NumRows(),
 	}
 	e.size = entrySizeBytes(e.Sample, tbl.Schema())
 	e.lastUsed.Store(r.useClock.Add(1))

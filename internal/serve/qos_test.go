@@ -1,0 +1,340 @@
+package serve_test
+
+// End-to-end tests of the QoS front end: admission 429s with
+// Retry-After, per-tenant token buckets, load shedding onto resident
+// samples, and the coalescing differential — a herd of identical
+// queries through the coalescer must produce byte-identical responses
+// to uncoalesced per-request execution.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/qos"
+	"repro/internal/serve"
+)
+
+// startQoSServer spins up a server over a fresh sales registry with the
+// given QoS front end.
+func startQoSServer(t *testing.T, cfg qos.Config, opts ...serve.ServerOption) (*httptest.Server, *serve.Registry, *qos.FrontEnd) {
+	t.Helper()
+	fe, err := qos.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := newSalesRegistry(t)
+	ts := httptest.NewServer(serve.NewServer(reg, append(opts, serve.WithQoS(fe))...))
+	t.Cleanup(ts.Close)
+	return ts, reg, fe
+}
+
+// postRaw sends a JSON body and returns the raw response.
+func postRaw(t *testing.T, url, body string, header map[string]string) (int, http.Header, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+const salesQuery = `{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region"}`
+
+func TestQueryOverloaded429(t *testing.T) {
+	ts, _, fe := startQoSServer(t, qos.Config{MaxInflight: 1, MaxQueue: -1})
+
+	// Saturate the single slot; the next query must fail fast with the
+	// full overloaded contract: 429, code "overloaded", Retry-After >= 1.
+	release, ok := fe.Admission.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire on idle controller")
+	}
+	defer release()
+
+	code, hdr, body := postRaw(t, ts.URL+"/v1/query", salesQuery, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("query under saturation: %d, body %s", code, body)
+	}
+	if !bytes.Contains(body, []byte(`"code":"overloaded"`)) {
+		t.Fatalf("body missing overloaded code: %s", body)
+	}
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want whole seconds >= 1", hdr.Get("Retry-After"))
+	}
+
+	// Builds ride the same admission gate.
+	code, hdr, body = postRaw(t, ts.URL+"/v1/samples", buildBody, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("build under saturation: %d, body %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatalf("build 429 missing Retry-After; body %s", body)
+	}
+}
+
+func TestQueryQueuedThenServed(t *testing.T) {
+	ts, _, fe := startQoSServer(t, qos.Config{MaxInflight: 1, MaxQueue: 4})
+
+	// With a queue, a request outlives a brief saturation instead of
+	// 429ing: hold the slot, fire a query, release shortly after.
+	release, ok := fe.Admission.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		code, _, body := postRaw(t, ts.URL+"/v1/query", salesQuery, nil)
+		if code != http.StatusOK {
+			t.Errorf("queued query: %d, body %s", code, body)
+		}
+	}()
+	// Wait until the request is parked in the queue, then free the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for fe.Admission.Queued() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	<-done
+}
+
+func TestCoalescedQueriesBitIdentical(t *testing.T) {
+	// Differential setup: a plain server and a coalescing server over
+	// identically seeded registries. Every coalesced response must be
+	// byte-identical to uncoalesced per-request execution.
+	regA := newSalesRegistry(t)
+	tsA := httptest.NewServer(serve.NewServer(regA))
+	t.Cleanup(tsA.Close)
+	tsB, regB, fe := startQoSServer(t, qos.Config{MaxInflight: 8, CoalesceWindow: 100 * time.Millisecond})
+
+	// The same deterministic sample on both sides (seed 7).
+	if _, _, err := regA.Build(context.Background(), buildReq(300)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := regB.Build(context.Background(), buildReq(300)); err != nil {
+		t.Fatal(err)
+	}
+
+	codeA, _, want := postRaw(t, tsA.URL+"/v1/query", salesQuery, nil)
+	if codeA != http.StatusOK {
+		t.Fatalf("baseline query: %d, body %s", codeA, want)
+	}
+
+	const herd = 64
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		bodies [][]byte
+	)
+	start := make(chan struct{})
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			code, _, body := postRaw(t, tsB.URL+"/v1/query", salesQuery, nil)
+			if code != http.StatusOK {
+				t.Errorf("herd query: %d, body %s", code, body)
+				return
+			}
+			mu.Lock()
+			bodies = append(bodies, body)
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if len(bodies) != herd {
+		t.Fatalf("only %d/%d herd queries succeeded", len(bodies), herd)
+	}
+	for i, b := range bodies {
+		if !bytes.Equal(b, want) {
+			t.Fatalf("coalesced response %d differs from per-request execution:\n got %s\nwant %s", i, b, want)
+		}
+	}
+	// The herd must actually have coalesced: far fewer executor passes
+	// than callers, and followers served from shared passes.
+	if got := fe.Coalescer.Passes(); got >= herd/2 {
+		t.Fatalf("executor passes = %d for %d identical queries; coalescing is not happening", got, herd)
+	}
+	if fe.Coalescer.Coalesced() == 0 || fe.Coalescer.Batches() == 0 {
+		t.Fatalf("coalesced=%d batches=%d, want both > 0",
+			fe.Coalescer.Coalesced(), fe.Coalescer.Batches())
+	}
+}
+
+func TestShedDegradesToResidentSample(t *testing.T) {
+	ts, reg, fe := startQoSServer(t, qos.Config{MaxInflight: 1, MaxQueue: -1})
+
+	// A resident 300-row sample is the shed target.
+	if _, _, err := reg.Build(context.Background(), buildReq(300)); err != nil {
+		t.Fatal(err)
+	}
+	release, ok := fe.Admission.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire")
+	}
+	defer release()
+
+	const cvQuery = `{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region", "target_cv": 0.05}`
+	var resp struct {
+		Degraded   bool     `json:"degraded"`
+		TargetCV   float64  `json:"target_cv"`
+		TargetMet  *bool    `json:"target_met"`
+		AchievedCV *float64 `json:"achieved_cv"`
+		SampleKey  string   `json:"sample_key"`
+		SampleRows int      `json:"sample_rows"`
+	}
+	code, _, body := postRaw(t, ts.URL+"/v1/query", cvQuery, nil)
+	if code != http.StatusOK {
+		t.Fatalf("shed query: %d, body %s", code, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || resp.TargetCV != 0.05 || resp.SampleRows != 300 {
+		t.Fatalf("shed response: %+v (body %s)", resp, body)
+	}
+	// The answering sample has no autoscale guarantee: target_met must
+	// be an honest false, achieved_cv absent.
+	if resp.TargetMet == nil || *resp.TargetMet || resp.AchievedCV != nil {
+		t.Fatalf("shed guarantee reporting: %+v (body %s)", resp, body)
+	}
+	if fe.Admission.ShedCount() != 1 {
+		t.Fatalf("ShedCount = %d, want 1", fe.Admission.ShedCount())
+	}
+
+	// Contract stability under pressure: shapes the full path rejects,
+	// the shed path rejects identically (422, not a degraded answer).
+	const filtered = `{"sql": "SELECT region, AVG(amount) FROM sales WHERE amount > 50 GROUP BY region", "target_cv": 0.05}`
+	code, _, body = postRaw(t, ts.URL+"/v1/query", filtered, nil)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("shed WHERE query: %d, want 422 (body %s)", code, body)
+	}
+}
+
+func TestShedWithoutResidentSampleIs429(t *testing.T) {
+	ts, _, fe := startQoSServer(t, qos.Config{MaxInflight: 1, MaxQueue: -1})
+	release, ok := fe.Admission.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire")
+	}
+	defer release()
+
+	const cvQuery = `{"sql": "SELECT region, AVG(amount) FROM sales GROUP BY region", "target_cv": 0.05}`
+	code, hdr, body := postRaw(t, ts.URL+"/v1/query", cvQuery, nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("shed with nothing resident: %d, want 429 (body %s)", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+}
+
+func TestTenantTokenBuckets(t *testing.T) {
+	ts, _, _ := startQoSServer(t, qos.Config{MaxInflight: 8, TenantLimits: "alice=1:1"})
+
+	alice := map[string]string{"X-API-Token": "alice"}
+	code, _, body := postRaw(t, ts.URL+"/v1/query", salesQuery, alice)
+	if code != http.StatusOK {
+		t.Fatalf("alice's first query: %d, body %s", code, body)
+	}
+	code, hdr, body := postRaw(t, ts.URL+"/v1/query", salesQuery, alice)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("alice's second query: %d, want 429 (body %s)", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("tenant 429 missing Retry-After")
+	}
+
+	// No "*" default: unlisted tenants (and tokenless requests) are only
+	// subject to the global admission limits.
+	for i := 0; i < 5; i++ {
+		if code, _, body := postRaw(t, ts.URL+"/v1/query", salesQuery, nil); code != http.StatusOK {
+			t.Fatalf("tokenless query %d: %d, body %s", i, code, body)
+		}
+	}
+}
+
+func TestHealthzQoSAndIngestHorizon(t *testing.T) {
+	ts, reg, _ := startQoSServer(t, qos.Config{MaxInflight: 4},
+		serve.WithIngestHorizonRows(100))
+
+	// Stream the sales table: 3740 resident rows, far past the 100-row
+	// horizon, so /healthz must warn.
+	if err := reg.StreamTable("sales", streamCfg(300)); err != nil {
+		t.Fatal(err)
+	}
+	// One query so the QoS counters move.
+	if code, _, body := postRaw(t, ts.URL+"/v1/query", salesQuery, nil); code != http.StatusOK {
+		t.Fatalf("query: %d, body %s", code, body)
+	}
+
+	var health struct {
+		Warnings     []string `json:"warnings"`
+		StreamTables map[string]struct {
+			ResidentRows int `json:"resident_rows"`
+		} `json:"stream_tables"`
+		QoS *struct {
+			MaxInflight int   `json:"max_inflight"`
+			MaxQueue    int   `json:"max_queue"`
+			Admitted    int64 `json:"admitted"`
+		} `json:"qos"`
+	}
+	if code := get(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if health.QoS == nil || health.QoS.MaxInflight != 4 || health.QoS.MaxQueue != 8 {
+		t.Fatalf("healthz qos block: %+v", health.QoS)
+	}
+	if health.QoS.Admitted < 1 {
+		t.Fatalf("healthz qos admitted = %d, want >= 1", health.QoS.Admitted)
+	}
+	if got := health.StreamTables["sales"].ResidentRows; got != 3740 {
+		t.Fatalf("resident_rows = %d, want 3740", got)
+	}
+	if len(health.Warnings) != 1 || !strings.Contains(health.Warnings[0], "horizon") {
+		t.Fatalf("warnings = %v, want one row-horizon warning", health.Warnings)
+	}
+
+	// The repro_qos_* series render on /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	expo, _ := io.ReadAll(resp.Body)
+	for _, name := range []string{
+		"repro_qos_admitted_total", "repro_qos_rejected_total",
+		"repro_qos_inflight", "repro_qos_queued", "repro_qos_shed_total",
+		"repro_ingest_resident_rows",
+	} {
+		if !bytes.Contains(expo, []byte(name)) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+}

@@ -19,6 +19,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -195,7 +196,21 @@ type Entry struct {
 	// snapshot is the immutable table cut the sample's row ids index
 	// (streaming entries only; nil means "use the registered table").
 	snapshot *table.Table
+	// popRows is the population row count the sample — and any autoscale
+	// guarantee — was computed over, fixed at build.
+	popRows int
+	// cvStale flips once appended data outgrew popRows: the autoscale
+	// guarantee no longer describes the table being answered from, so
+	// target_met renders false. Atomic because stream publications flip
+	// it while queries read.
+	cvStale atomic.Bool
 }
+
+// GuaranteeStale reports whether appended data has outgrown the
+// population this entry's autoscale guarantee was computed over.
+// Always false for non-autoscaled entries and for streaming entries
+// (each publication re-derives its guarantee).
+func (e *Entry) GuaranteeStale() bool { return e.cvStale.Load() }
 
 // SizeBytes is the entry's resident-memory estimate charged against the
 // registry's sample byte budget: sample rows × row width (see
@@ -544,7 +559,7 @@ func (r *Registry) buildEntry(ctx context.Context, key string, tbl *table.Table,
 	start := time.Now()
 	var (
 		rs  *samplers.RowSample
-		e   = &Entry{Key: key, Table: tbl.Name, Budget: req.Budget, Queries: req.Queries, Opts: req.Opts}
+		e   = &Entry{Key: key, Table: tbl.Name, Budget: req.Budget, Queries: req.Queries, Opts: req.Opts, popRows: tbl.NumRows()}
 		err error
 	)
 	if req.TargetCV > 0 {
@@ -743,7 +758,19 @@ type QueryOptions struct {
 	// MaxBudget caps the autoscale search (0 = table rows); only
 	// meaningful with TargetCV.
 	MaxBudget int
+	// Degrade, with TargetCV, answers from the cheapest already-resident
+	// covering sample instead of running the autoscale search — the
+	// load-shedding path, the autoscaler run in reverse. The answer
+	// reports QueryAnswer.Degraded = true and the answering entry's own
+	// guarantee (if any); with no resident covering sample the query
+	// fails with ErrNoResidentSample, which the HTTP layer maps to 429.
+	Degrade bool
 }
+
+// ErrNoResidentSample reports a degraded (load-shed) query with no
+// already-resident covering sample to fall back on — nothing cheap
+// exists, so the request cannot be served under pressure at all.
+var ErrNoResidentSample = errors.New("no resident sample to degrade to")
 
 // QueryAnswer is the outcome of one Query.
 type QueryAnswer struct {
@@ -760,6 +787,10 @@ type QueryAnswer struct {
 	// the row interpreter answered (forced, or the query is outside the
 	// planner's subset).
 	Plan *plan.Plan
+	// Degraded reports a load-shed answer: the query asked for a target
+	// CV but was answered from the cheapest resident sample instead
+	// (QueryOptions.Degrade). Entry is that sample.
+	Degraded bool
 }
 
 // Query parses sql, resolves its FROM table against the registry and
@@ -821,6 +852,23 @@ func (r *Registry) Query(ctx context.Context, sql string, opt QueryOptions) (*Qu
 		}
 		if !sampleable {
 			return nil, fmt.Errorf("serve: no CV guarantee exists for MIN/MAX/VAR/STDDEV; drop target_cv to answer exactly")
+		}
+		if err := validateTargetCVQuery(q); err != nil {
+			return nil, err
+		}
+		if opt.Degrade {
+			// load shedding: the same request the autoscale path would
+			// serve, answered from whatever covering sample is cheapest
+			// right now. Validation above is identical to the full path,
+			// so a query's contract does not loosen under pressure.
+			tr.Phase("degrade")
+			e, ok := r.findCheapest(tbl.Name, q.GroupBy)
+			if !ok {
+				return nil, fmt.Errorf("serve: %w: no resident sample of %q covers GROUP BY %s",
+					ErrNoResidentSample, tbl.Name, strings.Join(q.GroupBy, ", "))
+			}
+			ans.Degraded = true
+			return r.answerFromEntry(ctx, ans, tbl, e, q, opt)
 		}
 		e, err := r.buildForQuery(ctx, tbl.Name, q, opt)
 		if err != nil {
@@ -896,15 +944,12 @@ func (r *Registry) answerFromEntry(ctx context.Context, ans *QueryAnswer, tbl *t
 	return ans, nil
 }
 
-// buildForQuery turns a submitted query into the workload of an
-// autoscaled build — its GROUP BY becomes the stratification, the
-// columns inside its aggregate calls become the aggregation columns —
-// and returns the (cached, singleflighted) entry built for
-// opt.TargetCV. Repeat queries for the same (table, workload, target)
-// hit the cache; concurrent first queries share one search and build.
-func (r *Registry) buildForQuery(ctx context.Context, tableName string, q *sqlparse.Query, opt QueryOptions) (*Entry, error) {
+// validateTargetCVQuery rejects query shapes no CV guarantee can be
+// made for — shared by the full autoscale path and the degraded
+// (load-shed) path, so the contract is identical under pressure.
+func validateTargetCVQuery(q *sqlparse.Query) error {
 	if len(q.GroupBy) == 0 {
-		return nil, fmt.Errorf("serve: a target CV needs a GROUP BY to stratify on")
+		return fmt.Errorf("serve: a target CV needs a GROUP BY to stratify on")
 	}
 	// A WHERE filter shrinks each group's effective sample by the
 	// predicate's selectivity, but the CV prediction sizes strata for
@@ -913,12 +958,65 @@ func (r *Registry) buildForQuery(ctx context.Context, tableName string, q *sqlpa
 	// it filters whole groups after estimation, leaving each reported
 	// estimate's CV intact.)
 	if q.Where != nil {
-		return nil, fmt.Errorf("serve: a target CV cannot be guaranteed under a WHERE filter (the sample is sized for the unfiltered table); drop target_cv or the filter")
+		return fmt.Errorf("serve: a target CV cannot be guaranteed under a WHERE filter (the sample is sized for the unfiltered table); drop target_cv or the filter")
 	}
+	if len(sqlparse.QueryAggColumns(q)) == 0 {
+		return fmt.Errorf("serve: a target CV needs at least one aggregated column (COUNT(*) alone carries no measure to bound)")
+	}
+	return nil
+}
+
+// findCheapest selects the *smallest* resident covering sample of the
+// named table — the load-shedding answer source: under pressure the
+// question is not "which sample answers best" (Find's ordering) but
+// "which resident sample answers cheapest", and execution cost scales
+// with sample rows. Ties break by key for determinism. Like Find, a
+// hit is recorded on the selected entry.
+func (r *Registry) findCheapest(tableName string, groupBy []string) (*Entry, bool) {
+	sh := r.shardFor(tableName)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var best *Entry
+	for _, e := range sh.entries {
+		if !strings.EqualFold(e.Table, tableName) || !e.Covers(groupBy) {
+			continue
+		}
+		if best == nil || e.Sample.Len() < best.Sample.Len() ||
+			(e.Sample.Len() == best.Sample.Len() && e.Key < best.Key) {
+			best = e
+		}
+	}
+	if best != nil {
+		r.touch(best)
+		r.metrics.findHits.Inc()
+	} else {
+		r.metrics.findMisses.Inc()
+	}
+	return best, best != nil
+}
+
+// SampleGeneration returns the latest published generation of a
+// streaming table (0 for static tables and unknown names) — the
+// freshness component of the HTTP layer's query-coalescing key, so a
+// refresh between coalescing windows can never serve a stale shared
+// answer.
+func (r *Registry) SampleGeneration(name string) uint64 {
+	st, err := r.streamFor(name)
+	if err != nil {
+		return 0
+	}
+	return st.stream.Generation()
+}
+
+// buildForQuery turns a submitted query into the workload of an
+// autoscaled build — its GROUP BY becomes the stratification, the
+// columns inside its aggregate calls become the aggregation columns —
+// and returns the (cached, singleflighted) entry built for
+// opt.TargetCV. Repeat queries for the same (table, workload, target)
+// hit the cache; concurrent first queries share one search and build.
+// The caller has already run validateTargetCVQuery.
+func (r *Registry) buildForQuery(ctx context.Context, tableName string, q *sqlparse.Query, opt QueryOptions) (*Entry, error) {
 	cols := sqlparse.QueryAggColumns(q)
-	if len(cols) == 0 {
-		return nil, fmt.Errorf("serve: a target CV needs at least one aggregated column (COUNT(*) alone carries no measure to bound)")
-	}
 	spec := core.QuerySpec{GroupBy: q.GroupBy}
 	for _, c := range cols {
 		spec.Aggs = append(spec.Aggs, core.AggColumn{Column: c})

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,6 +19,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/qos"
+	"repro/internal/sqlparse"
 )
 
 // Version identifies the daemon build in /healthz; override it at link
@@ -67,6 +70,17 @@ type Server struct {
 	// requests that specify none of budget/rate/target_cv (the daemon
 	// operator's accuracy default, cvserve -default-target-cv).
 	defaultTargetCV float64
+	// qos, when non-nil, is the heavy-traffic front end gating the build
+	// and query routes: admission control (429 + Retry-After past the
+	// inflight and queue bounds), per-tenant token buckets keyed by
+	// X-API-Token, window-batched query coalescing, and load shedding of
+	// target_cv queries onto resident samples. nil = no gating (the
+	// default; cvserve wires it from -max-inflight).
+	qos *qos.FrontEnd
+	// ingestHorizonRows, when positive, is the per-stream resident row
+	// count above which /healthz carries a warning (cvserve
+	// -ingest-horizon-rows).
+	ingestHorizonRows int
 }
 
 // ServerOption configures a Server at construction.
@@ -91,6 +105,21 @@ func WithLogger(l *slog.Logger) ServerOption {
 	}
 }
 
+// WithQoS installs a QoS front end on the build and query routes and
+// registers its repro_qos_* metric series on the registry's exposition.
+// nil disables gating (the default).
+func WithQoS(fe *qos.FrontEnd) ServerOption {
+	return func(s *Server) { s.qos = fe }
+}
+
+// WithIngestHorizonRows sets the per-stream resident row count above
+// which /healthz reports a warning for that stream — the "this buffer
+// will not fit forever" tripwire. n <= 0 (the default) disables the
+// warning.
+func WithIngestHorizonRows(n int) ServerOption {
+	return func(s *Server) { s.ingestHorizonRows = n }
+}
+
 // NewServer wraps a registry in its HTTP API.
 func NewServer(reg *Registry, opts ...ServerOption) *Server {
 	s := &Server{
@@ -102,6 +131,9 @@ func NewServer(reg *Registry, opts ...ServerOption) *Server {
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.qos != nil {
+		registerQoSMetrics(reg.Obs(), s.qos)
 	}
 	s.route(apiv1.RouteHealthz, s.handleHealthz)
 	s.route(apiv1.RouteMetrics, s.reg.Obs().ServeHTTP)
@@ -215,6 +247,34 @@ func writeError(w http.ResponseWriter, code string, format string, args ...any) 
 	writeJSON(w, apiv1.StatusOf(code), apiv1.Error{Code: code, Message: fmt.Sprintf(format, args...)})
 }
 
+// writeOverloaded sends the 429 overloaded envelope with its
+// Retry-After hint — whole seconds, floor 1, per the wire contract
+// (the client uses the hint as a backoff floor).
+func writeOverloaded(w http.ResponseWriter, retryAfter time.Duration, format string, args ...any) {
+	secs := int((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set(apiv1.HeaderRetryAfter, strconv.Itoa(secs))
+	writeError(w, apiv1.CodeOverloaded, format, args...)
+}
+
+// admitTenant charges the request to its tenant's token bucket (the
+// X-API-Token header; absent means the unauthenticated tenant). It
+// writes the 429 itself and returns false when the bucket is empty.
+// No-op without a QoS front end or tenant limits.
+func (s *Server) admitTenant(w http.ResponseWriter, r *http.Request) bool {
+	if s.qos == nil || s.qos.Tenants == nil {
+		return true
+	}
+	token := r.Header.Get(apiv1.HeaderAPIToken)
+	ok, retry := s.qos.Tenants.Allow(token)
+	if !ok {
+		writeOverloaded(w, retry, "tenant rate limit exceeded; retry in %s", retry)
+	}
+	return ok
+}
+
 // maxBodyBytes caps request bodies: the largest legitimate request is
 // a workload spec, far under 1 MiB, and the daemon must not buffer an
 // unbounded body from one client.
@@ -256,7 +316,7 @@ func toWireSample(e *Entry, cached bool) apiv1.Sample {
 		Cached:     cached,
 	}
 	if e.TargetCV > 0 {
-		met := e.TargetMet
+		met := e.TargetMet && !e.GuaranteeStale()
 		out.TargetCV = e.TargetCV
 		out.ChosenBudget = e.Budget
 		out.AchievedCV = apiv1.Float64(e.AchievedCV)
@@ -335,7 +395,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				LastRefreshMS: float64(st.LastRefresh.Microseconds()) / 1000,
 				Pending:       st.Pending,
 				RefreshErrors: st.RefreshErrors,
+				ResidentRows:  st.Rows,
 			}
+			if s.ingestHorizonRows > 0 && st.Rows > s.ingestHorizonRows {
+				h.Warnings = append(h.Warnings, fmt.Sprintf(
+					"stream %q holds %d resident rows, past the %d-row horizon",
+					st.Table, st.Rows, s.ingestHorizonRows))
+			}
+		}
+	}
+	if s.qos != nil {
+		st := s.qos.Stats()
+		h.QoS = &apiv1.QoSHealth{
+			MaxInflight:    st.MaxInflight,
+			MaxQueue:       st.MaxQueue,
+			Inflight:       st.Inflight,
+			Queued:         st.Queued,
+			Admitted:       st.Admitted,
+			Rejected:       st.Rejected,
+			Shed:           st.Shed,
+			Coalesced:      st.Coalesced,
+			Batches:        st.Batches,
+			TenantRejected: st.TenantRejected,
 		}
 	}
 	if ps, ok := s.reg.PersistenceStatus(); ok {
@@ -393,6 +474,9 @@ func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
 	tr.Phase("decode")
 	var req apiv1.BuildRequest
 	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if !s.admitTenant(w, r) {
 		return
 	}
 	// a CVOPT build on a production-sized table can outlast any
@@ -457,6 +541,20 @@ func (s *Server) handleBuildSample(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, apiv1.CodeInvalidRequest, "%v", err)
 		return
+	}
+	if s.qos != nil {
+		// builds queue like any other admitted work: a full queue is an
+		// immediate 429, not an unbounded pileup of CVOPT passes
+		release, aerr := s.qos.Admission.Acquire(r.Context())
+		if aerr != nil {
+			if errors.Is(aerr, qos.ErrOverloaded) {
+				writeOverloaded(w, s.retryAfter(), "serve: %v", aerr)
+				return
+			}
+			writeError(w, apiv1.CodeBuildFailed, "%v", aerr)
+			return
+		}
+		defer release()
 	}
 	entry, cached, err := s.reg.Build(r.Context(), BuildRequest{
 		Table:     tbl.Name,
@@ -563,13 +661,15 @@ func (s *Server) handleStreamTable(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	cfg := ingest.Config{
-		Queries:  specs,
-		Budget:   req.Budget,
-		Rate:     req.Rate,
-		Capacity: req.Capacity,
-		Opts:     opts,
-		Seed:     req.Seed,
-		Policy:   ingest.Policy{MaxPending: req.RefreshRows, Interval: interval},
+		Queries:   specs,
+		Budget:    req.Budget,
+		Rate:      req.Rate,
+		TargetCV:  req.TargetCV,
+		MaxBudget: req.MaxBudget,
+		Capacity:  req.Capacity,
+		Opts:      opts,
+		Seed:      req.Seed,
+		Policy:    ingest.Policy{MaxPending: req.RefreshRows, Interval: interval},
 	}
 	if err := s.reg.StreamTable(name, cfg); err != nil {
 		writeError(w, streamErrorCode(err, apiv1.CodeBuildFailed), "%v", err)
@@ -633,6 +733,99 @@ func streamErrorCode(err error, fallback string) string {
 	return fallback
 }
 
+// retryAfter returns the admission controller's current backoff
+// estimate (1s without a QoS front end — the floor the contract
+// guarantees anyway).
+func (s *Server) retryAfter() time.Duration {
+	if s.qos == nil {
+		return time.Second
+	}
+	return s.qos.Admission.RetryAfter()
+}
+
+// gatedQuery runs one query through the QoS front end: identical
+// in-window requests coalesce onto one executor pass, and the pass is
+// admitted against the inflight bounds — so a herd of 64 identical
+// queries consumes one admission slot, not 64. target_cv queries never
+// queue: when the full lane is busy they degrade to a resident sample
+// through the shed lane (QueryOptions.Degrade) or fail overloaded.
+// Without a front end this is exactly s.reg.Query.
+func (s *Server) gatedQuery(r *http.Request, req apiv1.QueryRequest, opt QueryOptions) (*QueryAnswer, error) {
+	if s.qos == nil {
+		return s.reg.Query(r.Context(), req.SQL, opt)
+	}
+	run := func(ctx context.Context) (*QueryAnswer, error) {
+		if opt.TargetCV > 0 {
+			if release, ok := s.qos.Admission.TryAcquire(); ok {
+				defer release()
+				return s.reg.Query(ctx, req.SQL, opt)
+			}
+			// degrade instead of queueing: under pressure the cheapest
+			// resident sample answers now, honestly flagged, rather than
+			// a full autoscale search answering late
+			release, ok := s.qos.Admission.TryShed()
+			if !ok {
+				return nil, fmt.Errorf("serve: %w", qos.ErrOverloaded)
+			}
+			defer release()
+			shed := opt
+			shed.Degrade = true
+			return s.reg.Query(ctx, req.SQL, shed)
+		}
+		release, err := s.qos.Admission.Acquire(ctx)
+		if err != nil {
+			if errors.Is(err, qos.ErrOverloaded) {
+				return nil, fmt.Errorf("serve: %w", qos.ErrOverloaded)
+			}
+			return nil, err
+		}
+		defer release()
+		return s.reg.Query(ctx, req.SQL, opt)
+	}
+	key, ok := s.coalesceKey(req, opt)
+	if s.qos.Coalescer == nil || !ok {
+		return run(r.Context())
+	}
+	// the leader's pass must survive its own caller's disconnect —
+	// followers depend on the result — so it runs over a detached
+	// (cancellation-free, value-preserving) context
+	detached := context.WithoutCancel(r.Context())
+	v, _, err := s.qos.Coalescer.Do(r.Context(), key, func() (any, error) {
+		return run(detached)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*QueryAnswer), nil
+}
+
+// coalesceKey derives the coalescing identity of a query request: the
+// normalized SQL (the same canonicalization the plan cache keys by:
+// parse + case-stable FROM + canonical rendering), every query option
+// that changes the answer, and the table's published sample generation —
+// so a streaming refresh between windows can never fan a stale answer
+// out. Compare-mode queries are never coalesced (their exact-result
+// comparison is materialized per response), and unparseable or
+// unknown-table requests fall through uncoalesced so the registry
+// produces its usual error.
+func (s *Server) coalesceKey(req apiv1.QueryRequest, opt QueryOptions) (string, bool) {
+	if opt.Compare {
+		return "", false
+	}
+	q, err := sqlparse.Parse(req.SQL)
+	if err != nil || q.From == "" {
+		return "", false
+	}
+	tbl, ok := s.reg.Table(q.From)
+	if !ok {
+		return "", false
+	}
+	q.From = tbl.Name
+	return fmt.Sprintf("%s\x00mode=%d\x00tcv=%g\x00maxm=%d\x00gen=%d",
+		q.String(), opt.Mode, opt.TargetCV, opt.MaxBudget,
+		s.reg.SampleGeneration(tbl.Name)), true
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	tr := obs.TraceFromContext(r.Context())
 	tr.Phase("decode")
@@ -675,11 +868,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opt.Compare = req.Compare
 	opt.TargetCV, opt.MaxBudget = req.TargetCV, req.MaxBudget
-	ans, err := s.reg.Query(r.Context(), req.SQL, opt)
+	if !s.admitTenant(w, r) {
+		return
+	}
+	ans, err := s.gatedQuery(r, req, opt)
 	if err != nil {
 		// an unknown FROM table is table_not_found/404, consistent with
-		// every other route; anything else the query could not serve is
+		// every other route; an admission refusal (or a shed query with
+		// nothing resident to degrade to) is overloaded/429 with a
+		// Retry-After hint; anything else the query could not serve is
 		// query_failed/422
+		if errors.Is(err, qos.ErrOverloaded) || errors.Is(err, ErrNoResidentSample) {
+			writeOverloaded(w, s.retryAfter(), "%v", err)
+			return
+		}
 		writeError(w, streamErrorCode(err, apiv1.CodeQueryFailed), "%v", err)
 		return
 	}
@@ -696,10 +898,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.SampleRows = ans.Entry.Sample.Len()
 		resp.Generation = ans.Entry.Generation
 		if ans.Entry.TargetCV > 0 {
-			met := ans.Entry.TargetMet
+			met := ans.Entry.TargetMet && !ans.Entry.GuaranteeStale()
 			resp.TargetCV = ans.Entry.TargetCV
 			resp.ChosenBudget = ans.Entry.Budget
 			resp.AchievedCV = apiv1.Float64(ans.Entry.AchievedCV)
+			resp.TargetMet = &met
+		}
+		if ans.Degraded {
+			// load-shed answer: report the *caller's* target next to the
+			// answering sample's actual guarantee (achieved_cv is present
+			// only when that sample was itself autoscaled), and an honest
+			// target_met judged against the caller's target
+			resp.Degraded = true
+			resp.TargetCV = req.TargetCV
+			resp.ChosenBudget = ans.Entry.Budget
+			met := ans.Entry.TargetCV > 0 && ans.Entry.AchievedCV <= req.TargetCV &&
+				!ans.Entry.GuaranteeStale()
 			resp.TargetMet = &met
 		}
 	}

@@ -193,6 +193,17 @@ func (r *Registry) startStream(sh *shard, name string, seed *table.Table, cfg in
 func (r *Registry) installPublication(sh *shard, name, key string, cfg ingest.Config, pub *ingest.Publication) {
 	sh.mu.Lock()
 	sh.tables[name] = pub.Snapshot
+	// static autoscaled entries of this table keep answering from the
+	// new snapshot (their row ids index a prefix of it), but their CV
+	// guarantee was computed over the rows that existed at build time —
+	// once appended data outgrows that population, their target_met
+	// flips to an honest false
+	for k, e := range sh.entries {
+		if k != key && e.snapshot == nil && e.TargetCV > 0 &&
+			strings.EqualFold(e.Table, name) && pub.Rows > e.popRows {
+			e.cvStale.Store(true)
+		}
+	}
 	if pub.Sample != nil {
 		attrs := make(map[string]bool)
 		for _, q := range cfg.Queries {
@@ -204,6 +215,9 @@ func (r *Registry) installPublication(sh *shard, name, key string, cfg ingest.Co
 			Key:           key,
 			Table:         name,
 			Budget:        pub.Budget,
+			TargetCV:      pub.TargetCV,
+			AchievedCV:    pub.AchievedCV,
+			TargetMet:     pub.TargetMet,
 			Queries:       cfg.Queries,
 			Opts:          cfg.Opts,
 			Sample:        pub.Sample,
@@ -212,6 +226,7 @@ func (r *Registry) installPublication(sh *shard, name, key string, cfg ingest.Co
 			Generation:    pub.Generation,
 			attrs:         attrs,
 			snapshot:      pub.Snapshot,
+			popRows:       pub.Rows,
 			size:          entrySizeBytes(pub.Sample, pub.Snapshot.Schema()),
 		}
 		e.lastUsed.Store(r.useClock.Add(1))
@@ -226,7 +241,7 @@ func (r *Registry) installPublication(sh *shard, name, key string, cfg ingest.Co
 	}
 	sh.mu.Unlock()
 	r.refreshes.Add(1)
-	r.metrics.observeStreamPublication(name, pub.Generation, pub.BuildDuration)
+	r.metrics.observeStreamPublication(name, pub.Generation, pub.Rows, pub.BuildDuration)
 	if pub.Sample != nil {
 		r.maybeEvict()
 	}
@@ -265,6 +280,7 @@ func (r *Registry) Append(name string, rows [][]any) (ingest.AppendStatus, error
 	status, err := st.stream.Append(rows)
 	if err == nil && status.Appended > 0 {
 		r.metrics.ingestRows.With(st.stream.Name()).Add(int64(status.Appended))
+		r.metrics.residentRows.With(st.stream.Name()).Set(int64(status.Rows))
 		// durability point: the batch's WAL record is fsynced (per
 		// policy) before the append is acknowledged; runs outside every
 		// lock

@@ -410,6 +410,8 @@ type StreamConfig struct {
 	Queries    []core.QuerySpec
 	Budget     int
 	Rate       float64
+	TargetCV   float64
+	MaxBudget  int
 	Capacity   int
 	Opts       core.Options
 	Seed       int64
@@ -429,7 +431,10 @@ type Checkpoint struct {
 	Snapshot   *table.Table
 }
 
-const checkpointMagic = "cvckpt01"
+// The magic names the layout; cvckpt02 added the autoscale sizing
+// (target CV + budget cap) to the stream configuration. Older files
+// fail the magic check cleanly instead of misparsing.
+const checkpointMagic = "cvckpt02"
 
 // WriteCheckpoint atomically replaces the checkpoint file at path:
 // the encoding goes to a temp file in the same directory, optionally
@@ -443,6 +448,8 @@ func WriteCheckpoint(path string, cp *Checkpoint, sync bool) error {
 	encodeQueries(w, cp.Config.Queries)
 	w.i64(int64(cp.Config.Budget))
 	w.f64(cp.Config.Rate)
+	w.f64(cp.Config.TargetCV)
+	w.i64(int64(cp.Config.MaxBudget))
 	w.i64(int64(cp.Config.Capacity))
 	encodeOptions(w, cp.Config.Opts)
 	w.i64(cp.Config.Seed)
@@ -469,6 +476,8 @@ func ReadCheckpoint(path string) (*Checkpoint, error) {
 	cp.Config.Queries = decodeQueries(r)
 	cp.Config.Budget = int(r.i64())
 	cp.Config.Rate = r.f64()
+	cp.Config.TargetCV = r.f64()
+	cp.Config.MaxBudget = int(r.i64())
 	cp.Config.Capacity = int(r.i64())
 	cp.Config.Opts = decodeOptions(r)
 	cp.Config.Seed = r.i64()

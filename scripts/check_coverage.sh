@@ -4,8 +4,8 @@
 # that crash recovery rides on) must not lose test coverage — a new
 # engine (e.g. the budget autoscaler) cannot land untested. Floors sit
 # at the coverage measured when each gate was introduced (core 88.8%,
-# serve 90.5%, plan 88.6%, wal 88.8%), minus a sliver of refactoring
-# headroom.
+# serve 90.5%, plan 88.6%, wal 88.8%, qos 99.5%), minus a sliver of
+# refactoring headroom.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,5 +32,6 @@ check ./internal/core 88.5
 check ./internal/serve 89.5
 check ./internal/plan 88.0
 check ./internal/wal 88.0
+check ./internal/qos 95.0
 
 exit "$fail"
